@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper's
+evaluation.  The measured experiments (Figs. 11/12) run on the full-width
+(1.0) MobileNetV1 workload, prepared once per session: brief training on
+synthetic data, int8 quantization, and one verified accelerator run.
+"""
+
+import pytest
+
+from repro.eval.workloads import prepare_workload
+
+
+@pytest.fixture(scope="session")
+def full_workload():
+    """Full-width MobileNetV1 workload (the paper's network)."""
+    return prepare_workload(
+        width_multiplier=1.0, num_samples=48, train_epochs=1, batch_size=12
+    )

@@ -1,0 +1,38 @@
+"""Fig. 10: per-layer MAC operations and latency."""
+
+import numpy as np
+import pytest
+
+from repro.eval import run_experiment
+
+#: Per-layer cycle counts implied by the paper's Eqs. 1-2 (at 1 GHz these
+#: are the nanosecond latencies of Fig. 10's right axis).
+PAPER_IMPLIED_LATENCY_NS = [
+    4672, 4384, 8768, 4240, 8480, 4384,
+    8768, 8768, 8768, 8768, 8768, 4672, 9344,
+]
+
+
+def test_bench_fig10(benchmark):
+    result = benchmark(run_experiment, "fig10")
+    print()
+    print(result.text)
+    np.testing.assert_allclose(
+        result.data["latency_ns"], PAPER_IMPLIED_LATENCY_NS, rtol=1e-9
+    )
+    # stride-2 layers (1, 3, 5, 11) show the reduced-MAC dips of Fig. 10
+    macs = result.data["macs"]
+    for idx in (1, 3, 5, 11):
+        assert macs[idx] < macs[idx - 1]
+        assert macs[idx] < macs[idx + 1]
+    # MACs and latency strongly correlated (paper's observation)
+    r = np.corrcoef(np.array(macs, dtype=float),
+                    np.array(result.data["latency_ns"]))[0, 1]
+    assert r > 0.95
+
+
+def test_bench_fig10_network_totals(benchmark):
+    result = benchmark(run_experiment, "fig10")
+    total_macs = sum(result.data["macs"])
+    # MobileNetV1-CIFAR10 DSC stack: ~45.5M MACs
+    assert total_macs == 45_459_456

@@ -1,0 +1,40 @@
+"""Fig. 12: per-layer energy efficiency (TOPS/W)."""
+
+import pytest
+
+from repro.eval import PAPER_FIG12_EE_TOPS_W, run_experiment
+
+
+def test_bench_fig12(benchmark, full_workload):
+    result = benchmark(run_experiment, "fig12", full_workload)
+    print()
+    print(result.text)
+    profile = result.data["profile_ee"]
+    assert len(profile) == 13
+    # with the paper's sparsity profile the EE peak lands on layer 10 or
+    # 12 (the paper's two near-tied maxima: 13.43 vs 13.38 TOPS/W)
+    assert result.data["profile_peak_layer"] in (10, 12)
+    # peak magnitude within 20% of the paper's 13.43
+    assert result.data["profile_peak_ee"] == pytest.approx(13.43, rel=0.2)
+
+
+def test_bench_fig12_shape_vs_paper(benchmark, full_workload):
+    result = benchmark(run_experiment, "fig12", full_workload)
+    profile = result.data["profile_ee"]
+    # least efficient layer is an early one, as in the paper (layer 1)
+    worst = profile.index(min(profile))
+    assert worst <= 2
+    # deep stride-1 layers beat early layers (the paper's rising trend)
+    assert profile[10] > profile[1]
+    assert profile[9] > profile[2]
+    # paper series and ours agree within 25% pointwise for the profile run
+    for ours, theirs in zip(profile, PAPER_FIG12_EE_TOPS_W):
+        assert ours == pytest.approx(theirs, rel=0.25)
+
+
+def test_bench_fig12_measured_mode_reported(benchmark, full_workload):
+    result = benchmark(run_experiment, "fig12", full_workload)
+    measured = result.data["measured_ee"]
+    # measured-sparsity EE is flatter (documented) but must stay in a
+    # physically sensible band around the paper's range
+    assert all(5.0 < v < 16.0 for v in measured)

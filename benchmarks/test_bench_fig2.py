@@ -1,0 +1,50 @@
+"""Fig. 2: design-space exploration — PE sizes and access counts."""
+
+from repro.dse import LoopOrder, best_point, explore
+from repro.eval import run_experiment
+
+
+def test_bench_fig2a(benchmark):
+    result = benchmark(run_experiment, "fig2a")
+    print()
+    print(result.text)
+    totals = {(row[0], row[1]): row[4] for row in result.data["rows"]}
+    # Fig. 2a's extremes: Case 1 at Tn=1 is the smallest array (117 MACs),
+    # Case 6 at Tn=2 the largest (800 — the implemented design).
+    assert totals[("La, Tn=Tm=1", 1)] == 4 * 9 + 4 * 4
+    assert totals[("La, Tn=Tm=2", 6)] == 800
+    # PE size is independent of loop order
+    for case in range(1, 7):
+        assert totals[("La, Tn=Tm=2", case)] == totals[("Lb, Tn=Tm=2", case)]
+
+
+def test_bench_fig2b(benchmark):
+    result = benchmark(run_experiment, "fig2b")
+    print()
+    print(result.text)
+    # the paper's conclusion: La, Tn=Tm=2, Case 6 minimizes total accesses
+    assert result.data["best_group"] == "La, Tn=Tm=2"
+    assert result.data["best_case"] == 6
+
+
+def test_bench_fig2b_qualitative_claims(benchmark):
+    def claims():
+        sweep = explore()
+        for case in range(1, 7):
+            for tn in (1, 2):
+                points = {
+                    p.order: p
+                    for p in sweep.by_case(case)
+                    if p.tiling.tn == tn
+                }
+                # "La consistently demonstrates higher activation access
+                # count, while Lb consistently exhibits higher weight
+                # access count"
+                assert (points[LoopOrder.LA].activation_access
+                        > points[LoopOrder.LB].activation_access)
+                assert (points[LoopOrder.LB].weight_access
+                        > points[LoopOrder.LA].weight_access)
+        return best_point(sweep)
+
+    best = benchmark(claims)
+    assert best.pe_total == 800

@@ -1,0 +1,15 @@
+"""Fig. 3: activation-access reduction from direct DWC->PWC transfer."""
+
+from repro.eval import PAPER_FIG3_REDUCTION, run_experiment
+
+
+def test_bench_fig3(benchmark):
+    result = benchmark(run_experiment, "fig3")
+    print()
+    print(result.text)
+    # Paper: 15.4%..46.9% per layer, 34.7% total.  Our documented "unique"
+    # counting mode lands at 25%..50% and ~40% — same shape and magnitude;
+    # the assertions bound the reproduction to that window.
+    assert 15.0 <= result.data["min"] <= 30.0
+    assert 40.0 <= result.data["max"] <= 55.0
+    assert abs(result.data["total"] - PAPER_FIG3_REDUCTION["total_percent"]) < 10.0

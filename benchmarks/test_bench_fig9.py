@@ -1,0 +1,28 @@
+"""Fig. 8/9: layout area, area breakdown, power breakdown."""
+
+import pytest
+
+from repro.eval import run_experiment
+from repro.power import AreaModel
+
+
+def test_bench_fig8_area_model(benchmark):
+    result = benchmark(run_experiment, "fig8")
+    print()
+    print(result.text)
+    # total die area: paper quotes 0.58 mm2 (825.032 x 699.52 um)
+    assert result.data["total"] == pytest.approx(0.577, abs=0.003)
+
+
+def test_bench_fig9_breakdowns(benchmark):
+    result = benchmark(run_experiment, "fig9")
+    print()
+    print(result.text)
+    assert result.data["area"]["pwc_engine"] == pytest.approx(0.4790)
+    assert result.data["power"]["pwc_engine"] == pytest.approx(0.6623)
+
+
+def test_bench_fig8_engine_area_ratio(benchmark):
+    model = benchmark(AreaModel.calibrated)
+    # paper: PWC/DWC area ratio ~1.7x, tracking the 512/288 MAC ratio
+    assert model.pwc_to_dwc_ratio() == pytest.approx(1.69, abs=0.02)

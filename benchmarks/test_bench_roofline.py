@@ -1,0 +1,58 @@
+"""Roofline / data-movement analysis (the paper's Section I motivation).
+
+Not a printed figure of the paper, but the quantitative backing of its
+introduction: DWC and PWC "both exhibit limitations in data reuse", so
+eliminating intermediate data transfer matters.  The bench regenerates
+per-layer arithmetic intensity and bandwidth demand with and without the
+direct DWC->PWC transfer.
+"""
+
+import pytest
+
+from repro.eval import render_table, roofline_analysis
+from repro.nn import mobilenet_v1_imagenet_specs, mobilenet_v2_dsc_specs
+
+
+def test_bench_roofline_cifar(benchmark):
+    profile = benchmark(roofline_analysis)
+    rows = [
+        [
+            l.index,
+            l.macs,
+            l.external_bytes,
+            round(l.arithmetic_intensity, 1),
+            round(l.intensity_baseline, 1),
+            round(l.required_bandwidth_gbs, 1),
+        ]
+        for l in profile
+    ]
+    print()
+    print(render_table(
+        "Roofline: arithmetic intensity and bandwidth demand per layer",
+        ["Layer", "MACs", "Ext bytes", "MACs/B (direct)",
+         "MACs/B (spill)", "BW need GB/s"],
+        rows,
+    ))
+    # direct transfer always improves intensity
+    for layer in profile:
+        assert layer.arithmetic_intensity > layer.intensity_baseline
+    # late layers are the bandwidth-hungry ones (weight-dominated)
+    demand = [l.required_bandwidth_gbs for l in profile]
+    assert max(demand[-2:]) > 2 * min(demand[:5])
+
+
+def test_bench_roofline_other_networks(benchmark):
+    def analyze():
+        return (
+            roofline_analysis(mobilenet_v1_imagenet_specs()),
+            roofline_analysis(mobilenet_v2_dsc_specs()),
+        )
+
+    imagenet, mnv2 = benchmark(analyze)
+    print(f"\nImageNet MobileNetV1: {len(imagenet)} layers, peak BW "
+          f"{max(l.required_bandwidth_gbs for l in imagenet):.1f} GB/s")
+    print(f"MobileNetV2 (DSC view): {len(mnv2)} layers, peak BW "
+          f"{max(l.required_bandwidth_gbs for l in mnv2):.1f} GB/s")
+    # large spatial maps on ImageNet -> much better reuse than CIFAR
+    cifar = roofline_analysis()
+    assert imagenet[0].arithmetic_intensity > cifar[0].arithmetic_intensity

@@ -1,0 +1,40 @@
+"""Width/resolution scaling sweep of the timing model.
+
+Shows how the paper's design point behaves across MobileNet's two scaling
+knobs — and that the published operating point (width 1.0, 32x32) is the
+hardest case for initiation amortization among CIFAR-scale settings.
+"""
+
+from repro.eval import render_table
+from repro.eval.sweep import width_resolution_sweep
+
+
+def test_bench_scaling_sweep(benchmark):
+    points = benchmark(width_resolution_sweep)
+    rows = [
+        [
+            p.width,
+            p.resolution,
+            p.total_macs,
+            p.total_cycles,
+            round(p.throughput_gops, 1),
+            round(100 * p.init_fraction, 2),
+        ]
+        for p in points
+    ]
+    print()
+    print(render_table(
+        "MobileNetV1 width x resolution sweep on the EDEA timing model",
+        ["Width", "Res", "MACs", "Cycles", "GOPS", "Init %"],
+        rows,
+    ))
+    by_key = {(p.width, p.resolution): p for p in points}
+    # the paper's point
+    assert by_key[(1.0, 32)].total_cycles == 92_784
+    # throughput rises toward the 224 ImageNet setting at every width
+    for width in (0.25, 0.5, 0.75, 1.0):
+        assert (by_key[(width, 224)].throughput_gops
+                >= by_key[(width, 32)].throughput_gops)
+    # all points within the physical envelope
+    for p in points:
+        assert 0 < p.throughput_gops <= 1600

@@ -1,0 +1,12 @@
+"""Table I: the explored tiling cases."""
+
+from repro.dse import TABLE1_CASES
+from repro.eval import run_experiment
+
+
+def test_bench_table1(benchmark):
+    result = benchmark(run_experiment, "table1")
+    print()
+    print(result.text)
+    assert result.data["cases"] == TABLE1_CASES
+    assert TABLE1_CASES[6] == (8, 16)  # the implemented design point

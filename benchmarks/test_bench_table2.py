@@ -1,0 +1,16 @@
+"""Table II: PE-array sizing and access equations for La, Tn=Tm=2."""
+
+from repro.eval import run_experiment
+
+
+def test_bench_table2(benchmark):
+    result = benchmark(run_experiment, "table2")
+    print()
+    print(result.text)
+    # the equations instantiate to the paper's engine sizes
+    assert result.data["pe_dwc"] == 288
+    assert result.data["pe_pwc"] == 512
+    # 13 per-layer rows with positive access counts
+    assert len(result.data["rows"]) == 13
+    for row in result.data["rows"]:
+        assert all(v > 0 for v in row[1:])

@@ -1,0 +1,53 @@
+"""Table III: comparison with state-of-the-art accelerators."""
+
+import pytest
+
+from repro.eval import build_comparison, edea_speedups, run_experiment
+
+
+def test_bench_table3(benchmark):
+    result = benchmark(run_experiment, "table3")
+    print()
+    print(result.text)
+    speedups = result.data["speedups"]
+    # raw energy-efficiency advantages quoted in the paper:
+    # 14.6x, 9.87x, 2.72x, 2.65x over [16], [17], [18], [4]
+    assert speedups["Chen et al. [16]"]["raw_ee"] == pytest.approx(14.6, abs=0.1)
+    assert speedups["Hsiao et al. [17]"]["raw_ee"] == pytest.approx(9.87, abs=0.05)
+    assert speedups["Jung et al. [18]"]["raw_ee"] == pytest.approx(2.72, abs=0.01)
+    assert speedups["Chen et al. [4] (DWC engine)"]["raw_ee"] == pytest.approx(
+        2.65, abs=0.01
+    )
+
+
+def test_bench_table3_normalized(benchmark):
+    result = benchmark(run_experiment, "table3")
+    speedups = result.data["speedups"]
+    # normalized (22nm/0.8V/8bit) advantages: 1.74x, 3.11x, 1.37x, 2.65x
+    assert speedups["Chen et al. [16]"]["normalized_ee"] == pytest.approx(
+        1.74, abs=0.01
+    )
+    assert speedups["Hsiao et al. [17]"]["normalized_ee"] == pytest.approx(
+        3.11, abs=0.01
+    )
+    assert speedups["Jung et al. [18]"]["normalized_ee"] == pytest.approx(
+        1.37, abs=0.02
+    )
+
+
+def test_bench_table3_edea_wins_everywhere(benchmark):
+    rows = benchmark(build_comparison)
+    this = rows[-1]
+    for row in rows[:-1]:
+        assert this.energy_efficiency_tops_w > row.energy_efficiency_tops_w
+        assert this.paper_normalized_ee > row.paper_normalized_ee
+        assert this.paper_normalized_ae > row.paper_normalized_ae
+    # headline: 13.43 TOPS/W, 973.55 GOPS, 1678.53 GOPS/mm2
+    assert this.energy_efficiency_tops_w == pytest.approx(13.43)
+    assert this.throughput_gops == pytest.approx(973.55)
+    assert this.area_efficiency_gops_mm2 == pytest.approx(1678.53, abs=0.01)
+
+
+def test_bench_table3_speedup_factors_helper(benchmark):
+    speedups = benchmark(lambda: edea_speedups(build_comparison()))
+    assert len(speedups) == 5

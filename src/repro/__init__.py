@@ -1,0 +1,95 @@
+"""EDEA reproduction: dual-engine depthwise-separable-convolution accelerator.
+
+A functional and cycle-level Python reproduction of *"EDEA: Efficient
+Dual-Engine Accelerator for Depthwise Separable Convolution with Direct
+Data Transfer"* (Chen et al., SOCC 2024), including every substrate the
+evaluation depends on:
+
+* :mod:`repro.nn` — NumPy MobileNetV1 + training,
+* :mod:`repro.quant` — int8/LSQ quantization and Non-Conv folding,
+* :mod:`repro.datasets` — synthetic CIFAR10 stand-in,
+* :mod:`repro.dse` — the Section II design-space exploration,
+* :mod:`repro.arch` / :mod:`repro.sim` — the dual-engine accelerator and
+  its cycle-accurate pipeline model,
+* :mod:`repro.power` — calibrated power/area/technology-scaling models,
+* :mod:`repro.eval` — one reproducible experiment per paper figure/table.
+
+Quickstart::
+
+    from repro import prepare_workload, run_experiment
+
+    workload = prepare_workload(width_multiplier=0.25)   # fast demo size
+    print(run_experiment("fig13").text)                  # paper Fig. 13
+"""
+
+from .arch import ArchConfig, DSCAccelerator, EDEA_CONFIG, LayerRunStats
+from .dse import LoopOrder, TilingConfig, best_point, explore
+from .errors import (
+    BufferError_,
+    ConfigError,
+    EvaluationError,
+    FixedPointError,
+    QuantizationError,
+    ReproError,
+    ShapeError,
+    SimulationError,
+)
+from .eval import (
+    ExperimentWorkload,
+    list_experiments,
+    prepare_workload,
+    run_experiment,
+)
+from .nn import (
+    MOBILENET_V1_CIFAR10_SPECS,
+    DSCLayerSpec,
+    build_mobilenet_v1,
+    mobilenet_v1_specs,
+)
+from .power import AreaModel, PowerModel, ScalingModel
+from .quant import QuantizedMobileNet, quantize_mobilenet
+from .sim import AcceleratorRunner, layer_latency
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "ShapeError",
+    "QuantizationError",
+    "FixedPointError",
+    "SimulationError",
+    "BufferError_",
+    "EvaluationError",
+    # model/geometry
+    "DSCLayerSpec",
+    "MOBILENET_V1_CIFAR10_SPECS",
+    "mobilenet_v1_specs",
+    "build_mobilenet_v1",
+    # quantization
+    "QuantizedMobileNet",
+    "quantize_mobilenet",
+    # DSE
+    "LoopOrder",
+    "TilingConfig",
+    "explore",
+    "best_point",
+    # architecture & simulation
+    "ArchConfig",
+    "EDEA_CONFIG",
+    "DSCAccelerator",
+    "LayerRunStats",
+    "AcceleratorRunner",
+    "layer_latency",
+    # power
+    "PowerModel",
+    "AreaModel",
+    "ScalingModel",
+    # evaluation
+    "prepare_workload",
+    "ExperimentWorkload",
+    "run_experiment",
+    "list_experiments",
+]

@@ -1,0 +1,40 @@
+"""Hardware architecture model: engines, buffers, Non-Conv units,
+external memory, and the top-level dual-engine accelerator (paper
+Section III)."""
+
+from .accelerator import DSCAccelerator, LayerRunStats
+from .buffers import Buffer, BufferSet
+from .dwc_engine import DWCEngine, DWCTileResult
+from .memory import ExternalMemory
+from .nonconv import NonConvUnitBank
+from .params import EDEA_CONFIG, ArchConfig
+from .pe import MACUnit, adder_tree_sum, mac_multiply
+from .pwc_engine import PWCEngine, PWCTileResult
+from .unified import (
+    BaselineLatency,
+    SerialDualEngineModel,
+    UnifiedEngineModel,
+    dual_vs_baselines,
+)
+
+__all__ = [
+    "ArchConfig",
+    "EDEA_CONFIG",
+    "Buffer",
+    "BufferSet",
+    "ExternalMemory",
+    "MACUnit",
+    "mac_multiply",
+    "adder_tree_sum",
+    "DWCEngine",
+    "DWCTileResult",
+    "PWCEngine",
+    "PWCTileResult",
+    "NonConvUnitBank",
+    "DSCAccelerator",
+    "LayerRunStats",
+    "UnifiedEngineModel",
+    "SerialDualEngineModel",
+    "BaselineLatency",
+    "dual_vs_baselines",
+]

@@ -1,0 +1,404 @@
+"""Top-level dual-engine DSC accelerator (paper Fig. 4).
+
+The accelerator executes one quantized DSC layer at a time with the La
+dataflow the DSE selected.  The loop hierarchy, outermost first:
+
+1. **channel group** (``ceil(D/Td)`` iterations, Eq. 2),
+2. **ifmap tile** — the DWC ifmap buffer holds input for at most an
+   ``8 x 8`` output patch per channel group, so larger maps are split
+   (Eq. 2's "number of tiled ifmaps"),
+3. **tile position** — the ``Tn x Tm`` output element the DWC engine
+   produces each cycle (Loop3),
+4. **kernel group** — ``ceil(K/Tk)`` PWC cycles consuming the buffered
+   DWC output through the intermediate buffer (Loop5 innermost at the
+   cycle level; PWC weights for the whole ``K`` of the current channel
+   group are resident in the PWC weight buffer).
+
+Cycle accounting per (channel group, tile): ``init_cycles`` of pipeline
+fill plus ``positions x ceil(K/Tk)`` streaming cycles, which reproduces the
+paper's Eqs. 1-2 exactly (validated against :mod:`repro.sim.pipeline`).
+
+The functional result is bit-exact against the int8 reference model
+(:class:`repro.quant.QuantizedMobileNet`), which the integration tests
+assert for every MobileNetV1 layer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ShapeError, SimulationError
+from ..quant.qmodel import QuantizedDSCLayer
+from .buffers import BufferSet
+from .dwc_engine import DWCEngine
+from .memory import ExternalMemory
+from .nonconv import NonConvUnitBank
+from .params import EDEA_CONFIG, ArchConfig
+from .pwc_engine import PWCEngine
+
+__all__ = ["LayerRunStats", "DSCAccelerator"]
+
+
+@dataclass
+class LayerRunStats:
+    """Measurements from running one DSC layer on the accelerator.
+
+    Attributes:
+        layer_index: The layer's index in the network (0..12).
+        cycles: Total clock cycles (Eq. 2's latency in cycles).
+        init_cycle_total: Cycles spent in pipeline initiation.
+        dwc_busy_cycles: Cycles with the DWC engine computing.
+        pwc_busy_cycles: Cycles with the PWC engine computing.
+        dwc_macs: Useful MACs executed by the DWC engine.
+        pwc_macs: Useful MACs executed by the PWC engine.
+        dwc_input_zeros / dwc_input_elements: Zero statistics of the int8
+            values streamed into the DWC engine (halo re-reads included).
+        pwc_input_zeros / pwc_input_elements: Same for the PWC engine.
+        spatial_tiles: Ifmap tiles the layer was split into.
+        channel_groups: ``ceil(D/Td)``.
+        kernel_groups: ``ceil(K/Tk)``.
+        buffer_accesses: Per-buffer on-chip access totals.
+        external: Counter snapshot of external memory traffic.
+    """
+
+    layer_index: int
+    cycles: int = 0
+    init_cycle_total: int = 0
+    dwc_busy_cycles: int = 0
+    pwc_busy_cycles: int = 0
+    dwc_macs: int = 0
+    pwc_macs: int = 0
+    dwc_input_zeros: int = 0
+    dwc_input_elements: int = 0
+    pwc_input_zeros: int = 0
+    pwc_input_elements: int = 0
+    spatial_tiles: int = 0
+    channel_groups: int = 0
+    kernel_groups: int = 0
+    buffer_accesses: dict = field(default_factory=dict)
+    external: dict = field(default_factory=dict)
+
+    @property
+    def total_macs(self) -> int:
+        """DWC + PWC MACs (the layer's useful work)."""
+        return self.dwc_macs + self.pwc_macs
+
+    @property
+    def total_ops(self) -> int:
+        """Operations at 2 per MAC (the paper's GOPS convention)."""
+        return 2 * self.total_macs
+
+    @property
+    def dwc_utilization(self) -> float:
+        """Temporal occupancy of the DWC engine."""
+        return self.dwc_busy_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def pwc_utilization(self) -> float:
+        """Temporal occupancy of the PWC engine."""
+        return self.pwc_busy_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def dwc_zero_fraction(self) -> float:
+        """Zero fraction of DWC engine input activations (Fig. 11)."""
+        if not self.dwc_input_elements:
+            return 0.0
+        return self.dwc_input_zeros / self.dwc_input_elements
+
+    @property
+    def pwc_zero_fraction(self) -> float:
+        """Zero fraction of PWC engine input activations (Fig. 11)."""
+        if not self.pwc_input_elements:
+            return 0.0
+        return self.pwc_input_zeros / self.pwc_input_elements
+
+    def latency_seconds(self, clock_hz: float) -> float:
+        """Wall-clock latency at a given clock."""
+        return self.cycles / clock_hz
+
+    def throughput_ops_per_second(self, clock_hz: float) -> float:
+        """Achieved throughput (total ops / latency), Fig. 13's metric."""
+        if self.cycles == 0:
+            return 0.0
+        return self.total_ops * clock_hz / self.cycles
+
+
+class DSCAccelerator:
+    """Functional + cycle-level model of the EDEA accelerator."""
+
+    def __init__(
+        self,
+        config: ArchConfig = EDEA_CONFIG,
+        direct_transfer: bool = True,
+    ) -> None:
+        """Create an accelerator instance.
+
+        Args:
+            config: Architecture parameters.
+            direct_transfer: When True (the paper's design), DWC output
+                flows to the PWC through the on-chip intermediate buffer;
+                when False, the intermediate tensor is spilled to and
+                re-fetched from external memory (the Fig. 3 baseline).
+        """
+        self.config = config
+        self.direct_transfer = direct_transfer
+        self.dwc_engine = DWCEngine(config)
+        self.pwc_engine = PWCEngine(config)
+        self.nonconv = NonConvUnitBank(config)
+        self.memory = ExternalMemory()
+        self._pwc_weight_capacity_entries = 0  # sized per layer below
+
+    def _make_buffers(self, out_channels: int) -> BufferSet:
+        cfg = self.config
+        # The PWC weight buffer holds the whole K x Td slice of the current
+        # channel group so kernel groups iterate without external refetch.
+        return BufferSet(
+            dwc_ifmap_entries=cfg.dwc_ifmap_buffer_entries,
+            dwc_weight_entries=cfg.dwc_weight_buffer_entries,
+            offline_entries=cfg.offline_buffer_entries,
+            intermediate_entries=cfg.intermediate_buffer_entries,
+            pwc_weight_entries=max(out_channels * cfg.td, cfg.td * cfg.tk),
+        )
+
+    def run_layer(
+        self, layer: QuantizedDSCLayer, x_q: np.ndarray
+    ) -> tuple[np.ndarray, LayerRunStats]:
+        """Execute one DSC layer.
+
+        Args:
+            layer: Quantized layer (weights + folded Non-Conv constants).
+            x_q: int8 input feature map, shape ``(D, H, W)``.
+
+        Returns:
+            ``(out_q, stats)`` where ``out_q`` is the int8 ``(K, N, N)``
+            output and ``stats`` the cycle/traffic measurements.
+        """
+        cfg = self.config
+        spec = layer.spec
+        d, k_total = spec.in_channels, spec.out_channels
+        if x_q.dtype != np.int8:
+            raise ShapeError(f"input must be int8, got {x_q.dtype}")
+        if x_q.shape != (d, spec.in_size, spec.in_size):
+            raise ShapeError(
+                f"input shape {x_q.shape} != "
+                f"{(d, spec.in_size, spec.in_size)}"
+            )
+        if d % cfg.td:
+            raise SimulationError(
+                f"channel count {d} not a multiple of Td={cfg.td}"
+            )
+        if k_total % cfg.tk:
+            raise SimulationError(
+                f"kernel count {k_total} not a multiple of Tk={cfg.tk}"
+            )
+
+        stride = spec.stride
+        out_size = spec.out_size
+        n_channel_groups = d // cfg.td
+        n_kernel_groups = k_total // cfg.tk
+        buffers = self._make_buffers(k_total)
+        stats = LayerRunStats(
+            layer_index=spec.index,
+            channel_groups=n_channel_groups,
+            kernel_groups=n_kernel_groups,
+        )
+
+        self.memory.store("ifmap", x_q)
+        # Snapshot the external counters so stats.external reports this
+        # layer's traffic even when one accelerator runs a whole network.
+        ext_before = (
+            self.memory.activation_reads,
+            self.memory.activation_writes,
+            self.memory.weight_reads,
+            self.memory.offline_reads,
+        )
+        padded = np.pad(
+            x_q, ((0, 0), (1, 1), (1, 1)), mode="constant"
+        )
+
+        # Output psums accumulate across channel groups (int64, saturation
+        # is impossible for int8 operands at MobileNet sizes — see tests).
+        psum = np.zeros((k_total, out_size, out_size), dtype=np.int64)
+
+        # Spatial tiling: the ifmap buffer covers up to max_output_tile
+        # square outputs per load.
+        tile_edge = cfg.max_output_tile
+        tile_starts = list(range(0, out_size, tile_edge))
+        stats.spatial_tiles = len(tile_starts) ** 2
+
+        mid_spill: np.ndarray | None = None
+        if not self.direct_transfer:
+            mid_spill = np.zeros((d, out_size, out_size), dtype=np.int8)
+
+        for group in range(n_channel_groups):
+            ch0 = group * cfg.td
+            dwc_w = layer.dwc_weight[ch0 : ch0 + cfg.td]
+            pwc_w_slice = layer.pwc_weight[:, ch0 : ch0 + cfg.td]
+
+            # Per-group loads: DWC weights, Non-Conv constants, and the
+            # full K x Td PWC weight slice (resident across tiles).
+            buffers.dwc_weight.fill(dwc_w.size)
+            self.memory.read_weights(dwc_w.size)
+            buffers.offline.fill(2 * cfg.td)
+            self.memory.read_offline(2 * cfg.td)
+            buffers.pwc_weight.fill(pwc_w_slice.size)
+            self.memory.read_weights(pwc_w_slice.size)
+
+            for ty in tile_starts:
+                for tx in tile_starts:
+                    tile_h = min(tile_edge, out_size - ty)
+                    tile_w = min(tile_edge, out_size - tx)
+                    self._run_tile(
+                        layer,
+                        padded,
+                        psum,
+                        mid_spill,
+                        buffers,
+                        stats,
+                        group,
+                        (ty, tx),
+                        (tile_h, tile_w),
+                        stride,
+                    )
+
+        # Reduction over D complete: requantize PWC output and write back.
+        out_q = np.empty((k_total, out_size, out_size), dtype=np.int8)
+        for kg in range(n_kernel_groups):
+            k0 = kg * cfg.tk
+            out_q[k0 : k0 + cfg.tk] = self.nonconv.process(
+                psum[k0 : k0 + cfg.tk], layer.pwc_nonconv, k0
+            )
+        self.memory.write_activations(out_q.size)
+        self.memory.store("ofmap", out_q)
+
+        stats.buffer_accesses = buffers.access_summary()
+        stats.external = {
+            "activation_reads": self.memory.activation_reads - ext_before[0],
+            "activation_writes": self.memory.activation_writes - ext_before[1],
+            "weight_reads": self.memory.weight_reads - ext_before[2],
+            "offline_reads": self.memory.offline_reads - ext_before[3],
+        }
+        return out_q, stats
+
+    def _run_tile(
+        self,
+        layer: QuantizedDSCLayer,
+        padded: np.ndarray,
+        psum: np.ndarray,
+        mid_spill: np.ndarray | None,
+        buffers: BufferSet,
+        stats: LayerRunStats,
+        group: int,
+        tile_origin: tuple[int, int],
+        tile_shape: tuple[int, int],
+        stride: int,
+    ) -> None:
+        """Process one (channel group, ifmap tile) pair."""
+        cfg = self.config
+        ty, tx = tile_origin
+        tile_h, tile_w = tile_shape
+        ch0 = group * cfg.td
+        k = cfg.kernel_size
+
+        # Load the tile's input (with halo) into the ifmap buffer.
+        ext_h = (tile_h - 1) * stride + k
+        ext_w = (tile_w - 1) * stride + k
+        tile_in = padded[
+            ch0 : ch0 + cfg.td,
+            ty * stride : ty * stride + ext_h,
+            tx * stride : tx * stride + ext_w,
+        ]
+        buffers.dwc_ifmap.fill(tile_in.size)
+        self.memory.read_activations(tile_in.size)
+
+        stats.cycles += cfg.init_cycles
+        stats.init_cycle_total += cfg.init_cycles
+
+        n_kernel_groups = stats.kernel_groups
+        pos_rows = math.ceil(tile_h / cfg.tn)
+        pos_cols = math.ceil(tile_w / cfg.tm)
+        dwc_w = layer.dwc_weight[ch0 : ch0 + cfg.td]
+
+        for py in range(pos_rows):
+            for px in range(pos_cols):
+                in_y = py * cfg.tn * stride
+                in_x = px * cfg.tm * stride
+                span_y = (cfg.tn - 1) * stride + k
+                span_x = (cfg.tm - 1) * stride + k
+                window = tile_in[
+                    :, in_y : in_y + span_y, in_x : in_x + span_x
+                ]
+                resident_elements = window.size
+                if window.shape != (cfg.td, span_y, span_x):
+                    # Edge positions of odd-sized maps: pad with zeros to
+                    # the engine's fixed geometry (outputs beyond the map
+                    # are discarded below).  Only the real elements are
+                    # buffer reads; the zero fill is wired, not fetched.
+                    full = np.zeros(
+                        (cfg.td, span_y, span_x), dtype=window.dtype
+                    )
+                    full[
+                        :, : window.shape[1], : window.shape[2]
+                    ] = window
+                    window = full
+
+                buffers.dwc_ifmap.read(resident_elements)
+                buffers.dwc_weight.read(dwc_w.size)
+                result = self.dwc_engine.compute_tile(window, dwc_w, stride)
+                stats.dwc_busy_cycles += 1
+                stats.dwc_macs += result.macs
+                stats.dwc_input_elements += window.size
+                stats.dwc_input_zeros += int(
+                    round(window.size * (1 - result.nonzero_input_fraction))
+                )
+
+                # Non-Conv: DWC accumulators -> int8 PWC input tile.
+                buffers.offline.read(2 * cfg.td)
+                mid_tile = self.nonconv.process(
+                    result.acc, layer.dwc_nonconv, ch0
+                )
+
+                oy = ty + py * cfg.tn
+                ox = tx + px * cfg.tm
+                rows = min(cfg.tn, layer.spec.out_size - oy)
+                cols = min(cfg.tm, layer.spec.out_size - ox)
+
+                if self.direct_transfer:
+                    buffers.intermediate.fill(mid_tile.size)
+                else:
+                    # Baseline: intermediate spilled to external memory
+                    # and fetched back for the PWC.
+                    assert mid_spill is not None
+                    self.memory.write_activations(rows * cols * cfg.td)
+                    mid_spill[
+                        ch0 : ch0 + cfg.td, oy : oy + rows, ox : ox + cols
+                    ] = mid_tile[:, :rows, :cols]
+                    self.memory.read_activations(rows * cols * cfg.td)
+
+                for kg in range(n_kernel_groups):
+                    k0 = kg * cfg.tk
+                    pwc_w = layer.pwc_weight[
+                        k0 : k0 + cfg.tk, ch0 : ch0 + cfg.td
+                    ]
+                    if self.direct_transfer:
+                        buffers.intermediate.read(mid_tile.size)
+                    buffers.pwc_weight.read(pwc_w.size)
+                    pwc_res = self.pwc_engine.compute_group(mid_tile, pwc_w)
+                    stats.pwc_busy_cycles += 1
+                    stats.pwc_macs += pwc_res.macs
+                    stats.pwc_input_elements += mid_tile.size
+                    stats.pwc_input_zeros += int(
+                        round(
+                            mid_tile.size
+                            * (1 - pwc_res.nonzero_input_fraction)
+                        )
+                    )
+                    psum[
+                        k0 : k0 + cfg.tk, oy : oy + rows, ox : ox + cols
+                    ] += pwc_res.psum[:, :rows, :cols]
+                    stats.cycles += 1
+                if self.direct_transfer:
+                    buffers.intermediate.drain()

@@ -1,0 +1,71 @@
+"""Processing-element primitives: int8 multiplier and adder tree.
+
+These scalar models define the datapath semantics a single PE implements;
+the engine models in :mod:`repro.arch.dwc_engine` / :mod:`repro.arch.pwc_engine`
+compute the same arithmetic vectorized for speed, and the test suite checks
+the two against each other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..fixedpoint import clip_to_width
+
+__all__ = ["mac_multiply", "adder_tree_sum", "MACUnit"]
+
+PRODUCT_BITS = 16
+"""int8 x int8 products fit in 16 bits (paper Fig. 6: "Int 16 Conv")."""
+
+ACCUMULATOR_BITS = 32
+"""Accumulator width; covers the deepest MobileNetV1 reduction (D=1024)."""
+
+
+def mac_multiply(a: int, w: int) -> int:
+    """One int8 x int8 multiplication, 16-bit product."""
+    if not -128 <= a <= 127 or not -128 <= w <= 127:
+        raise ShapeError(f"operands out of int8 range: {a}, {w}")
+    product = int(a) * int(w)
+    return int(clip_to_width(np.asarray(product), PRODUCT_BITS))
+
+
+def adder_tree_sum(products) -> int:
+    """Reduce products pairwise as a balanced adder tree would.
+
+    The tree widens by one bit per level, so for the sizes used here
+    (9 inputs for DWC, 8 for PWC) no intermediate saturation occurs; the
+    final value is clipped to the accumulator width.
+    """
+    values = [int(p) for p in products]
+    if not values:
+        raise ShapeError("adder tree needs at least one input")
+    while len(values) > 1:
+        paired = []
+        for i in range(0, len(values) - 1, 2):
+            paired.append(values[i] + values[i + 1])
+        if len(values) % 2:
+            paired.append(values[-1])
+        values = paired
+    return int(clip_to_width(np.asarray(values[0]), ACCUMULATOR_BITS))
+
+
+class MACUnit:
+    """A multiply-accumulate unit with a 32-bit accumulator."""
+
+    def __init__(self) -> None:
+        self.accumulator = 0
+
+    def clear(self) -> None:
+        """Zero the accumulator."""
+        self.accumulator = 0
+
+    def mac(self, a: int, w: int) -> int:
+        """Accumulate ``a * w``; returns the new accumulator value."""
+        product = mac_multiply(a, w)
+        self.accumulator = int(
+            clip_to_width(
+                np.asarray(self.accumulator + product), ACCUMULATOR_BITS
+            )
+        )
+        return self.accumulator

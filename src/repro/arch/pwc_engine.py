@@ -1,0 +1,84 @@
+"""The pointwise-convolution engine (paper Fig. 5b).
+
+The PWC engine holds ``Tk x Tn x Tm = 64`` PEs of four multipliers each —
+512 MACs per cycle.  One invocation consumes a ``Tn x Tm x Td`` input tile
+(the DWC output delivered through the intermediate buffer) and a
+``Tk x Td`` weight tile, producing partial sums for ``Tk`` output channels
+over the ``Tn x Tm`` positions; partial sums accumulate across channel
+groups in the psum registers until the reduction over ``D`` completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+from .params import ArchConfig
+
+__all__ = ["PWCTileResult", "PWCEngine"]
+
+
+@dataclass(frozen=True)
+class PWCTileResult:
+    """Output of one PWC engine invocation.
+
+    Attributes:
+        psum: int32 partial sums for this channel group, ``(tk, tn, tm)``.
+        macs: MAC operations performed.
+        nonzero_input_fraction: Fraction of non-zero int8 inputs consumed.
+    """
+
+    psum: np.ndarray
+    macs: int
+    nonzero_input_fraction: float
+
+
+class PWCEngine:
+    """Functional model of the pointwise engine."""
+
+    def __init__(self, config: ArchConfig) -> None:
+        self.config = config
+        self.invocations = 0
+        self.total_macs = 0
+
+    @property
+    def macs_per_cycle(self) -> int:
+        """Parallel MAC count (512 for the paper's configuration)."""
+        return self.config.pwc_macs_per_cycle
+
+    def compute_group(
+        self, ifmap_tile: np.ndarray, weights: np.ndarray
+    ) -> PWCTileResult:
+        """Multiply one intermediate tile with one kernel-group tile.
+
+        Args:
+            ifmap_tile: int8 PWC inputs, shape ``(td, tn, tm)``.
+            weights: int8 kernel slice, shape ``(tk, td)``.
+
+        Returns:
+            :class:`PWCTileResult` with ``(tk, tn, tm)`` partial sums.
+        """
+        cfg = self.config
+        if ifmap_tile.shape != (cfg.td, cfg.tn, cfg.tm):
+            raise ShapeError(
+                f"PWC engine expects ifmap tile {(cfg.td, cfg.tn, cfg.tm)}, "
+                f"got {ifmap_tile.shape}"
+            )
+        if weights.shape != (cfg.tk, cfg.td):
+            raise ShapeError(
+                f"PWC engine expects weights {(cfg.tk, cfg.td)}, "
+                f"got {weights.shape}"
+            )
+        x = ifmap_tile.astype(np.int64)
+        w = weights.astype(np.int64)
+        psum = np.einsum("kd,dnm->knm", w, x, optimize=True)
+        macs = cfg.pwc_macs_per_cycle
+        self.invocations += 1
+        self.total_macs += macs
+        return PWCTileResult(
+            psum=psum,
+            macs=macs,
+            nonzero_input_fraction=float(np.mean(ifmap_tile != 0)),
+        )

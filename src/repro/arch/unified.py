@@ -1,0 +1,177 @@
+"""Unified single-engine baseline (the design EDEA argues against).
+
+The paper's introduction describes two weaker alternatives to its dual
+engine: *unified* convolution engines that run DWC and PWC on the same PE
+array ([2][3][4] — "achieving full utilization of processing elements for
+both DWC and PWC remains a challenge") and *separate-but-serial* engines
+([6] — "does not allow for parallel execution of DWC and PWC").  This
+module implements both as executable timing baselines over the same
+functional substrate, so the dual-engine advantage can be *measured*
+instead of quoted:
+
+* ``UnifiedEngineModel`` — one PE array of ``pe_count`` MACs executes the
+  DWC phase, writes the intermediate map, then executes the PWC phase.
+  A fixed array cannot be fully engaged by both dataflows: depthwise
+  convolution exposes window-parallel reduction (no cross-channel dot
+  products) while pointwise exposes channel reduction, so lanes wired
+  for one contribute nothing to the other.  The defaults partition the
+  800 lanes exactly as EDEA's own design-space exploration sized them —
+  288 depthwise-capable and 512 pointwise-capable — making the baseline
+  an iso-resource, iso-geometry array whose only difference is that the
+  two partitions cannot run *concurrently* and the intermediate map must
+  round-trip a buffer between phases (each phase pays its own pipeline
+  fill).
+* ``SerialDualEngineModel`` — EDEA's own two engines but ping-ponged
+  (no overlap): per tile, DWC runs to completion before PWC starts.
+
+Functional results are identical to the dual-engine accelerator by
+construction (same arithmetic); only the timing differs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..nn.mobilenet import DSCLayerSpec
+from .params import EDEA_CONFIG, ArchConfig
+
+__all__ = [
+    "BaselineLatency",
+    "UnifiedEngineModel",
+    "SerialDualEngineModel",
+    "dual_vs_baselines",
+]
+
+
+@dataclass(frozen=True)
+class BaselineLatency:
+    """Latency decomposition of a baseline run of one layer.
+
+    Attributes:
+        dwc_cycles: Cycles spent in the depthwise phase.
+        pwc_cycles: Cycles spent in the pointwise phase.
+        overhead_cycles: Initiation / phase-switch cycles.
+    """
+
+    dwc_cycles: int
+    pwc_cycles: int
+    overhead_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        """Total layer latency in cycles."""
+        return self.dwc_cycles + self.pwc_cycles + self.overhead_cycles
+
+
+class UnifiedEngineModel:
+    """One shared PE array, DWC then PWC, intermediate spilled.
+
+    Args:
+        pe_count: MAC lanes of the unified array (default: EDEA's 800,
+            for an iso-resource comparison).
+        dwc_usable_fraction: Fraction of lanes a depthwise pass can
+            engage (default 288/800 — the depthwise-capable partition).
+        pwc_usable_fraction: Fraction of lanes a pointwise pass can
+            engage (default 512/800 — the pointwise-capable partition).
+        config: Tiling/initiation parameters shared with the dual design.
+    """
+
+    def __init__(
+        self,
+        pe_count: int = 800,
+        dwc_usable_fraction: float = 288.0 / 800.0,
+        pwc_usable_fraction: float = 512.0 / 800.0,
+        config: ArchConfig = EDEA_CONFIG,
+    ) -> None:
+        if pe_count < 1:
+            raise ConfigError(f"pe_count must be >= 1 (got {pe_count})")
+        for name, value in (
+            ("dwc_usable_fraction", dwc_usable_fraction),
+            ("pwc_usable_fraction", pwc_usable_fraction),
+        ):
+            if not 0.0 < value <= 1.0:
+                raise ConfigError(
+                    f"{name} must be in (0, 1] (got {value})"
+                )
+        self.pe_count = pe_count
+        self.dwc_usable_fraction = dwc_usable_fraction
+        self.pwc_usable_fraction = pwc_usable_fraction
+        self.config = config
+
+    def layer_latency(self, spec: DSCLayerSpec) -> BaselineLatency:
+        """Phase-serial latency of one layer on the unified array."""
+        cfg = self.config
+        dwc_rate = self.pe_count * self.dwc_usable_fraction
+        pwc_rate = self.pe_count * self.pwc_usable_fraction
+        dwc_cycles = math.ceil(spec.dwc_macs / dwc_rate)
+        pwc_cycles = math.ceil(spec.pwc_macs / pwc_rate)
+        # one initiation per (ifmap tile, channel group) per phase: the
+        # pipeline refills when the array switches dataflow, and the
+        # intermediate map round-trips the buffer between the phases
+        tiles = cfg.spatial_tiles(spec.out_size)
+        groups = math.ceil(spec.in_channels / cfg.td)
+        overhead = 2 * cfg.init_cycles * tiles * groups
+        return BaselineLatency(
+            dwc_cycles=dwc_cycles,
+            pwc_cycles=pwc_cycles,
+            overhead_cycles=overhead,
+        )
+
+    def average_utilization(self, spec: DSCLayerSpec) -> float:
+        """Useful MACs per cycle over the run, relative to ``pe_count``."""
+        latency = self.layer_latency(spec)
+        return spec.total_macs / (latency.total_cycles * self.pe_count)
+
+
+class SerialDualEngineModel:
+    """EDEA's engines without overlap: DWC completes before PWC starts.
+
+    Isolates the *parallel operation* contribution from the *dedicated
+    engine* contribution: same engines, same 100% spatial utilization
+    while active, but phase-serial like [6].
+    """
+
+    def __init__(self, config: ArchConfig = EDEA_CONFIG) -> None:
+        self.config = config
+
+    def layer_latency(self, spec: DSCLayerSpec) -> BaselineLatency:
+        """Serialized latency of one layer."""
+        cfg = self.config
+        positions = math.ceil(spec.out_size / cfg.tn) * math.ceil(
+            spec.out_size / cfg.tm
+        )
+        groups = math.ceil(spec.in_channels / cfg.td)
+        kernel_groups = math.ceil(spec.out_channels / cfg.tk)
+        dwc_cycles = positions * groups  # one position tile per cycle
+        pwc_cycles = positions * groups * kernel_groups
+        tiles = cfg.spatial_tiles(spec.out_size)
+        overhead = cfg.init_cycles * tiles * groups
+        return BaselineLatency(
+            dwc_cycles=dwc_cycles,
+            pwc_cycles=pwc_cycles,
+            overhead_cycles=overhead,
+        )
+
+
+def dual_vs_baselines(
+    specs: list[DSCLayerSpec],
+    config: ArchConfig = EDEA_CONFIG,
+) -> dict[str, int]:
+    """Whole-network cycle totals: dual engine vs the two baselines.
+
+    Returns a dict with keys ``dual``, ``serial_dual`` and ``unified``.
+    """
+    from ..sim.pipeline import layer_latency as dual_latency
+
+    if not specs:
+        raise ConfigError("no layer specs supplied")
+    unified = UnifiedEngineModel(config=config)
+    serial = SerialDualEngineModel(config=config)
+    totals = {"dual": 0, "serial_dual": 0, "unified": 0}
+    for spec in specs:
+        totals["dual"] += dual_latency(spec, config).total_cycles
+        totals["serial_dual"] += serial.layer_latency(spec).total_cycles
+        totals["unified"] += unified.layer_latency(spec).total_cycles
+    return totals

@@ -1,0 +1,133 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — show all reproducible figure/table ids.
+* ``run <id> [...]`` — regenerate one or more experiments and print them.
+* ``all`` — regenerate everything (the measured experiments prepare a
+  full-width workload once, ~15 s).
+* ``info`` — print the library's headline reproduction summary.
+
+Examples::
+
+    python -m repro list
+    python -m repro run fig13 table3
+    python -m repro run fig12 --width 0.25     # fast, reduced-width
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .errors import ReproError
+from .eval import list_experiments, prepare_workload, run_experiment
+from .eval.paper_data import PAPER_HEADLINE
+
+__all__ = ["main", "build_parser"]
+
+#: Experiments that need the trained/simulated workload.
+MEASURED_EXPERIMENTS = ("fig11", "fig12")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EDEA (SOCC 2024) reproduction - experiment runner",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list reproducible figure/table ids")
+    sub.add_parser("info", help="print the headline reproduction summary")
+
+    report_parser = sub.add_parser(
+        "report", help="check every reproduced claim against the paper"
+    )
+    report_parser.add_argument(
+        "--width", type=float, default=None,
+        help="also run the measured (power/efficiency) claims on a "
+             "workload of this width (e.g. 1.0; omitted = analytic only)",
+    )
+
+    run_parser = sub.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument(
+        "experiments", nargs="+", metavar="ID",
+        help="figure/table ids (see 'list')",
+    )
+    run_parser.add_argument(
+        "--width", type=float, default=1.0,
+        help="MobileNet width multiplier for measured experiments "
+             "(default 1.0; use 0.25 for a fast demo)",
+    )
+
+    all_parser = sub.add_parser("all", help="run every experiment")
+    all_parser.add_argument("--width", type=float, default=1.0)
+    return parser
+
+
+def _workload_if_needed(experiment_ids, width: float):
+    if any(eid in MEASURED_EXPERIMENTS for eid in experiment_ids):
+        return prepare_workload(width_multiplier=width)
+    return None
+
+
+def _run(experiment_ids, width: float, out) -> None:
+    workload = _workload_if_needed(experiment_ids, width)
+    for eid in experiment_ids:
+        result = run_experiment(
+            eid, workload if eid in MEASURED_EXPERIMENTS else None
+        )
+        print(result.text, file=out)
+        print(file=out)
+
+
+def _info(out) -> None:
+    print("EDEA reproduction - headline numbers (paper values)", file=out)
+    for key, value in sorted(PAPER_HEADLINE.items()):
+        print(f"  {key:32s} {value}", file=out)
+    print(
+        "\nSee EXPERIMENTS.md for the full paper-vs-measured comparison.",
+        file=out,
+    )
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help(file=out)
+        return 2
+    try:
+        if args.command == "list":
+            for eid in list_experiments():
+                print(eid, file=out)
+        elif args.command == "info":
+            _info(out)
+        elif args.command == "run":
+            _run(args.experiments, args.width, out)
+        elif args.command == "all":
+            _run(list_experiments(), args.width, out)
+        elif args.command == "report":
+            from .eval import render_report, reproduction_report
+
+            workload = (
+                prepare_workload(width_multiplier=args.width)
+                if args.width is not None
+                else None
+            )
+            checks = reproduction_report(workload)
+            print(render_report(checks), file=out)
+            if not all(c.passed for c in checks):
+                return 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0

@@ -1,0 +1,5 @@
+"""Dataset substrate: deterministic synthetic stand-in for CIFAR10."""
+
+from .synthetic import SyntheticImageDataset, make_cifar10_like
+
+__all__ = ["SyntheticImageDataset", "make_cifar10_like"]

@@ -1,0 +1,47 @@
+"""Design-space exploration (paper Section II): loop orders, tiling,
+access-count models, the Fig. 2 sweep and the Fig. 3 intermediate-traffic
+analysis."""
+
+from .access_model import (
+    DEFAULT_ACCESS_CONFIG,
+    AccessCounts,
+    AccessModelConfig,
+    dwc_access,
+    layer_access,
+    pwc_access,
+    table2_dwc_activation_access,
+    table2_dwc_weight_access,
+    table2_pwc_activation_access,
+    table2_pwc_weight_access,
+)
+from .explorer import DSEPoint, DSEResult, best_point, explore
+from .intermediate import IntermediateAccessReport, intermediate_access_report
+from .loops import LoopLevel, LoopOrder
+from .pe_model import PEArraySize, pe_array_size
+from .tiling import TABLE1_CASES, TilingConfig, table1_case
+
+__all__ = [
+    "LoopOrder",
+    "LoopLevel",
+    "TilingConfig",
+    "TABLE1_CASES",
+    "table1_case",
+    "PEArraySize",
+    "pe_array_size",
+    "AccessCounts",
+    "AccessModelConfig",
+    "DEFAULT_ACCESS_CONFIG",
+    "dwc_access",
+    "pwc_access",
+    "layer_access",
+    "table2_dwc_activation_access",
+    "table2_dwc_weight_access",
+    "table2_pwc_activation_access",
+    "table2_pwc_weight_access",
+    "DSEPoint",
+    "DSEResult",
+    "explore",
+    "best_point",
+    "IntermediateAccessReport",
+    "intermediate_access_report",
+]

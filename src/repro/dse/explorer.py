@@ -1,0 +1,122 @@
+"""Design-space exploration sweep (paper Fig. 2).
+
+Sweeps the four groups (loop order La/Lb x output tile Tn=Tm=1 or 2) over
+the six Table I (Td, Tk) cases, evaluating for each point the PE array size
+(Fig. 2a) and the activation/weight access counts summed over all thirteen
+DSC layers of MobileNetV1 (Fig. 2b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nn.mobilenet import MOBILENET_V1_CIFAR10_SPECS, DSCLayerSpec
+from .access_model import (
+    DEFAULT_ACCESS_CONFIG,
+    AccessCounts,
+    AccessModelConfig,
+    layer_access,
+)
+from .loops import LoopOrder
+from .pe_model import pe_array_size
+from .tiling import TABLE1_CASES, TilingConfig, table1_case
+
+__all__ = ["DSEPoint", "DSEResult", "explore", "best_point"]
+
+
+@dataclass(frozen=True)
+class DSEPoint:
+    """One evaluated configuration of the design space."""
+
+    order: LoopOrder
+    case: int
+    tiling: TilingConfig
+    pe_dwc: int
+    pe_pwc: int
+    activation_access: int
+    weight_access: int
+
+    @property
+    def pe_total(self) -> int:
+        """Total PE array size (Fig. 2a's y value)."""
+        return self.pe_dwc + self.pe_pwc
+
+    @property
+    def total_access(self) -> int:
+        """Activation plus weight accesses (Fig. 2b's stacked bar)."""
+        return self.activation_access + self.weight_access
+
+    @property
+    def group(self) -> str:
+        """Legend label, e.g. ``"La, Tn=Tm=2"``."""
+        return f"{self.order.value}, Tn=Tm={self.tiling.tn}"
+
+
+@dataclass
+class DSEResult:
+    """All evaluated points of one sweep."""
+
+    points: list[DSEPoint]
+    specs: list[DSCLayerSpec]
+
+    def group_points(self, order: LoopOrder, tn: int) -> list[DSEPoint]:
+        """Points of one legend group, ordered by case number."""
+        selected = [
+            p
+            for p in self.points
+            if p.order is order and p.tiling.tn == tn
+        ]
+        return sorted(selected, key=lambda p: p.case)
+
+    def by_case(self, case: int) -> list[DSEPoint]:
+        """All four group points of one Table I case."""
+        return [p for p in self.points if p.case == case]
+
+
+def explore(
+    specs: list[DSCLayerSpec] | None = None,
+    tn_values: tuple[int, ...] = (1, 2),
+    config: AccessModelConfig = DEFAULT_ACCESS_CONFIG,
+) -> DSEResult:
+    """Run the full Fig. 2 sweep.
+
+    Args:
+        specs: Layer geometry (defaults to MobileNetV1-CIFAR10).
+        tn_values: Output tile sizes to explore (paper: 1 and 2).
+        config: Access-counting conventions.
+
+    Returns:
+        :class:`DSEResult` with ``len(tn_values) * 2 * 6`` points.
+    """
+    specs = specs if specs is not None else MOBILENET_V1_CIFAR10_SPECS
+    points = []
+    for order in LoopOrder:
+        for tn in tn_values:
+            for case in sorted(TABLE1_CASES):
+                tiling = table1_case(case, tn=tn)
+                pe = pe_array_size(tiling)
+                total = AccessCounts(0, 0, 0, 0)
+                for spec in specs:
+                    total = total + layer_access(spec, tiling, order, config)
+                points.append(
+                    DSEPoint(
+                        order=order,
+                        case=case,
+                        tiling=tiling,
+                        pe_dwc=pe.dwc,
+                        pe_pwc=pe.pwc,
+                        activation_access=total.activation,
+                        weight_access=total.weight_reads,
+                    )
+                )
+    return DSEResult(points=points, specs=list(specs))
+
+
+def best_point(result: DSEResult) -> DSEPoint:
+    """Configuration with the lowest total access count.
+
+    The paper's conclusion: loop order La with Tn=Tm=2 in Case 6
+    (Td=8, Tk=16) "achieves the lowest access count being our preferred
+    choice for hardware implementation".
+    """
+    return min(result.points, key=lambda p: p.total_access)

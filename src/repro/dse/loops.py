@@ -1,0 +1,68 @@
+"""Convolution loop nests and the paper's two loop orders.
+
+Section II of the paper considers five loop levels (innermost first):
+
+* **Loop1** — MACs inside one convolution window / output tile
+  (``Tr x Tc`` for DWC, ``Tn x Tm`` for PWC).
+* **Loop2** — across the channel tile ``Td``.
+* **Loop3** — scanning the feature map spatially (``R x C`` / ``N x M``).
+* **Loop4** — across the input-channel dimension ``D``.
+* **Loop5** — across the output-kernel dimension ``K`` (PWC only).
+
+Only the relative order of Loop3 and Loop4 is free (Loops 1/2 are bound to
+the PE array; Loop5 is outermost for PWC), giving two candidate orders:
+
+* ``La``: Loop1 → Loop2 → **Loop3 → Loop4** → Loop5 (spatial inside channel)
+* ``Lb``: Loop1 → Loop2 → **Loop4 → Loop3** → Loop5 (channel inside spatial)
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["LoopOrder", "LoopLevel"]
+
+
+class LoopLevel(enum.IntEnum):
+    """The five convolution loop levels, innermost = 1."""
+
+    WINDOW = 1
+    CHANNEL_TILE = 2
+    SPATIAL = 3
+    CHANNEL = 4
+    KERNEL = 5
+
+
+class LoopOrder(enum.Enum):
+    """The two candidate loop orders explored by the paper."""
+
+    LA = "La"
+    LB = "Lb"
+
+    @property
+    def spatial_inside_channel(self) -> bool:
+        """True for La: the spatial scan (Loop3) runs inside the channel
+        loop (Loop4), so data tied to a channel group is reused across the
+        whole feature map before moving to the next group."""
+        return self is LoopOrder.LA
+
+    def levels(self) -> tuple[LoopLevel, ...]:
+        """Loop levels from innermost to outermost."""
+        if self is LoopOrder.LA:
+            return (
+                LoopLevel.WINDOW,
+                LoopLevel.CHANNEL_TILE,
+                LoopLevel.SPATIAL,
+                LoopLevel.CHANNEL,
+                LoopLevel.KERNEL,
+            )
+        return (
+            LoopLevel.WINDOW,
+            LoopLevel.CHANNEL_TILE,
+            LoopLevel.CHANNEL,
+            LoopLevel.SPATIAL,
+            LoopLevel.KERNEL,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

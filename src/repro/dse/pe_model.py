@@ -1,0 +1,52 @@
+"""PE-array sizing (paper Table II, Fig. 2a).
+
+The number of multiply-accumulate units needed to keep both engines fully
+busy follows directly from the tile sizes:
+
+* DWC: ``Td * H * W * Tn * Tm`` — one 3x3 window per output element of the
+  tile, across ``Td`` channels.
+* PWC: ``Td * Tk * Tn * Tm`` — a dot-product lane per (kernel, output
+  element) pair across ``Td`` channels.
+
+For the paper's chosen configuration (Tn=Tm=2, Td=8, Tk=16) these evaluate
+to 288 and 512 MACs — the engine sizes of Fig. 5 — totalling the 800 "PE
+count" reported in Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nn.mobilenet import KERNEL_SIZE
+from .tiling import TilingConfig
+
+__all__ = ["PEArraySize", "pe_array_size"]
+
+
+@dataclass(frozen=True)
+class PEArraySize:
+    """MAC counts of the two engines for one tiling."""
+
+    dwc: int
+    pwc: int
+
+    @property
+    def total(self) -> int:
+        """Combined MAC count (the paper's "PE Array Size")."""
+        return self.dwc + self.pwc
+
+    @property
+    def pwc_to_dwc_ratio(self) -> float:
+        """PWC/DWC MAC ratio (paper: 512/288 ≈ 1.8)."""
+        return self.pwc / self.dwc
+
+
+def pe_array_size(
+    tiling: TilingConfig, kernel_size: int = KERNEL_SIZE
+) -> PEArraySize:
+    """Evaluate the Table II PE-array equations for a tiling."""
+    spatial = tiling.tn * tiling.tm
+    return PEArraySize(
+        dwc=tiling.td * kernel_size * kernel_size * spatial,
+        pwc=tiling.td * tiling.tk * spatial,
+    )

@@ -1,0 +1,90 @@
+"""Tile-size configurations (paper Table I) and tile geometry helpers.
+
+A tiling is described by four parameters: the output tile ``Tn x Tm``
+(spatial), the input-channel tile ``Td`` and the PWC kernel tile ``Tk``.
+The DWC input tile ``Tr x Tc`` follows from the output tile, the 3x3
+kernel and the stride:
+
+* stride 1: ``Tr = Tn + 2``  (e.g. 4x4 input → 2x2 output)
+* stride 2: ``Tr = 2*Tn + 1`` (e.g. 5x5 input → 2x2 output)
+
+which matches Fig. 5a's "ifmap of size 4x4x8 (5x5x8 when stride is 2)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..nn.mobilenet import KERNEL_SIZE
+
+__all__ = ["TilingConfig", "TABLE1_CASES", "table1_case"]
+
+
+@dataclass(frozen=True)
+class TilingConfig:
+    """Tile sizes for one DSC mapping.
+
+    Attributes:
+        tn: Output tile height (paper: 1 or 2).
+        tm: Output tile width.
+        td: Input-channel tile (paper Table I: 4 or 8).
+        tk: PWC kernel tile (paper Table I: 4, 8 or 16).
+    """
+
+    tn: int
+    tm: int
+    td: int
+    tk: int
+
+    def __post_init__(self) -> None:
+        for name in ("tn", "tm", "td", "tk"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ConfigError(f"{name} must be >= 1 (got {value})")
+
+    def input_tile(self, stride: int) -> int:
+        """DWC input tile extent Tr (= Tc) for a given stride."""
+        if stride == 1:
+            return self.tn + KERNEL_SIZE - 1
+        if stride == 2:
+            return 2 * self.tn + KERNEL_SIZE - 2
+        raise ConfigError(f"stride must be 1 or 2 (got {stride})")
+
+    @property
+    def outputs_per_tile(self) -> int:
+        """Output elements per spatial tile (``Tn * Tm``)."""
+        return self.tn * self.tm
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. ``Tn=Tm=2, Td=8, Tk=16``."""
+        spatial = (
+            f"Tn=Tm={self.tn}" if self.tn == self.tm
+            else f"Tn={self.tn}, Tm={self.tm}"
+        )
+        return f"{spatial}, Td={self.td}, Tk={self.tk}"
+
+
+#: Paper Table I: the six (Td, Tk) cases explored per loop-order group.
+TABLE1_CASES: dict[int, tuple[int, int]] = {
+    1: (4, 4),
+    2: (4, 8),
+    3: (4, 16),
+    4: (8, 4),
+    5: (8, 8),
+    6: (8, 16),
+}
+
+
+def table1_case(case: int, tn: int = 2, tm: int | None = None) -> TilingConfig:
+    """Build the tiling for a Table I case number (1..6).
+
+    Args:
+        case: Case index as printed in the paper.
+        tn: Output tile height (1 or 2 in the paper's exploration).
+        tm: Output tile width; defaults to ``tn``.
+    """
+    if case not in TABLE1_CASES:
+        raise ConfigError(f"Table I defines cases 1..6 (got {case})")
+    td, tk = TABLE1_CASES[case]
+    return TilingConfig(tn=tn, tm=tm if tm is not None else tn, td=td, tk=tk)

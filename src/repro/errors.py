@@ -1,0 +1,40 @@
+"""Exception hierarchy for the EDEA reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied (bad tile size, etc.)."""
+
+
+class ShapeError(ReproError):
+    """Tensor/feature-map shapes are inconsistent with the operation."""
+
+
+class QuantizationError(ReproError):
+    """Quantization parameters are missing, invalid, or out of range."""
+
+
+class FixedPointError(ReproError):
+    """A value cannot be represented in the requested fixed-point format."""
+
+
+class SimulationError(ReproError):
+    """The cycle-level simulator reached an inconsistent state."""
+
+
+class BufferError_(ReproError):
+    """An on-chip buffer was used beyond its configured capacity."""
+
+
+class EvaluationError(ReproError):
+    """An experiment harness was asked for an unknown figure/table."""

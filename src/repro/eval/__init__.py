@@ -1,0 +1,71 @@
+"""Evaluation harness: one reproducible experiment per paper figure/table,
+shared workload preparation, and plain-text reporting."""
+
+from .charts import bar_chart, grouped_bar_chart
+from .comparison import ComparisonRow, build_comparison, edea_speedups
+from .efficiency import (
+    EfficiencyReport,
+    LayerEfficiency,
+    build_efficiency_report,
+    paper_profile_stats,
+)
+from .figures import (
+    EXPERIMENTS,
+    ExperimentResult,
+    list_experiments,
+    run_experiment,
+)
+from .layer_stats import LayerPerformance, layer_performance_series
+from .paper_data import (
+    EDEA_TABLE3_ROW,
+    PAPER_FIG3_REDUCTION,
+    PAPER_FIG11_LAYER12_ZEROS,
+    PAPER_FIG12_EE_TOPS_W,
+    PAPER_FIG13_THROUGHPUT_GOPS,
+    PAPER_HEADLINE,
+    SOTA_WORKS,
+    SotaWork,
+)
+from .report import render_series, render_table
+from .roofline import LayerRoofline, roofline_analysis
+from .summary import ClaimCheck, render_report, reproduction_report
+from .sweep import SweepPoint, width_resolution_sweep
+from .workloads import ExperimentWorkload, clear_workload_cache, prepare_workload
+
+__all__ = [
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "run_experiment",
+    "list_experiments",
+    "ExperimentWorkload",
+    "prepare_workload",
+    "clear_workload_cache",
+    "LayerPerformance",
+    "layer_performance_series",
+    "EfficiencyReport",
+    "LayerEfficiency",
+    "build_efficiency_report",
+    "paper_profile_stats",
+    "ComparisonRow",
+    "build_comparison",
+    "edea_speedups",
+    "render_table",
+    "render_series",
+    "SotaWork",
+    "SOTA_WORKS",
+    "EDEA_TABLE3_ROW",
+    "PAPER_HEADLINE",
+    "PAPER_FIG12_EE_TOPS_W",
+    "PAPER_FIG13_THROUGHPUT_GOPS",
+    "PAPER_FIG11_LAYER12_ZEROS",
+    "PAPER_FIG3_REDUCTION",
+    "bar_chart",
+    "grouped_bar_chart",
+    "LayerRoofline",
+    "roofline_analysis",
+    "ClaimCheck",
+    "reproduction_report",
+    "render_report",
+    "SweepPoint",
+    "width_resolution_sweep",
+]

@@ -1,0 +1,98 @@
+"""ASCII chart rendering for figure-style output in terminals.
+
+The paper's evaluation is all bar/line charts; these helpers render the
+reproduced series as text so the examples and CLI can show the *shape*
+of each figure, not just its numbers.
+"""
+
+from __future__ import annotations
+
+from ..errors import EvaluationError
+
+__all__ = ["bar_chart", "grouped_bar_chart"]
+
+_FULL = "#"
+
+
+def _scaled(value: float, vmax: float, width: int) -> int:
+    if vmax <= 0:
+        return 0
+    return max(0, min(width, round(width * value / vmax)))
+
+
+def bar_chart(
+    title: str,
+    labels: list,
+    values: list[float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Render one series as horizontal bars.
+
+    Args:
+        title: Chart heading.
+        labels: One label per bar (stringified).
+        values: Non-negative bar values.
+        width: Maximum bar width in characters.
+        unit: Suffix appended to the printed value.
+    """
+    if len(labels) != len(values):
+        raise EvaluationError(
+            f"labels/values length mismatch: {len(labels)} vs {len(values)}"
+        )
+    if not values:
+        raise EvaluationError("chart needs at least one value")
+    if any(v < 0 for v in values):
+        raise EvaluationError("bar values must be non-negative")
+    if width < 1:
+        raise EvaluationError(f"width must be >= 1 (got {width})")
+    vmax = max(values)
+    label_width = max(len(str(l)) for l in labels)
+    lines = [title, "=" * len(title)]
+    for label, value in zip(labels, values):
+        bar = _FULL * _scaled(value, vmax, width)
+        lines.append(
+            f"{str(label).rjust(label_width)} | {bar.ljust(width)} "
+            f"{value:,.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    title: str,
+    labels: list,
+    series: dict[str, list[float]],
+    width: int = 40,
+) -> str:
+    """Render several series side by side (one row group per label).
+
+    Args:
+        title: Chart heading.
+        labels: One label per group.
+        series: Mapping series name → values (all same length as labels).
+    """
+    if not series:
+        raise EvaluationError("grouped chart needs at least one series")
+    for name, values in series.items():
+        if len(values) != len(labels):
+            raise EvaluationError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(labels)} labels"
+            )
+        if any(v < 0 for v in values):
+            raise EvaluationError("bar values must be non-negative")
+    vmax = max(max(values) for values in series.values())
+    label_width = max(len(str(l)) for l in labels)
+    name_width = max(len(name) for name in series)
+    lines = [title, "=" * len(title)]
+    for i, label in enumerate(labels):
+        for j, (name, values) in enumerate(series.items()):
+            prefix = str(label).rjust(label_width) if j == 0 else (
+                " " * label_width
+            )
+            bar = _FULL * _scaled(values[i], vmax, width)
+            lines.append(
+                f"{prefix} {name.ljust(name_width)} | "
+                f"{bar.ljust(width)} {values[i]:,.2f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""State-of-the-art comparison (paper Table III).
+
+Combines the published numbers of the four prior works, this work's
+measured/modelled numbers, and the technology normalization.  For the
+prior works two normalizations are reported: the paper's own published
+normalized values (scaled with the methodology of its reference [19]) and
+the values from our transparent power-law :class:`ScalingModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..power.tech_scaling import ScalingModel, precision_ops_factor
+from .paper_data import EDEA_TABLE3_ROW, SOTA_WORKS, SotaWork
+
+__all__ = ["ComparisonRow", "build_comparison", "edea_speedups"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One row of the reproduced Table III."""
+
+    name: str
+    tech_nm: float
+    precision_bits: int
+    voltage_v: float
+    pe_count: int
+    throughput_gops: float
+    energy_efficiency_tops_w: float
+    area_efficiency_gops_mm2: float
+    paper_normalized_ee: float
+    paper_normalized_ae: float
+    model_normalized_ee: float
+    model_normalized_ae: float
+
+
+def _normalize(work: SotaWork, model: ScalingModel) -> ComparisonRow:
+    factor = precision_ops_factor(work.precision_bits)
+    return ComparisonRow(
+        name=work.name,
+        tech_nm=work.tech_nm,
+        precision_bits=work.precision_bits,
+        voltage_v=work.voltage_v,
+        pe_count=work.pe_count,
+        throughput_gops=work.throughput_gops * factor,
+        energy_efficiency_tops_w=work.energy_efficiency_tops_w * factor,
+        area_efficiency_gops_mm2=work.area_efficiency_gops_mm2 * factor,
+        paper_normalized_ee=work.normalized_ee_tops_w,
+        paper_normalized_ae=work.normalized_ae_gops_mm2,
+        model_normalized_ee=model.normalize_energy_efficiency(
+            work.energy_efficiency_tops_w,
+            work.tech_nm,
+            work.voltage_v,
+            work.precision_bits,
+        ),
+        model_normalized_ae=model.normalize_area_efficiency(
+            work.area_efficiency_gops_mm2,
+            work.tech_nm,
+            work.precision_bits,
+        ),
+    )
+
+
+def build_comparison(
+    this_work_ee_tops_w: float | None = None,
+    this_work_throughput_gops: float | None = None,
+    this_work_area_mm2: float | None = None,
+    scaling: ScalingModel | None = None,
+) -> list[ComparisonRow]:
+    """Assemble the Table III rows (prior works + this work).
+
+    The "this work" entries default to the paper's published values; pass
+    measured values from the simulator/power model to compare against the
+    reproduction instead.
+    """
+    scaling = scaling if scaling is not None else ScalingModel()
+    rows = [_normalize(work, scaling) for work in SOTA_WORKS]
+    ee = (
+        this_work_ee_tops_w
+        if this_work_ee_tops_w is not None
+        else EDEA_TABLE3_ROW["energy_efficiency_tops_w"]
+    )
+    tp = (
+        this_work_throughput_gops
+        if this_work_throughput_gops is not None
+        else EDEA_TABLE3_ROW["throughput_gops"]
+    )
+    area = (
+        this_work_area_mm2
+        if this_work_area_mm2 is not None
+        else EDEA_TABLE3_ROW["area_mm2"]
+    )
+    ae = tp / area
+    rows.append(
+        ComparisonRow(
+            name="This work (EDEA)",
+            tech_nm=EDEA_TABLE3_ROW["tech_nm"],
+            precision_bits=EDEA_TABLE3_ROW["precision_bits"],
+            voltage_v=EDEA_TABLE3_ROW["voltage_v"],
+            pe_count=EDEA_TABLE3_ROW["pe_count"],
+            throughput_gops=tp,
+            energy_efficiency_tops_w=ee,
+            area_efficiency_gops_mm2=ae,
+            paper_normalized_ee=ee,
+            paper_normalized_ae=ae,
+            model_normalized_ee=ee,
+            model_normalized_ae=ae,
+        )
+    )
+    return rows
+
+
+def edea_speedups(rows: list[ComparisonRow]) -> dict[str, dict[str, float]]:
+    """EDEA's advantage factors over each prior work.
+
+    Returns per-work factors for raw and paper-normalized energy
+    efficiency and paper-normalized area efficiency — the numbers the
+    paper quotes as "14.6X, 9.87X, 2.72X, 2.65X" (raw EE) and
+    "1.74X, 3.11X, 1.37X, 2.65X" / "6.29X, 7.79X, 6.58X, 3.23X"
+    (normalized EE / AE).
+    """
+    this = rows[-1]
+    factors = {}
+    for row in rows[:-1]:
+        factors[row.name] = {
+            "raw_ee": this.energy_efficiency_tops_w
+            / row.energy_efficiency_tops_w,
+            "normalized_ee": this.paper_normalized_ee
+            / row.paper_normalized_ee,
+            "normalized_ae": this.paper_normalized_ae
+            / row.paper_normalized_ae,
+        }
+    return factors

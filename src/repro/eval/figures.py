@@ -1,0 +1,425 @@
+"""Experiment registry: one entry per paper figure/table.
+
+Each experiment returns an :class:`ExperimentResult` whose ``text`` is the
+printable reproduction of the paper's figure/table data (measured values
+side-by-side with the published ones) and whose ``data`` dict carries the
+raw numbers for programmatic use.  The benchmark suite runs every entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..dse import (
+    TABLE1_CASES,
+    best_point,
+    explore,
+    intermediate_access_report,
+    pe_array_size,
+    table1_case,
+    table2_dwc_activation_access,
+    table2_dwc_weight_access,
+    table2_pwc_activation_access,
+    table2_pwc_weight_access,
+)
+from ..arch.params import EDEA_CONFIG
+from ..errors import EvaluationError
+from ..nn.mobilenet import MOBILENET_V1_CIFAR10_SPECS
+from ..power import AreaModel, PAPER_AREA_SHARES, PAPER_POWER_SHARES
+from ..power.area_model import paper_total_area_mm2
+from ..sim.tracer import trace_tile_pipeline
+from .comparison import build_comparison, edea_speedups
+from .efficiency import build_efficiency_report
+from .layer_stats import layer_performance_series
+from .paper_data import (
+    PAPER_FIG3_REDUCTION,
+    PAPER_FIG12_EE_TOPS_W,
+    PAPER_FIG13_THROUGHPUT_GOPS,
+    PAPER_HEADLINE,
+)
+from .report import render_table
+from .workloads import ExperimentWorkload, prepare_workload
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment", "list_experiments"]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one reproduced experiment."""
+
+    experiment_id: str
+    title: str
+    text: str
+    data: dict = field(default_factory=dict)
+
+
+def _default_workload() -> ExperimentWorkload:
+    return prepare_workload(num_samples=48, train_epochs=1, batch_size=12)
+
+
+def experiment_table1(workload=None) -> ExperimentResult:
+    """Table I: explored tiling cases."""
+    rows = [[case, td, tk] for case, (td, tk) in sorted(TABLE1_CASES.items())]
+    text = render_table("Table I - selected tiling sizes", ["Case", "Td", "Tk"], rows)
+    return ExperimentResult("table1", "Tiling cases", text, {"cases": TABLE1_CASES})
+
+
+def experiment_table2(workload=None) -> ExperimentResult:
+    """Table II: PE-array and access equations for La, Tn=Tm=2."""
+    tiling = table1_case(6, tn=2)
+    pe = pe_array_size(tiling)
+    rows = []
+    for spec in MOBILENET_V1_CIFAR10_SPECS:
+        rows.append(
+            [
+                spec.index,
+                table2_dwc_activation_access(spec, tiling),
+                table2_dwc_weight_access(spec),
+                table2_pwc_activation_access(spec, tiling),
+                table2_pwc_weight_access(spec),
+            ]
+        )
+    text = render_table(
+        "Table II - La, Tn=Tm=2 access equations per layer "
+        f"(PE arrays: DWC={pe.dwc}, PWC={pe.pwc})",
+        ["Layer", "DWC act", "DWC wgt", "PWC act", "PWC wgt"],
+        rows,
+    )
+    return ExperimentResult(
+        "table2",
+        "Access equations",
+        text,
+        {"pe_dwc": pe.dwc, "pe_pwc": pe.pwc, "rows": rows},
+    )
+
+
+def experiment_fig2a(workload=None) -> ExperimentResult:
+    """Fig. 2a: PE array size per group/case."""
+    result = explore()
+    rows = [
+        [p.group, p.case, p.pe_dwc, p.pe_pwc, p.pe_total]
+        for p in sorted(result.points, key=lambda q: (q.group, q.case))
+    ]
+    text = render_table(
+        "Fig. 2a - PE array size",
+        ["Group", "Case", "DWC PEs", "PWC PEs", "Total"],
+        rows,
+    )
+    return ExperimentResult("fig2a", "DSE: PE array size", text, {"rows": rows})
+
+
+def experiment_fig2b(workload=None) -> ExperimentResult:
+    """Fig. 2b: activation/weight access counts per group/case."""
+    result = explore()
+    best = best_point(result)
+    rows = [
+        [p.group, p.case, p.activation_access, p.weight_access, p.total_access]
+        for p in sorted(result.points, key=lambda q: (q.group, q.case))
+    ]
+    text = render_table(
+        "Fig. 2b - access counts over all 13 DSC layers "
+        f"(best: {best.group}, Case {best.case} - paper picks the same)",
+        ["Group", "Case", "Activation", "Weight", "Total"],
+        rows,
+    )
+    return ExperimentResult(
+        "fig2b",
+        "DSE: access counts",
+        text,
+        {"rows": rows, "best_group": best.group, "best_case": best.case},
+    )
+
+
+def experiment_fig3(workload=None) -> ExperimentResult:
+    """Fig. 3: activation access with/without intermediate elimination."""
+    report = intermediate_access_report()
+    rows = [
+        [l.index, l.baseline, l.optimized, round(l.reduction_percent, 1)]
+        for l in report.layers
+    ]
+    rows.append(
+        [
+            "total",
+            report.total_baseline,
+            report.total_optimized,
+            round(report.total_reduction_percent, 1),
+        ]
+    )
+    text = render_table(
+        "Fig. 3 - intermediate activation access elimination "
+        f"(paper: {PAPER_FIG3_REDUCTION['min_percent']}%..."
+        f"{PAPER_FIG3_REDUCTION['max_percent']}% per layer, "
+        f"{PAPER_FIG3_REDUCTION['total_percent']}% total)",
+        ["Layer", "Baseline", "Direct transfer", "Reduction %"],
+        rows,
+    )
+    return ExperimentResult(
+        "fig3",
+        "Intermediate access elimination",
+        text,
+        {
+            "min": report.min_reduction_percent,
+            "max": report.max_reduction_percent,
+            "total": report.total_reduction_percent,
+        },
+    )
+
+
+def experiment_fig7(workload=None) -> ExperimentResult:
+    """Fig. 7: pipeline timing of the dual engines."""
+    events = trace_tile_pipeline(positions=4, kernel_groups=2)
+    first_out = min(e.cycle for e in events if e.stage == "output")
+    last = max(e.cycle for e in events)
+    rows = [
+        [e.cycle, e.stage, e.position, e.kernel_group] for e in events[:40]
+    ]
+    text = render_table(
+        f"Fig. 7 - pipeline trace of one tile (first output at cycle "
+        f"{first_out}, paper: 9; tile ends at cycle {last})",
+        ["Cycle", "Stage", "Position", "Kernel group"],
+        rows,
+    )
+    return ExperimentResult(
+        "fig7",
+        "Pipeline timing",
+        text,
+        {"first_output_cycle": first_out, "last_cycle": last},
+    )
+
+
+def experiment_fig8(workload=None) -> ExperimentResult:
+    """Fig. 8: layout dimensions and total area."""
+    model = AreaModel.calibrated()
+    areas = model.component_areas_mm2()
+    rows = [[k, round(v, 4)] for k, v in areas.items()]
+    rows.append(["total", round(model.total_area_mm2(), 4)])
+    text = render_table(
+        f"Fig. 8 - area model (paper die: 825.032 x 699.52 um = "
+        f"{paper_total_area_mm2():.3f} mm2, quoted 0.58 mm2; "
+        f"PWC/DWC ratio {model.pwc_to_dwc_ratio():.2f}, paper ~1.7)",
+        ["Component", "Area mm2"],
+        rows,
+    )
+    return ExperimentResult(
+        "fig8",
+        "Layout / area",
+        text,
+        {"areas": areas, "total": model.total_area_mm2()},
+    )
+
+
+def experiment_fig9(workload=None) -> ExperimentResult:
+    """Fig. 9: area and power breakdowns."""
+    rows = []
+    for name in sorted(
+        set(PAPER_AREA_SHARES) | set(PAPER_POWER_SHARES)
+    ):
+        rows.append(
+            [
+                name,
+                round(100 * PAPER_AREA_SHARES.get(name, 0.0), 2),
+                round(100 * PAPER_POWER_SHARES.get(name, 0.0), 2),
+            ]
+        )
+    text = render_table(
+        "Fig. 9 - area (left) and power (right) breakdown shares "
+        "(model calibration targets = paper values)",
+        ["Component", "Area %", "Power %"],
+        rows,
+    )
+    return ExperimentResult(
+        "fig9",
+        "Area/power breakdown",
+        text,
+        {"area": PAPER_AREA_SHARES, "power": PAPER_POWER_SHARES},
+    )
+
+
+def experiment_fig10(workload=None) -> ExperimentResult:
+    """Fig. 10: per-layer MAC operations and latency."""
+    series = layer_performance_series()
+    rows = [
+        [p.index, p.macs, p.cycles, round(p.latency_ns, 1),
+         round(100 * p.init_fraction, 2)]
+        for p in series
+    ]
+    text = render_table(
+        "Fig. 10 - MAC operations and latency per layer (1 GHz)",
+        ["Layer", "MACs", "Cycles", "Latency ns", "Init %"],
+        rows,
+    )
+    return ExperimentResult(
+        "fig10",
+        "MACs and latency",
+        text,
+        {"latency_ns": [p.latency_ns for p in series],
+         "macs": [p.macs for p in series]},
+    )
+
+
+def experiment_fig11(workload=None) -> ExperimentResult:
+    """Fig. 11: per-layer power and zero percentage (measured workload)."""
+    workload = workload if workload is not None else _default_workload()
+    report = build_efficiency_report(
+        workload.layer_stats, workload.run_stats.clock_hz, mode="measured"
+    )
+    paper_report = build_efficiency_report(
+        workload.layer_stats, workload.run_stats.clock_hz, mode="paper_profile"
+    )
+    rows = [
+        [
+            m.index,
+            round(1e3 * m.power_w, 1),
+            round(m.dwc_zero_percent, 1),
+            round(m.pwc_zero_percent, 1),
+            round(1e3 * p.power_w, 1),
+        ]
+        for m, p in zip(report.layers, paper_report.layers)
+    ]
+    text = render_table(
+        "Fig. 11 - power and zero percentage per layer "
+        "(paper endpoints: layer1 117.7 mW, layer12 67.7 mW)",
+        ["Layer", "Power mW (measured)", "DWC zero %", "PWC zero %",
+         "Power mW (paper profile)"],
+        rows,
+    )
+    return ExperimentResult(
+        "fig11",
+        "Power and sparsity",
+        text,
+        {
+            "measured_power_w": [m.power_w for m in report.layers],
+            "profile_power_w": [p.power_w for p in paper_report.layers],
+            "calibration_note": report.calibration_note,
+        },
+    )
+
+
+def experiment_fig12(workload=None) -> ExperimentResult:
+    """Fig. 12: per-layer energy efficiency."""
+    workload = workload if workload is not None else _default_workload()
+    measured = build_efficiency_report(
+        workload.layer_stats, workload.run_stats.clock_hz, mode="measured"
+    )
+    profile = build_efficiency_report(
+        workload.layer_stats, workload.run_stats.clock_hz, mode="paper_profile"
+    )
+    rows = [
+        [
+            m.index,
+            round(m.ee_tops_w, 2),
+            round(p.ee_tops_w, 2),
+            PAPER_FIG12_EE_TOPS_W[m.index],
+        ]
+        for m, p in zip(measured.layers, profile.layers)
+    ]
+    text = render_table(
+        "Fig. 12 - energy efficiency per layer (TOPS/W); paper peak "
+        f"{PAPER_HEADLINE['peak_ee_tops_w']} at layer "
+        f"{PAPER_HEADLINE['peak_ee_layer']}",
+        ["Layer", "Measured", "Paper-profile", "Paper"],
+        rows,
+    )
+    return ExperimentResult(
+        "fig12",
+        "Energy efficiency",
+        text,
+        {
+            "measured_ee": [m.ee_tops_w for m in measured.layers],
+            "profile_ee": [p.ee_tops_w for p in profile.layers],
+            "profile_peak_layer": profile.peak_ee_layer,
+            "profile_peak_ee": profile.peak_ee_tops_w,
+        },
+    )
+
+
+def experiment_fig13(workload=None) -> ExperimentResult:
+    """Fig. 13: per-layer throughput."""
+    series = layer_performance_series()
+    rows = [
+        [p.index, round(p.throughput_gops, 2),
+         PAPER_FIG13_THROUGHPUT_GOPS[p.index]]
+        for p in series
+    ]
+    mean = sum(p.throughput_gops for p in series) / len(series)
+    text = render_table(
+        f"Fig. 13 - throughput per layer (mean {mean:.2f} GOPS, "
+        f"paper average {PAPER_HEADLINE['average_throughput_gops']})",
+        ["Layer", "Measured GOPS", "Paper GOPS"],
+        rows,
+    )
+    return ExperimentResult(
+        "fig13",
+        "Throughput",
+        text,
+        {"throughput_gops": [p.throughput_gops for p in series]},
+    )
+
+
+def experiment_table3(workload=None) -> ExperimentResult:
+    """Table III: comparison with prior accelerators."""
+    rows_data = build_comparison()
+    speedups = edea_speedups(rows_data)
+    rows = [
+        [
+            r.name,
+            int(r.tech_nm),
+            r.precision_bits,
+            r.voltage_v,
+            r.pe_count,
+            round(r.throughput_gops, 2),
+            round(r.energy_efficiency_tops_w, 2),
+            round(r.area_efficiency_gops_mm2, 2),
+            round(r.paper_normalized_ee, 2),
+            round(r.model_normalized_ee, 2),
+        ]
+        for r in rows_data
+    ]
+    text = render_table(
+        "Table III - comparison with state-of-the-art (8-bit-normalized "
+        "raw values; paper-published and model normalizations)",
+        ["Work", "nm", "bits", "V", "PEs", "GOPS", "TOPS/W",
+         "GOPS/mm2", "Norm EE (paper)", "Norm EE (model)"],
+        rows,
+    )
+    return ExperimentResult(
+        "table3",
+        "SotA comparison",
+        text,
+        {"rows": rows, "speedups": speedups},
+    )
+
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": experiment_table1,
+    "table2": experiment_table2,
+    "fig2a": experiment_fig2a,
+    "fig2b": experiment_fig2b,
+    "fig3": experiment_fig3,
+    "fig7": experiment_fig7,
+    "fig8": experiment_fig8,
+    "fig9": experiment_fig9,
+    "fig10": experiment_fig10,
+    "fig11": experiment_fig11,
+    "fig12": experiment_fig12,
+    "fig13": experiment_fig13,
+    "table3": experiment_table3,
+}
+
+
+def list_experiments() -> list[str]:
+    """IDs of all reproducible figures/tables."""
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(
+    experiment_id: str, workload: ExperimentWorkload | None = None
+) -> ExperimentResult:
+    """Run one experiment by its figure/table id."""
+    if experiment_id not in EXPERIMENTS:
+        raise EvaluationError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(list_experiments())}"
+        )
+    return EXPERIMENTS[experiment_id](workload)

@@ -1,0 +1,65 @@
+"""Per-layer MACs, latency and throughput series (paper Figs. 10 and 13).
+
+These series are fully determined by the layer geometry and the timing
+model (Eqs. 1-2), so they can be produced analytically — and the test
+suite separately checks the analytic values against the event-level
+accelerator run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.params import EDEA_CONFIG, ArchConfig
+from ..nn.mobilenet import MOBILENET_V1_CIFAR10_SPECS, DSCLayerSpec
+from ..sim.pipeline import layer_latency
+
+__all__ = ["LayerPerformance", "layer_performance_series"]
+
+
+@dataclass(frozen=True)
+class LayerPerformance:
+    """One layer's Fig. 10 / Fig. 13 data point."""
+
+    index: int
+    macs: int
+    cycles: int
+    latency_ns: float
+    throughput_gops: float
+    init_fraction: float
+
+    @property
+    def ops(self) -> int:
+        """Operations (2 per MAC)."""
+        return 2 * self.macs
+
+
+def layer_performance_series(
+    specs: list[DSCLayerSpec] | None = None,
+    config: ArchConfig = EDEA_CONFIG,
+) -> list[LayerPerformance]:
+    """Evaluate MACs, latency and throughput for every DSC layer.
+
+    Args:
+        specs: Layer geometry (defaults to MobileNetV1-CIFAR10).
+        config: Architecture parameters (clock, tiles, initiation).
+
+    Returns:
+        One :class:`LayerPerformance` per layer, in layer order.
+    """
+    specs = specs if specs is not None else MOBILENET_V1_CIFAR10_SPECS
+    series = []
+    for spec in specs:
+        breakdown = layer_latency(spec, config)
+        latency_s = breakdown.latency_seconds(config.clock_hz)
+        series.append(
+            LayerPerformance(
+                index=spec.index,
+                macs=spec.total_macs,
+                cycles=breakdown.total_cycles,
+                latency_ns=latency_s * 1e9,
+                throughput_gops=spec.total_ops / latency_s / 1e9,
+                init_fraction=breakdown.init_fraction,
+            )
+        )
+    return series

@@ -1,0 +1,59 @@
+"""Plain-text rendering of experiment tables and series.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from ..errors import EvaluationError
+
+__all__ = ["render_table", "render_series", "format_value"]
+
+
+def format_value(value) -> str:
+    """Format one cell: floats get 2 decimals, large ints thousands grouping."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(
+    title: str, headers: list[str], rows: list[list]
+) -> str:
+    """Render an ASCII table with a title line."""
+    if not headers:
+        raise EvaluationError("table needs at least one column")
+    for row in rows:
+        if len(row) != len(headers):
+            raise EvaluationError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    cells = [[format_value(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str, x_label: str, y_label: str, xs: list, ys: list
+) -> str:
+    """Render an (x, y) series as a two-column table."""
+    if len(xs) != len(ys):
+        raise EvaluationError(
+            f"series length mismatch: {len(xs)} xs vs {len(ys)} ys"
+        )
+    return render_table(title, [x_label, y_label], list(map(list, zip(xs, ys))))

@@ -1,0 +1,102 @@
+"""Roofline / data-movement analysis of the DSC layers.
+
+EDEA's motivation is data movement: "DWC operates as a channel-wise
+convolution and PWC as an element-wise convolution, both exhibiting
+limitations in data reuse".  This module quantifies that: per-layer
+arithmetic intensity (MACs per externally moved byte), the bandwidth each
+layer demands at the accelerator's compute rate, and where each layer
+lands against a bandwidth roofline — with and without the direct DWC→PWC
+transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.params import EDEA_CONFIG, ArchConfig
+from ..errors import ConfigError
+from ..nn.mobilenet import MOBILENET_V1_CIFAR10_SPECS, DSCLayerSpec
+from ..sim.pipeline import layer_latency
+
+__all__ = ["LayerRoofline", "roofline_analysis"]
+
+BYTES_PER_ACTIVATION = 1  # int8
+BYTES_PER_WEIGHT = 1  # int8
+BYTES_PER_NONCONV_CONSTANT = 3  # 24-bit Q8.16
+
+
+@dataclass(frozen=True)
+class LayerRoofline:
+    """Data-movement profile of one layer.
+
+    Attributes:
+        index: Layer index.
+        macs: Useful MACs.
+        external_bytes: Externally moved bytes (direct-transfer design).
+        external_bytes_baseline: Same, with the intermediate spilled.
+        arithmetic_intensity: MACs per byte (direct transfer).
+        required_bandwidth_gbs: DRAM bandwidth needed to sustain the
+            layer's compute at the accelerator clock, in GB/s.
+    """
+
+    index: int
+    macs: int
+    external_bytes: int
+    external_bytes_baseline: int
+    arithmetic_intensity: float
+    required_bandwidth_gbs: float
+
+    @property
+    def intensity_baseline(self) -> float:
+        """Arithmetic intensity without the intermediate buffer."""
+        return self.macs / self.external_bytes_baseline
+
+    def is_compute_bound(self, bandwidth_gbs: float) -> bool:
+        """Whether the layer sustains full compute under ``bandwidth_gbs``."""
+        if bandwidth_gbs <= 0:
+            raise ConfigError(
+                f"bandwidth must be positive (got {bandwidth_gbs})"
+            )
+        return self.required_bandwidth_gbs <= bandwidth_gbs
+
+
+def _layer_bytes(spec: DSCLayerSpec, direct: bool) -> int:
+    n = spec.out_size
+    d, k = spec.in_channels, spec.out_channels
+    act_in = spec.in_size**2 * d * BYTES_PER_ACTIVATION
+    act_out = n * n * k * BYTES_PER_ACTIVATION
+    intermediate = 0 if direct else 2 * n * n * d * BYTES_PER_ACTIVATION
+    weights = (9 * d + d * k) * BYTES_PER_WEIGHT
+    constants = 2 * (d + k) * BYTES_PER_NONCONV_CONSTANT
+    return act_in + act_out + intermediate + weights + constants
+
+
+def roofline_analysis(
+    specs: list[DSCLayerSpec] | None = None,
+    config: ArchConfig = EDEA_CONFIG,
+) -> list[LayerRoofline]:
+    """Compute the per-layer roofline profile.
+
+    Args:
+        specs: Layer geometry (defaults to MobileNetV1-CIFAR10).
+        config: Architecture parameters (clock, tiles).
+    """
+    specs = specs if specs is not None else MOBILENET_V1_CIFAR10_SPECS
+    profile = []
+    for spec in specs:
+        direct_bytes = _layer_bytes(spec, direct=True)
+        baseline_bytes = _layer_bytes(spec, direct=False)
+        latency_s = layer_latency(spec, config).latency_seconds(
+            config.clock_hz
+        )
+        profile.append(
+            LayerRoofline(
+                index=spec.index,
+                macs=spec.total_macs,
+                external_bytes=direct_bytes,
+                external_bytes_baseline=baseline_bytes,
+                arithmetic_intensity=spec.total_macs / direct_bytes,
+                required_bandwidth_gbs=direct_bytes / latency_s / 1e9,
+            )
+        )
+    return profile

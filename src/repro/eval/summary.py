@@ -1,0 +1,233 @@
+"""One-shot reproduction report: every claim checked, one verdict each.
+
+Aggregates the key quantitative claims of the paper into a single list of
+checks, each comparing the reproduced value against the published one
+under an explicit tolerance, and renders a pass/fail report.  This is the
+"did the reproduction hold?" artifact — the CLI exposes it as
+``python -m repro report`` and the test suite asserts every check passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch import dual_vs_baselines
+from ..dse import best_point, explore, intermediate_access_report, pe_array_size, table1_case
+from ..nn.mobilenet import MOBILENET_V1_CIFAR10_SPECS
+from ..power.area_model import AreaModel
+from .comparison import build_comparison, edea_speedups
+from .efficiency import build_efficiency_report
+from .layer_stats import layer_performance_series
+from .paper_data import PAPER_FIG13_THROUGHPUT_GOPS, PAPER_HEADLINE
+from .report import render_table
+from .workloads import ExperimentWorkload
+
+__all__ = ["ClaimCheck", "reproduction_report", "render_report"]
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """One verified claim.
+
+    Attributes:
+        claim: What the paper states.
+        paper_value: The published number (or description).
+        measured_value: What the reproduction produced.
+        tolerance: Human-readable tolerance applied.
+        passed: Whether the measured value satisfies the tolerance.
+    """
+
+    claim: str
+    paper_value: str
+    measured_value: str
+    tolerance: str
+    passed: bool
+
+
+def _check_rel(claim, paper, measured, rel):
+    ok = abs(measured - paper) <= rel * abs(paper)
+    return ClaimCheck(
+        claim=claim,
+        paper_value=f"{paper:g}",
+        measured_value=f"{measured:g}",
+        tolerance=f"±{100 * rel:g}%",
+        passed=ok,
+    )
+
+
+def _check_exact(claim, paper, measured):
+    return ClaimCheck(
+        claim=claim,
+        paper_value=str(paper),
+        measured_value=str(measured),
+        tolerance="exact",
+        passed=paper == measured,
+    )
+
+
+def reproduction_report(
+    workload: ExperimentWorkload | None = None,
+) -> list[ClaimCheck]:
+    """Evaluate every headline claim.
+
+    Args:
+        workload: A prepared measured workload for the power/efficiency
+            claims; when None those claims are skipped (the analytic
+            claims need no workload).
+    """
+    checks: list[ClaimCheck] = []
+
+    # --- engines and DSE
+    pe = pe_array_size(table1_case(6, tn=2))
+    checks.append(_check_exact("DWC engine MACs", 288, pe.dwc))
+    checks.append(_check_exact("PWC engine MACs", 512, pe.pwc))
+    checks.append(_check_exact("Total PE count (Table III)", 800, pe.total))
+    best = best_point(explore())
+    checks.append(
+        _check_exact(
+            "DSE optimum (loop order, tile, case)",
+            "La, Tn=Tm=2, Case 6",
+            f"{best.group}, Case {best.case}",
+        )
+    )
+
+    # --- throughput (Fig. 13) — exact to 0.01 GOPS
+    series = layer_performance_series()
+    fig13_ok = all(
+        abs(p.throughput_gops - PAPER_FIG13_THROUGHPUT_GOPS[p.index]) < 0.01
+        for p in series
+    )
+    checks.append(
+        ClaimCheck(
+            claim="Per-layer throughput (Fig. 13, all 13 layers)",
+            paper_value="1024 / 973.55 / 905.64 GOPS",
+            measured_value="reproduced" if fig13_ok else "mismatch",
+            tolerance="±0.01 GOPS",
+            passed=fig13_ok,
+        )
+    )
+    mean_tp = sum(p.throughput_gops for p in series) / len(series)
+    checks.append(
+        _check_rel(
+            "Average throughput",
+            PAPER_HEADLINE["average_throughput_gops"],
+            mean_tp,
+            rel=0.005,
+        )
+    )
+
+    # --- area
+    area_model = AreaModel.calibrated()
+    checks.append(
+        _check_rel(
+            "Die area (mm^2)",
+            PAPER_HEADLINE["area_mm2"],
+            area_model.total_area_mm2(),
+            rel=0.01,
+        )
+    )
+    checks.append(
+        _check_rel(
+            "PWC:DWC area ratio", 1.7, area_model.pwc_to_dwc_ratio(),
+            rel=0.02,
+        )
+    )
+
+    # --- intermediate traffic (Fig. 3)
+    fig3 = intermediate_access_report()
+    checks.append(
+        _check_rel(
+            "Total intermediate-traffic reduction (Fig. 3)",
+            34.7,
+            fig3.total_reduction_percent,
+            rel=0.20,
+        )
+    )
+
+    # --- Table III advantage factors
+    speedups = edea_speedups(build_comparison())
+    checks.append(
+        _check_rel(
+            "Raw EE advantage vs ISVLSI'19 [16]",
+            14.6,
+            speedups["Chen et al. [16]"]["raw_ee"],
+            rel=0.01,
+        )
+    )
+    checks.append(
+        _check_rel(
+            "Normalized EE advantage vs ICCE-TW'21 [17]",
+            3.11,
+            speedups["Hsiao et al. [17]"]["normalized_ee"],
+            rel=0.01,
+        )
+    )
+
+    # --- baselines (the architectural argument)
+    totals = dual_vs_baselines(MOBILENET_V1_CIFAR10_SPECS)
+    checks.append(
+        ClaimCheck(
+            claim="Dual engine faster than serial and unified baselines",
+            paper_value="dual < serial < unified",
+            measured_value=(
+                f"{totals['dual']:,} < {totals['serial_dual']:,} "
+                f"< {totals['unified']:,} cycles"
+            ),
+            tolerance="ordering",
+            passed=totals["dual"] < totals["serial_dual"] < totals["unified"],
+        )
+    )
+
+    # --- measured (workload-dependent) claims
+    if workload is not None:
+        profile = build_efficiency_report(
+            workload.layer_stats,
+            workload.run_stats.clock_hz,
+            mode="paper_profile",
+        )
+        checks.append(
+            _check_rel(
+                "Peak energy efficiency (paper-profile mode)",
+                PAPER_HEADLINE["peak_ee_tops_w"],
+                profile.peak_ee_tops_w,
+                rel=0.30,
+            )
+        )
+        checks.append(
+            _check_rel(
+                "Max layer power (paper-profile mode)",
+                PAPER_HEADLINE["layer1_power_w"],
+                profile.max_power_w,
+                rel=0.05,
+            )
+        )
+        checks.append(
+            _check_rel(
+                "Min layer power (paper-profile mode)",
+                PAPER_HEADLINE["layer12_power_w"],
+                profile.min_power_w,
+                rel=0.15,
+            )
+        )
+    return checks
+
+
+def render_report(checks: list[ClaimCheck]) -> str:
+    """Render the claim checks as a table with a summary line."""
+    rows = [
+        [
+            "PASS" if c.passed else "FAIL",
+            c.claim,
+            c.paper_value,
+            c.measured_value,
+            c.tolerance,
+        ]
+        for c in checks
+    ]
+    passed = sum(c.passed for c in checks)
+    table = render_table(
+        f"Reproduction report: {passed}/{len(checks)} claims hold",
+        ["Status", "Claim", "Paper", "Measured", "Tolerance"],
+        rows,
+    )
+    return table

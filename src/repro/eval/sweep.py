@@ -1,0 +1,93 @@
+"""Width/resolution scaling sweeps over the timing model.
+
+MobileNets are designed around two scaling knobs — the width multiplier
+and the input resolution — and an accelerator evaluation should show how
+the design behaves across them, not just at one point.  This sweep runs
+the analytic pipeline (geometry → Eqs. 1-2 → throughput/utilization)
+across both knobs; it is pure arithmetic, so the full grid evaluates in
+milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.params import EDEA_CONFIG, ArchConfig
+from ..errors import ConfigError
+from ..nn.mobilenet import mobilenet_v1_specs
+from ..sim.pipeline import layer_latency
+
+__all__ = ["SweepPoint", "width_resolution_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (width, resolution) evaluation.
+
+    Attributes:
+        width: MobileNet width multiplier.
+        resolution: Input spatial size.
+        total_macs: Network DSC MACs.
+        total_cycles: Network DSC latency in cycles.
+        throughput_gops: Sustained ops rate at the configured clock.
+        init_fraction: Share of cycles spent in pipeline initiation.
+    """
+
+    width: float
+    resolution: int
+    total_macs: int
+    total_cycles: int
+    throughput_gops: float
+    init_fraction: float
+
+    @property
+    def latency_us(self) -> float:
+        """Latency in microseconds at 1 GHz (cycles / 1000)."""
+        return self.total_cycles / 1000.0
+
+
+def width_resolution_sweep(
+    widths: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0),
+    resolutions: tuple[int, ...] = (32, 64, 128, 224),
+    config: ArchConfig = EDEA_CONFIG,
+) -> list[SweepPoint]:
+    """Evaluate the timing model over a width x resolution grid.
+
+    Args:
+        widths: MobileNet width multipliers.
+        resolutions: Input sizes (the CIFAR setup uses a stride-1 stem,
+            so the first DSC layer sees the full resolution).
+        config: Architecture parameters.
+
+    Returns:
+        One :class:`SweepPoint` per grid entry, row-major by width.
+    """
+    if not widths or not resolutions:
+        raise ConfigError("sweep needs at least one width and resolution")
+    points = []
+    for width in widths:
+        for resolution in resolutions:
+            specs = mobilenet_v1_specs(
+                input_size=resolution, width_multiplier=width
+            )
+            init = streaming = 0
+            macs = 0
+            for spec in specs:
+                breakdown = layer_latency(spec, config)
+                init += breakdown.init_cycles
+                streaming += breakdown.streaming_cycles
+                macs += spec.total_macs
+            cycles = init + streaming
+            points.append(
+                SweepPoint(
+                    width=width,
+                    resolution=resolution,
+                    total_macs=macs,
+                    total_cycles=cycles,
+                    throughput_gops=(
+                        2.0 * macs * config.clock_hz / cycles / 1e9
+                    ),
+                    init_fraction=init / cycles,
+                )
+            )
+    return points

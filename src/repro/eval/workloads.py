@@ -1,0 +1,117 @@
+"""Shared experiment workload: train, quantize, and run MobileNetV1.
+
+Building the measured experiments (Figs. 11/12) needs a trained, quantized
+network and one full accelerator run.  That preparation is deterministic
+and moderately expensive, so this module memoizes it per configuration —
+the benchmarks and examples all pull from the same cache within a process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arch.accelerator import LayerRunStats
+from ..arch.params import EDEA_CONFIG, ArchConfig
+from ..datasets import make_cifar10_like
+from ..nn import SGD, Trainer, build_mobilenet_v1, mobilenet_v1_specs
+from ..nn.mobilenet import DSCLayerSpec
+from ..quant import QuantizedMobileNet, quantize_mobilenet
+from ..sim import AcceleratorRunner, NetworkRunStats
+
+__all__ = ["ExperimentWorkload", "prepare_workload", "clear_workload_cache"]
+
+
+@dataclass
+class ExperimentWorkload:
+    """Everything the measured experiments consume.
+
+    Attributes:
+        specs: Layer geometry used.
+        qmodel: The quantized network.
+        run_stats: Accelerator measurements for one input image.
+        images: The dataset images used (first one drove ``run_stats``).
+    """
+
+    specs: list[DSCLayerSpec]
+    qmodel: QuantizedMobileNet
+    run_stats: NetworkRunStats
+    images: np.ndarray
+
+    @property
+    def layer_stats(self) -> list[LayerRunStats]:
+        """Per-layer accelerator measurements."""
+        return self.run_stats.layers
+
+
+_CACHE: dict[tuple, ExperimentWorkload] = {}
+
+
+def clear_workload_cache() -> None:
+    """Drop all memoized workloads (tests use this)."""
+    _CACHE.clear()
+
+
+def prepare_workload(
+    width_multiplier: float = 1.0,
+    num_samples: int = 96,
+    train_epochs: int = 1,
+    batch_size: int = 16,
+    learning_rate: float = 0.02,
+    seed: int = 7,
+    config: ArchConfig = EDEA_CONFIG,
+    verify: bool = True,
+) -> ExperimentWorkload:
+    """Train briefly, quantize, and run the accelerator once.
+
+    All steps are seeded, so a given parameter tuple always produces the
+    same workload; results are memoized per tuple.
+
+    Args:
+        width_multiplier: MobileNet width (1.0 = the paper's model).
+        num_samples: Synthetic dataset size for the quick training.
+        train_epochs: Training epochs (enough to move weights off init).
+        batch_size: SGD batch size.
+        learning_rate: SGD learning rate.
+        seed: Master seed for data and weights.
+        config: Accelerator configuration.
+        verify: Bit-exact verification of every accelerator layer.
+    """
+    key = (
+        width_multiplier,
+        num_samples,
+        train_epochs,
+        batch_size,
+        learning_rate,
+        seed,
+        config,
+        verify,
+    )
+    if key in _CACHE:
+        return _CACHE[key]
+
+    specs = mobilenet_v1_specs(width_multiplier=width_multiplier)
+    model = build_mobilenet_v1(width_multiplier=width_multiplier, seed=seed)
+    dataset = make_cifar10_like(num_samples, seed=seed + 1)
+    trainer = Trainer(
+        model,
+        SGD(list(model.parameters()), lr=learning_rate),
+        batch_size=batch_size,
+        seed=seed + 2,
+    )
+    trainer.fit(dataset.images, dataset.labels, epochs=train_epochs)
+
+    calib = dataset.images[: min(16, num_samples)]
+    qmodel = quantize_mobilenet(model, specs, calib)
+    runner = AcceleratorRunner(qmodel, config=config, verify=verify)
+    run_stats = runner.run_network(dataset.images[0])
+
+    workload = ExperimentWorkload(
+        specs=specs,
+        qmodel=qmodel,
+        run_stats=run_stats,
+        images=dataset.images,
+    )
+    _CACHE[key] = workload
+    return workload

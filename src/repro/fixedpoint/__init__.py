@@ -1,0 +1,29 @@
+"""Fixed-point number formats and saturating arithmetic.
+
+This subpackage models the numeric substrate of the EDEA datapath: int8
+storage, wide accumulators, and the Q8.16 constants of the Non-Conv unit.
+"""
+
+from .arith import (
+    clip_to_width,
+    fixed_mul_add,
+    requantize_to_int8,
+    rounding_right_shift,
+    saturating_add,
+    saturating_mul,
+)
+from .qformat import INT8, INT16, INT32, Q8_16, QFormat
+
+__all__ = [
+    "QFormat",
+    "Q8_16",
+    "INT8",
+    "INT16",
+    "INT32",
+    "clip_to_width",
+    "saturating_add",
+    "saturating_mul",
+    "rounding_right_shift",
+    "fixed_mul_add",
+    "requantize_to_int8",
+]

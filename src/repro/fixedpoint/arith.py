@@ -1,0 +1,98 @@
+"""Saturating integer arithmetic helpers for datapath modelling.
+
+All routines operate on NumPy integer arrays and model the behaviour of the
+corresponding hardware operators: width-limited storage, saturation instead
+of wrap-around, and round-to-nearest right shifts.  They are deliberately
+explicit — each function does one thing and states its widths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FixedPointError
+from .qformat import QFormat
+
+__all__ = [
+    "clip_to_width",
+    "saturating_add",
+    "saturating_mul",
+    "rounding_right_shift",
+    "fixed_mul_add",
+    "requantize_to_int8",
+]
+
+
+def _width_limits(bits: int) -> tuple[int, int]:
+    if bits < 2 or bits > 63:
+        raise FixedPointError(f"unsupported width {bits} (need 2..63)")
+    return -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+
+
+def clip_to_width(values, bits: int):
+    """Saturate ``values`` to a signed two's-complement width of ``bits``."""
+    lo, hi = _width_limits(bits)
+    return np.clip(np.asarray(values, dtype=np.int64), lo, hi)
+
+
+def saturating_add(a, b, bits: int):
+    """Add two int arrays and saturate the result to ``bits`` wide."""
+    total = np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64)
+    return clip_to_width(total, bits)
+
+
+def saturating_mul(a, b, bits: int):
+    """Multiply two int arrays and saturate the result to ``bits`` wide."""
+    product = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
+    return clip_to_width(product, bits)
+
+
+def rounding_right_shift(values, shift: int):
+    """Arithmetic right shift with round-to-nearest (ties away from zero).
+
+    This models the hardware rescale stage: add half an LSB of the result
+    in the direction of the sign, then shift.  ``shift == 0`` is a no-op.
+    """
+    if shift < 0:
+        raise FixedPointError(f"shift must be >= 0 (got {shift})")
+    arr = np.asarray(values, dtype=np.int64)
+    if shift == 0:
+        return arr.copy()
+    half = np.int64(1) << np.int64(shift - 1)
+    offset = np.where(arr >= 0, half, half - 1)
+    return (arr + offset) >> np.int64(shift)
+
+
+def fixed_mul_add(x, k_raw: int, b_raw: int, fmt: QFormat):
+    """Compute ``y = k*x + b`` where k and b are raw values in ``fmt``.
+
+    ``x`` is a plain integer array (e.g. an int32 convolution accumulator).
+    The product ``k_raw * x`` carries ``fmt.fraction_bits`` fractional bits;
+    ``b_raw`` already does, so they align without shifting.  The result is
+    returned still carrying the fractional bits (caller requantizes).
+
+    This mirrors the Non-Conv unit datapath: one multiplier, one adder.
+    """
+    arr = np.asarray(x, dtype=np.int64)
+    return arr * np.int64(k_raw) + np.int64(b_raw)
+
+
+def requantize_to_int8(
+    values,
+    fraction_bits: int,
+    apply_relu: bool,
+    lo: int = -128,
+    hi: int = 127,
+) -> np.ndarray:
+    """Round off ``fraction_bits``, optionally ReLU, saturate to int8.
+
+    This is the tail of the Non-Conv unit: round the fixed-point result to
+    an integer, clamp negatives to zero when ReLU is enabled, and saturate
+    into the int8 activation range.
+    """
+    if not -128 <= lo <= hi <= 127:
+        raise FixedPointError(f"invalid int8 clip range [{lo}, {hi}]")
+    rounded = rounding_right_shift(values, fraction_bits)
+    if apply_relu:
+        rounded = np.maximum(rounded, 0)
+    return np.clip(rounded, lo, hi).astype(np.int8)

@@ -1,0 +1,156 @@
+"""Signed fixed-point Q-format descriptors.
+
+The EDEA Non-Conv unit stores its folded batch-norm/quantization constants
+``k`` and ``b`` as 24-bit signed fixed-point numbers with 8 integer bits and
+16 fractional bits (paper, Section III-C).  This module provides a small,
+explicit Q-format abstraction used throughout the datapath model:
+
+>>> q = QFormat(integer_bits=8, fraction_bits=16)
+>>> q.total_bits
+24
+>>> q.to_fixed(1.5)
+98304
+>>> q.to_float(q.to_fixed(1.5))
+1.5
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FixedPointError
+
+__all__ = ["QFormat", "Q8_16", "INT8", "INT16", "INT32"]
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A signed two's-complement fixed-point format ``Q<integer>.<fraction>``.
+
+    The sign bit is counted inside ``integer_bits``, matching the paper's
+    "24-bit fixed-point numbers with 8 integer bits and 16 fractional bits".
+
+    Attributes:
+        integer_bits: Number of integer bits, including the sign bit.
+        fraction_bits: Number of fractional bits.
+    """
+
+    integer_bits: int
+    fraction_bits: int
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 1:
+            raise FixedPointError(
+                f"integer_bits must be >= 1 (got {self.integer_bits})"
+            )
+        if self.fraction_bits < 0:
+            raise FixedPointError(
+                f"fraction_bits must be >= 0 (got {self.fraction_bits})"
+            )
+        if self.total_bits > 62:
+            # int64 intermediates must hold raw values and products safely.
+            raise FixedPointError(
+                f"formats wider than 62 bits are not supported "
+                f"(got {self.total_bits})"
+            )
+
+    @property
+    def total_bits(self) -> int:
+        """Total storage width in bits (sign bit included)."""
+        return self.integer_bits + self.fraction_bits
+
+    @property
+    def scale(self) -> int:
+        """Value of one least-significant bit, as ``2**fraction_bits``."""
+        return 1 << self.fraction_bits
+
+    @property
+    def raw_min(self) -> int:
+        """Smallest representable raw (integer) value."""
+        return -(1 << (self.total_bits - 1))
+
+    @property
+    def raw_max(self) -> int:
+        """Largest representable raw (integer) value."""
+        return (1 << (self.total_bits - 1)) - 1
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.raw_min / self.scale
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.raw_max / self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Real-valued step between adjacent representable numbers."""
+        return 1.0 / self.scale
+
+    def to_fixed(self, value, saturate: bool = True):
+        """Convert real value(s) to raw fixed-point integers.
+
+        Rounds to nearest (ties away from zero, matching hardware rounders
+        built from an add-half-then-truncate stage on the magnitude).
+
+        Args:
+            value: Scalar or array of real values.
+            saturate: Clamp out-of-range values to the format limits when
+                True; raise :class:`FixedPointError` when False.
+
+        Returns:
+            ``np.int64`` scalar or array of raw values.
+        """
+        arr = np.asarray(value, dtype=np.float64)
+        raw = np.round(arr * self.scale).astype(np.int64)
+        out_of_range = (raw < self.raw_min) | (raw > self.raw_max)
+        if np.any(out_of_range):
+            if not saturate:
+                bad = arr[out_of_range].flat[0]
+                raise FixedPointError(
+                    f"value {bad!r} is outside the range of Q"
+                    f"{self.integer_bits}.{self.fraction_bits} "
+                    f"[{self.min_value}, {self.max_value}]"
+                )
+            raw = np.clip(raw, self.raw_min, self.raw_max)
+        if np.isscalar(value) or np.ndim(value) == 0:
+            return int(raw)
+        return raw
+
+    def to_float(self, raw):
+        """Convert raw fixed-point integer(s) back to real value(s)."""
+        arr = np.asarray(raw, dtype=np.int64)
+        out = arr.astype(np.float64) / self.scale
+        if np.isscalar(raw) or np.ndim(raw) == 0:
+            return float(out)
+        return out
+
+    def quantize(self, value):
+        """Round real value(s) to the nearest representable real value."""
+        return self.to_float(self.to_fixed(value))
+
+    def representable(self, value, rtol: float = 0.0) -> bool:
+        """Return True when ``value`` round-trips through this format."""
+        back = self.quantize(value)
+        return bool(np.allclose(back, value, rtol=rtol, atol=0.0))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Q{self.integer_bits}.{self.fraction_bits}"
+
+
+# Formats used by the EDEA datapath.
+Q8_16 = QFormat(integer_bits=8, fraction_bits=16)
+"""Non-Conv unit constant format: 24-bit, 8 integer + 16 fractional bits."""
+
+INT8 = QFormat(integer_bits=8, fraction_bits=0)
+"""Activation / weight storage format."""
+
+INT16 = QFormat(integer_bits=16, fraction_bits=0)
+"""Product width of an int8 x int8 multiplier."""
+
+INT32 = QFormat(integer_bits=32, fraction_bits=0)
+"""Accumulator width used by the engine models."""

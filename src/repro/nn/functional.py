@@ -1,0 +1,289 @@
+"""Pure-NumPy neural-network primitives (forward and backward).
+
+Data layout is NCHW throughout.  Convolutions are implemented with im2col /
+col2im so both the forward pass and the gradients are exact and reasonably
+fast; these primitives back the float training path used to obtain realistic
+weights/activations for the accelerator experiments, and they double as the
+golden reference the hardware model is checked against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+__all__ = [
+    "conv_output_size",
+    "pad2d",
+    "im2col",
+    "col2im",
+    "conv2d",
+    "conv2d_backward",
+    "depthwise_conv2d",
+    "depthwise_conv2d_backward",
+    "pointwise_conv2d",
+    "pointwise_conv2d_backward",
+    "global_avg_pool",
+    "global_avg_pool_backward",
+    "relu",
+    "relu_backward",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Output spatial extent of a convolution along one dimension."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"convolution produces empty output: size={size}, "
+            f"kernel={kernel}, stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def pad2d(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the two trailing (spatial) dimensions of ``x``."""
+    if padding == 0:
+        return x
+    pad_width = [(0, 0)] * (x.ndim - 2) + [(padding, padding)] * 2
+    return np.pad(x, pad_width, mode="constant")
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> np.ndarray:
+    """Unfold sliding windows of ``x`` into columns.
+
+    Args:
+        x: Input of shape ``(N, C, H, W)``.
+        kernel: Square kernel size.
+        stride: Stride in both dimensions.
+        padding: Zero padding in both dimensions.
+
+    Returns:
+        Array of shape ``(N, C, kernel, kernel, out_h, out_w)``; a view-free
+        copy safe to mutate.
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"im2col expects NCHW input, got shape {x.shape}")
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel, stride, padding)
+    out_w = conv_output_size(w, kernel, stride, padding)
+    xp = pad2d(x, padding)
+    cols = np.empty((n, c, kernel, kernel, out_h, out_w), dtype=x.dtype)
+    for ky in range(kernel):
+        y_end = ky + stride * out_h
+        for kx in range(kernel):
+            x_end = kx + stride * out_w
+            cols[:, :, ky, kx] = xp[:, :, ky:y_end:stride, kx:x_end:stride]
+    return cols
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back to an image.
+
+    Overlapping windows accumulate, which is exactly the operation needed
+    to turn the gradient w.r.t. columns into the gradient w.r.t. the input.
+    """
+    n, c, h, w = input_shape
+    out_h = conv_output_size(h, kernel, stride, padding)
+    out_w = conv_output_size(w, kernel, stride, padding)
+    expected = (n, c, kernel, kernel, out_h, out_w)
+    if cols.shape != expected:
+        raise ShapeError(f"col2im expects shape {expected}, got {cols.shape}")
+    xp = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for ky in range(kernel):
+        y_end = ky + stride * out_h
+        for kx in range(kernel):
+            x_end = kx + stride * out_w
+            xp[:, :, ky:y_end:stride, kx:x_end:stride] += cols[:, :, ky, kx]
+    if padding == 0:
+        return xp
+    return xp[:, :, padding:-padding, padding:-padding]
+
+
+def conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Standard convolution.
+
+    Args:
+        x: ``(N, C, H, W)`` input.
+        weight: ``(F, C, k, k)`` kernels.
+        bias: Optional ``(F,)`` bias.
+
+    Returns:
+        ``(N, F, out_h, out_w)`` output.
+    """
+    f, c, kh, kw = weight.shape
+    if kh != kw:
+        raise ShapeError(f"only square kernels supported, got {kh}x{kw}")
+    if x.shape[1] != c:
+        raise ShapeError(
+            f"input has {x.shape[1]} channels but weight expects {c}"
+        )
+    cols = im2col(x, kh, stride, padding)
+    n, _, _, _, out_h, out_w = cols.shape
+    cols2 = cols.reshape(n, c * kh * kw, out_h * out_w)
+    w2 = weight.reshape(f, c * kh * kw)
+    out = np.einsum("fk,nkl->nfl", w2, cols2, optimize=True)
+    out = out.reshape(n, f, out_h, out_w)
+    if bias is not None:
+        out = out + bias.reshape(1, f, 1, 1)
+    return out
+
+
+def conv2d_backward(
+    dout: np.ndarray,
+    x: np.ndarray,
+    weight: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+    has_bias: bool = True,
+):
+    """Gradients of :func:`conv2d`.
+
+    Returns:
+        Tuple ``(dx, dweight, dbias)``; ``dbias`` is None when
+        ``has_bias`` is False.
+    """
+    f, c, kh, _ = weight.shape
+    n = x.shape[0]
+    cols = im2col(x, kh, stride, padding)
+    out_h, out_w = dout.shape[2], dout.shape[3]
+    cols2 = cols.reshape(n, c * kh * kh, out_h * out_w)
+    dout2 = dout.reshape(n, f, out_h * out_w)
+    dweight = np.einsum("nfl,nkl->fk", dout2, cols2, optimize=True)
+    dweight = dweight.reshape(weight.shape)
+    w2 = weight.reshape(f, c * kh * kh)
+    dcols2 = np.einsum("fk,nfl->nkl", w2, dout2, optimize=True)
+    dcols = dcols2.reshape(n, c, kh, kh, out_h, out_w)
+    dx = col2im(dcols, x.shape, kh, stride, padding)
+    dbias = dout.sum(axis=(0, 2, 3)) if has_bias else None
+    return dx, dweight, dbias
+
+
+def depthwise_conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Depthwise convolution: one k x k filter per input channel.
+
+    Args:
+        x: ``(N, C, H, W)`` input.
+        weight: ``(C, k, k)`` per-channel kernels.
+        bias: Optional ``(C,)`` bias.
+
+    Returns:
+        ``(N, C, out_h, out_w)`` output.
+    """
+    c, kh, kw = weight.shape
+    if kh != kw:
+        raise ShapeError(f"only square kernels supported, got {kh}x{kw}")
+    if x.shape[1] != c:
+        raise ShapeError(
+            f"input has {x.shape[1]} channels but weight expects {c}"
+        )
+    cols = im2col(x, kh, stride, padding)
+    # cols: (N, C, k, k, out_h, out_w); contract the kernel window per channel
+    out = np.einsum("nckjhw,ckj->nchw", cols, weight, optimize=True)
+    if bias is not None:
+        out = out + bias.reshape(1, c, 1, 1)
+    return out
+
+
+def depthwise_conv2d_backward(
+    dout: np.ndarray,
+    x: np.ndarray,
+    weight: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+    has_bias: bool = True,
+):
+    """Gradients of :func:`depthwise_conv2d` → ``(dx, dweight, dbias)``."""
+    c, kh, _ = weight.shape
+    cols = im2col(x, kh, stride, padding)
+    dweight = np.einsum("nckjhw,nchw->ckj", cols, dout, optimize=True)
+    dcols = np.einsum("ckj,nchw->nckjhw", weight, dout, optimize=True)
+    dx = col2im(dcols, x.shape, kh, stride, padding)
+    dbias = dout.sum(axis=(0, 2, 3)) if has_bias else None
+    return dx, dweight, dbias
+
+
+def pointwise_conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+) -> np.ndarray:
+    """Pointwise (1 x 1) convolution.
+
+    Args:
+        x: ``(N, C, H, W)`` input.
+        weight: ``(F, C)`` kernels.
+        bias: Optional ``(F,)`` bias.
+
+    Returns:
+        ``(N, F, H, W)`` output.
+    """
+    f, c = weight.shape
+    if x.shape[1] != c:
+        raise ShapeError(
+            f"input has {x.shape[1]} channels but weight expects {c}"
+        )
+    out = np.einsum("fc,nchw->nfhw", weight, x, optimize=True)
+    if bias is not None:
+        out = out + bias.reshape(1, f, 1, 1)
+    return out
+
+
+def pointwise_conv2d_backward(
+    dout: np.ndarray,
+    x: np.ndarray,
+    weight: np.ndarray,
+    has_bias: bool = True,
+):
+    """Gradients of :func:`pointwise_conv2d` → ``(dx, dweight, dbias)``."""
+    dweight = np.einsum("nfhw,nchw->fc", dout, x, optimize=True)
+    dx = np.einsum("fc,nfhw->nchw", weight, dout, optimize=True)
+    dbias = dout.sum(axis=(0, 2, 3)) if has_bias else None
+    return dx, dweight, dbias
+
+
+def global_avg_pool(x: np.ndarray) -> np.ndarray:
+    """Global average pooling: ``(N, C, H, W)`` → ``(N, C)``."""
+    return x.mean(axis=(2, 3))
+
+
+def global_avg_pool_backward(
+    dout: np.ndarray, input_shape: tuple[int, int, int, int]
+) -> np.ndarray:
+    """Gradient of :func:`global_avg_pool`."""
+    n, c, h, w = input_shape
+    scale = 1.0 / (h * w)
+    return np.broadcast_to(
+        dout.reshape(n, c, 1, 1) * scale, input_shape
+    ).copy()
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0)
+
+
+def relu_backward(dout: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Gradient of :func:`relu` w.r.t. its input."""
+    return dout * (x > 0)

@@ -1,0 +1,48 @@
+"""Deterministic weight initialization schemes.
+
+All initializers take an explicit :class:`numpy.random.Generator` so every
+experiment in the repository is reproducible bit-for-bit from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["he_normal", "xavier_uniform", "zeros", "ones"]
+
+
+def he_normal(
+    shape: tuple[int, ...], fan_in: int, rng: np.random.Generator
+) -> np.ndarray:
+    """He (Kaiming) normal initialization, suited to ReLU networks."""
+    if fan_in <= 0:
+        raise ConfigError(f"fan_in must be positive (got {fan_in})")
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(np.float64)
+
+
+def xavier_uniform(
+    shape: tuple[int, ...],
+    fan_in: int,
+    fan_out: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Xavier/Glorot uniform initialization, suited to linear heads."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ConfigError(
+            f"fan_in/fan_out must be positive (got {fan_in}, {fan_out})"
+        )
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zeros parameter (biases, BN shift)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    """All-ones parameter (BN scale)."""
+    return np.ones(shape, dtype=np.float64)

@@ -1,0 +1,389 @@
+"""Layer objects with explicit forward/backward passes.
+
+The training substrate uses layer-wise backpropagation rather than a general
+autograd: each layer caches what it needs during ``forward`` and returns the
+input gradient from ``backward``, accumulating parameter gradients into its
+:class:`Parameter` objects.  This keeps the framework small, explicit, and
+easy to verify against finite differences (see the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import ShapeError
+from . import functional as F
+from . import init
+
+__all__ = [
+    "Parameter",
+    "Layer",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "PointwiseConv2d",
+    "BatchNorm2d",
+    "ReLU",
+    "GlobalAvgPool",
+    "Linear",
+]
+
+
+class Parameter:
+    """A trainable array and its gradient accumulator."""
+
+    def __init__(self, data: np.ndarray, name: str = "") -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero."""
+        self.grad[...] = 0.0
+
+    @property
+    def size(self) -> int:
+        """Number of scalar elements."""
+        return int(self.data.size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Parameter({self.name!r}, shape={self.data.shape})"
+
+
+class Layer:
+    """Base class for all layers.
+
+    Subclasses implement :meth:`forward` and :meth:`backward` and list
+    their parameters via :meth:`parameters`.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the layer output, caching whatever backward needs."""
+        raise NotImplementedError
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        """Given d(loss)/d(output), accumulate parameter gradients and
+        return d(loss)/d(input)."""
+        raise NotImplementedError
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield this layer's trainable parameters (default: none)."""
+        return iter(())
+
+    def train(self) -> None:
+        """Switch to training mode (affects BatchNorm and fake-quant)."""
+        self.training = True
+
+    def eval(self) -> None:
+        """Switch to inference mode."""
+        self.training = False
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class Conv2d(Layer):
+    """Standard 2-D convolution with square kernels, no bias by default.
+
+    MobileNet convolutions are always followed by BatchNorm, which absorbs
+    any bias, so ``bias=False`` is the default as in common practice.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            init.he_normal(
+                (out_channels, in_channels, kernel_size, kernel_size),
+                fan_in,
+                rng,
+            ),
+            name="conv.weight",
+        )
+        self.bias = (
+            Parameter(init.zeros((out_channels,)), name="conv.bias")
+            if bias
+            else None
+        )
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        b = self.bias.data if self.bias is not None else None
+        return F.conv2d(x, self.weight.data, b, self.stride, self.padding)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise ShapeError("backward called before forward")
+        dx, dw, db = F.conv2d_backward(
+            dout,
+            self._x,
+            self.weight.data,
+            self.stride,
+            self.padding,
+            has_bias=self.bias is not None,
+        )
+        self.weight.grad += dw
+        if self.bias is not None and db is not None:
+            self.bias.grad += db
+        return dx
+
+    def parameters(self) -> Iterator[Parameter]:
+        yield self.weight
+        if self.bias is not None:
+            yield self.bias
+
+
+class DepthwiseConv2d(Layer):
+    """Depthwise convolution: one ``k x k`` filter per channel."""
+
+    def __init__(
+        self,
+        channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        padding: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.channels = channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = kernel_size * kernel_size
+        self.weight = Parameter(
+            init.he_normal(
+                (channels, kernel_size, kernel_size), fan_in, rng
+            ),
+            name="dwconv.weight",
+        )
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return F.depthwise_conv2d(
+            x, self.weight.data, None, self.stride, self.padding
+        )
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise ShapeError("backward called before forward")
+        dx, dw, _ = F.depthwise_conv2d_backward(
+            dout,
+            self._x,
+            self.weight.data,
+            self.stride,
+            self.padding,
+            has_bias=False,
+        )
+        self.weight.grad += dw
+        return dx
+
+    def parameters(self) -> Iterator[Parameter]:
+        yield self.weight
+
+
+class PointwiseConv2d(Layer):
+    """Pointwise (1 x 1) convolution."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.weight = Parameter(
+            init.he_normal(
+                (out_channels, in_channels), in_channels, rng
+            ),
+            name="pwconv.weight",
+        )
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return F.pointwise_conv2d(x, self.weight.data, None)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise ShapeError("backward called before forward")
+        dx, dw, _ = F.pointwise_conv2d_backward(
+            dout, self._x, self.weight.data, has_bias=False
+        )
+        self.weight.grad += dw
+        return dx
+
+    def parameters(self) -> Iterator[Parameter]:
+        yield self.weight
+
+
+class BatchNorm2d(Layer):
+    """Batch normalization over the channel dimension of NCHW input.
+
+    In training mode, batch statistics are used and running statistics are
+    updated with exponential moving averages; in eval mode the running
+    statistics are used, matching the behaviour the Non-Conv unit folds.
+    """
+
+    def __init__(
+        self, channels: int, momentum: float = 0.1, eps: float = 1e-5
+    ) -> None:
+        super().__init__()
+        self.channels = channels
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(init.ones((channels,)), name="bn.gamma")
+        self.beta = Parameter(init.zeros((channels,)), name="bn.beta")
+        self.running_mean = np.zeros(channels, dtype=np.float64)
+        self.running_var = np.ones(channels, dtype=np.float64)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.channels:
+            raise ShapeError(
+                f"BatchNorm2d({self.channels}) got input shape {x.shape}"
+            )
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            )
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean.reshape(1, -1, 1, 1)) * inv_std.reshape(1, -1, 1, 1)
+        out = (
+            self.gamma.data.reshape(1, -1, 1, 1) * x_hat
+            + self.beta.data.reshape(1, -1, 1, 1)
+        )
+        self._cache = (x_hat, inv_std, x.shape)
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError("backward called before forward")
+        x_hat, inv_std, shape = self._cache
+        n, _, h, w = shape
+        m = n * h * w
+        self.gamma.grad += (dout * x_hat).sum(axis=(0, 2, 3))
+        self.beta.grad += dout.sum(axis=(0, 2, 3))
+        gamma = self.gamma.data.reshape(1, -1, 1, 1)
+        dxhat = dout * gamma
+        # Standard batch-norm input gradient (batch statistics path).
+        sum_dxhat = dxhat.sum(axis=(0, 2, 3), keepdims=True)
+        sum_dxhat_xhat = (dxhat * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+        dx = (
+            inv_std.reshape(1, -1, 1, 1)
+            / m
+            * (m * dxhat - sum_dxhat - x_hat * sum_dxhat_xhat)
+        )
+        return dx
+
+    def parameters(self) -> Iterator[Parameter]:
+        yield self.gamma
+        yield self.beta
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return F.relu(x)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise ShapeError("backward called before forward")
+        return F.relu_backward(dout, self._x)
+
+
+class GlobalAvgPool(Layer):
+    """Global average pooling: ``(N, C, H, W)`` → ``(N, C)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return F.global_avg_pool(x)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise ShapeError("backward called before forward")
+        return F.global_avg_pool_backward(dout, self._shape)
+
+
+class Linear(Layer):
+    """Fully-connected layer: ``(N, in)`` → ``(N, out)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.xavier_uniform(
+                (out_features, in_features), in_features, out_features, rng
+            ),
+            name="linear.weight",
+        )
+        self.bias = Parameter(init.zeros((out_features,)), name="linear.bias")
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ShapeError(
+                f"Linear({self.in_features}) got input shape {x.shape}"
+            )
+        self._x = x
+        return x @ self.weight.data.T + self.bias.data
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise ShapeError("backward called before forward")
+        self.weight.grad += dout.T @ self._x
+        self.bias.grad += dout.sum(axis=0)
+        return dout @ self.weight.data
+
+    def parameters(self) -> Iterator[Parameter]:
+        yield self.weight
+        yield self.bias

@@ -1,0 +1,47 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+__all__ = ["softmax", "cross_entropy", "cross_entropy_backward", "accuracy"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically-stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Mean cross-entropy between logits ``(N, C)`` and int labels ``(N,)``."""
+    if logits.ndim != 2:
+        raise ShapeError(f"logits must be (N, C), got {logits.shape}")
+    if labels.shape[0] != logits.shape[0]:
+        raise ShapeError(
+            f"batch mismatch: logits {logits.shape[0]} vs labels "
+            f"{labels.shape[0]}"
+        )
+    probs = softmax(logits)
+    n = logits.shape[0]
+    picked = probs[np.arange(n), labels]
+    return float(-np.log(np.clip(picked, 1e-12, None)).mean())
+
+
+def cross_entropy_backward(
+    logits: np.ndarray, labels: np.ndarray
+) -> np.ndarray:
+    """Gradient of mean cross-entropy w.r.t. the logits."""
+    probs = softmax(logits)
+    n = logits.shape[0]
+    grad = probs.copy()
+    grad[np.arange(n), labels] -= 1.0
+    return grad / n
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy in [0, 1]."""
+    return float((logits.argmax(axis=-1) == labels).mean())

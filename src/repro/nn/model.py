@@ -1,0 +1,76 @@
+"""Sequential model container."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .layers import Layer, Parameter
+
+__all__ = ["Sequential"]
+
+
+class Sequential(Layer):
+    """A linear chain of layers executed in order.
+
+    Also records per-layer activations when ``record_activations`` is set,
+    which the quantization calibration and sparsity analyses rely on.
+    """
+
+    def __init__(self, layers: list[Layer] | None = None) -> None:
+        super().__init__()
+        self.layers: list[Layer] = list(layers) if layers else []
+        self.record_activations = False
+        self.activations: list[np.ndarray] = []
+
+    def add(self, layer: Layer) -> "Sequential":
+        """Append a layer; returns self for chaining."""
+        self.layers.append(layer)
+        return self
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.record_activations:
+            self.activations = [x]
+        for layer in self.layers:
+            x = layer.forward(x)
+            if self.record_activations:
+                self.activations.append(x)
+        return x
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            dout = layer.backward(dout)
+        return dout
+
+    def parameters(self) -> Iterator[Parameter]:
+        for layer in self.layers:
+            yield from layer.parameters()
+
+    def zero_grad(self) -> None:
+        """Reset all parameter gradients."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self) -> None:
+        self.training = True
+        for layer in self.layers:
+            layer.train()
+
+    def eval(self) -> None:
+        self.training = False
+        for layer in self.layers:
+            layer.eval()
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars."""
+        return sum(p.size for p in self.parameters())
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, idx: int) -> Layer:
+        return self.layers[idx]

@@ -1,0 +1,57 @@
+"""Optimizers for the NumPy training substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .layers import Parameter
+
+__all__ = ["SGD"]
+
+
+class SGD:
+    """Stochastic gradient descent with classical momentum and weight decay.
+
+    This is the optimizer the MobileNetV1 reference training uses; the LSQ
+    step-size parameters are trained with the same rule (the LSQ paper's
+    gradient-scale factor is applied inside the quantizer layer).
+    """
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 0.05,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if lr <= 0:
+            raise ConfigError(f"learning rate must be positive (got {lr})")
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigError(f"momentum must be in [0, 1) (got {momentum})")
+        if weight_decay < 0:
+            raise ConfigError(
+                f"weight decay must be >= 0 (got {weight_decay})"
+            )
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ConfigError("optimizer received no parameters")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        """Apply one update using the currently accumulated gradients."""
+        for param, vel in zip(self.parameters, self._velocity):
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            vel *= self.momentum
+            vel += grad
+            param.data -= self.lr * vel
+
+    def zero_grad(self) -> None:
+        """Reset gradients of all managed parameters."""
+        for param in self.parameters:
+            param.zero_grad()

@@ -1,0 +1,95 @@
+"""Minimal training loop for the NumPy substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+from .loss import accuracy, cross_entropy, cross_entropy_backward
+from .model import Sequential
+from .optim import SGD
+
+__all__ = ["TrainResult", "Trainer"]
+
+
+@dataclass
+class TrainResult:
+    """Per-epoch history of a training run."""
+
+    losses: list[float] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        """Loss of the last epoch (inf when never trained)."""
+        return self.losses[-1] if self.losses else float("inf")
+
+    @property
+    def final_accuracy(self) -> float:
+        """Training accuracy of the last epoch (0 when never trained)."""
+        return self.accuracies[-1] if self.accuracies else 0.0
+
+
+class Trainer:
+    """Mini-batch SGD trainer for :class:`Sequential` classifiers.
+
+    The reproduction trains MobileNetV1 briefly on the synthetic dataset —
+    enough to move weights and activations away from their initialization
+    so the quantization and sparsity behaviour downstream is realistic.
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        optimizer: SGD,
+        batch_size: int = 32,
+        seed: int = 0,
+    ) -> None:
+        if batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1 (got {batch_size})")
+        self.model = model
+        self.optimizer = optimizer
+        self.batch_size = batch_size
+        self._rng = np.random.default_rng(seed)
+
+    def train_epoch(self, images: np.ndarray, labels: np.ndarray) -> tuple:
+        """Run one epoch; returns (mean loss, mean accuracy)."""
+        n = images.shape[0]
+        if labels.shape[0] != n:
+            raise ConfigError(
+                f"images/labels size mismatch: {n} vs {labels.shape[0]}"
+            )
+        order = self._rng.permutation(n)
+        self.model.train()
+        losses, accs = [], []
+        for start in range(0, n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            x, y = images[idx], labels[idx]
+            self.optimizer.zero_grad()
+            logits = self.model.forward(x)
+            losses.append(cross_entropy(logits, y))
+            accs.append(accuracy(logits, y))
+            self.model.backward(cross_entropy_backward(logits, y))
+            self.optimizer.step()
+        return float(np.mean(losses)), float(np.mean(accs))
+
+    def fit(
+        self, images: np.ndarray, labels: np.ndarray, epochs: int = 1
+    ) -> TrainResult:
+        """Train for ``epochs`` epochs and return the history."""
+        if epochs < 1:
+            raise ConfigError(f"epochs must be >= 1 (got {epochs})")
+        result = TrainResult()
+        for _ in range(epochs):
+            loss, acc = self.train_epoch(images, labels)
+            result.losses.append(loss)
+            result.accuracies.append(acc)
+        return result
+
+    def evaluate(self, images: np.ndarray, labels: np.ndarray) -> tuple:
+        """Compute (loss, accuracy) in eval mode without updating weights."""
+        self.model.eval()
+        logits = self.model.forward(images)
+        return cross_entropy(logits, labels), accuracy(logits, labels)

@@ -1,0 +1,137 @@
+"""Geometry zoo: other DSC-based networks the accelerator can serve.
+
+The paper's conclusion claims the "dataflow is applicable to other
+datasets, and the accelerator is also suitable for other DSC-based
+networks".  This module backs that claim with additional spec factories —
+pure geometry, consumable by every analytic pipeline (DSE, timing,
+throughput, traffic) without any training:
+
+* :func:`mobilenet_v1_imagenet_specs` — the original 224x224 MobileNetV1
+  (stride-2 stem, 13 DSC layers down to 7x7),
+* :func:`mobilenet_v2_dsc_specs` — the depthwise+projection pairs of
+  MobileNetV2's inverted-residual blocks, viewed as DSC layers (the
+  expansion 1x1 runs as a PWC-only pass on the host in this model),
+* :func:`custom_dsc_specs` — a parameterized DSC stack for what-if
+  studies.
+
+Every factory returns :class:`~repro.nn.mobilenet.DSCLayerSpec` lists, so
+``layer_latency``, ``explore`` and the accelerator all accept them as-is
+(channel counts are kept multiples of Td/Tk).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from .mobilenet import DSCLayerSpec
+
+__all__ = [
+    "mobilenet_v1_imagenet_specs",
+    "mobilenet_v2_dsc_specs",
+    "custom_dsc_specs",
+]
+
+
+def mobilenet_v1_imagenet_specs() -> list[DSCLayerSpec]:
+    """MobileNetV1 for 224x224 inputs (Howard et al., 2017).
+
+    The stem conv is stride 2 (224 → 112); the 13 DSC layers then follow
+    the canonical channel plan with strides at indices 1, 3, 5 and 11,
+    ending at 7x7x1024.
+    """
+    plan = [
+        (1, 32, 64),
+        (2, 64, 128),
+        (1, 128, 128),
+        (2, 128, 256),
+        (1, 256, 256),
+        (2, 256, 512),
+        (1, 512, 512),
+        (1, 512, 512),
+        (1, 512, 512),
+        (1, 512, 512),
+        (1, 512, 512),
+        (2, 512, 1024),
+        (1, 1024, 1024),
+    ]
+    specs = []
+    size = 112  # after the stride-2 stem
+    for idx, (stride, d, k) in enumerate(plan):
+        spec = DSCLayerSpec(idx, size, stride, d, k)
+        specs.append(spec)
+        size = spec.out_size
+    return specs
+
+
+def mobilenet_v2_dsc_specs(input_size: int = 32) -> list[DSCLayerSpec]:
+    """The DSC view of MobileNetV2's inverted-residual blocks (CIFAR).
+
+    Each inverted-residual block expands to ``t * c_in`` channels with a
+    1x1 conv, applies a 3x3 depthwise, then projects to ``c_out`` with a
+    1x1 conv.  The depthwise + projection pair is exactly a DSC layer for
+    the EDEA engines: D = expanded channels, K = projected channels.  The
+    expansion itself is a pure PWC workload the dual-engine design would
+    schedule on the PWC engine alone; it is not part of these specs.
+
+    Channel counts are rounded to multiples of 16 so both Td=8 and Tk=16
+    tile exactly (MobileNetV2's own widths are multiples of 8; the
+    first block's 16→16 projection already fits).
+    """
+    if input_size < 4:
+        raise ConfigError(f"input_size too small: {input_size}")
+    # (expansion t, c_out, repeats, first stride) per the MNv2 paper,
+    # CIFAR adaptation: first two strides relaxed to 1.
+    cfg = [
+        (1, 16, 1, 1),
+        (6, 32, 2, 1),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ]
+    specs = []
+    size = input_size  # stride-1 stem for CIFAR
+    c_in = 32
+    index = 0
+    for t, c_out, repeats, first_stride in cfg:
+        for r in range(repeats):
+            stride = first_stride if r == 0 else 1
+            expanded = max(16, t * c_in)
+            expanded = ((expanded + 15) // 16) * 16
+            k_out = ((c_out + 15) // 16) * 16
+            spec = DSCLayerSpec(index, size, stride, expanded, k_out)
+            specs.append(spec)
+            size = spec.out_size
+            c_in = c_out
+            index += 1
+    return specs
+
+
+def custom_dsc_specs(
+    input_size: int,
+    channel_plan: list[tuple[int, int, int]],
+) -> list[DSCLayerSpec]:
+    """Build a DSC stack from an explicit ``(stride, D, K)`` plan.
+
+    Args:
+        input_size: Spatial size entering the first DSC layer.
+        channel_plan: One ``(stride, in_channels, out_channels)`` tuple
+            per layer; consecutive entries must chain (``K_i == D_{i+1}``).
+
+    Raises:
+        ConfigError: On an empty or non-chaining plan.
+    """
+    if not channel_plan:
+        raise ConfigError("channel_plan must not be empty")
+    specs = []
+    size = input_size
+    for idx, (stride, d, k) in enumerate(channel_plan):
+        if idx > 0 and channel_plan[idx - 1][2] != d:
+            raise ConfigError(
+                f"channel plan does not chain at layer {idx}: "
+                f"{channel_plan[idx - 1][2]} -> {d}"
+            )
+        spec = DSCLayerSpec(idx, size, stride, d, k)
+        specs.append(spec)
+        size = spec.out_size
+    return specs

@@ -1,0 +1,40 @@
+"""Performance-metric helpers (GOPS, TOPS/W, GOPS/mm²)."""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+__all__ = [
+    "gops",
+    "tops_per_watt",
+    "gops_per_mm2",
+    "energy_joules",
+]
+
+
+def gops(ops: int, seconds: float) -> float:
+    """Throughput in giga-operations per second."""
+    if seconds <= 0:
+        raise ConfigError(f"duration must be positive (got {seconds})")
+    return ops / seconds / 1e9
+
+
+def tops_per_watt(ops: int, seconds: float, watts: float) -> float:
+    """Energy efficiency in tera-operations per second per watt."""
+    if watts <= 0:
+        raise ConfigError(f"power must be positive (got {watts})")
+    return gops(ops, seconds) / watts / 1e3
+
+
+def gops_per_mm2(throughput_gops: float, area_mm2: float) -> float:
+    """Area efficiency in GOPS per square millimetre."""
+    if area_mm2 <= 0:
+        raise ConfigError(f"area must be positive (got {area_mm2})")
+    return throughput_gops / area_mm2
+
+
+def energy_joules(watts: float, seconds: float) -> float:
+    """Energy consumed by a run."""
+    if watts < 0 or seconds < 0:
+        raise ConfigError("power and duration must be non-negative")
+    return watts * seconds

@@ -1,0 +1,52 @@
+"""Quantization substrate: int8 scheme, LSQ, BN folding, int8 reference.
+
+Implements the paper's quantization stack: symmetric 8-bit weights and
+activations (LSQ-style learned steps for QAT, observer-based calibration
+for PTQ) and the folding of dequantization + batch norm + ReLU +
+requantization into the Non-Conv unit's ``y = k*x + b`` form with Q8.16
+constants.
+"""
+
+from .fold import BNParams, NonConvParams, derive_nonconv_params
+from .lsq import LSQQuantizer, lsq_initial_step
+from .observer import MinMaxObserver, PercentileObserver
+from .opcount import (
+    NonConvOpCounts,
+    network_nonconv_op_counts,
+    nonconv_op_counts,
+)
+from .qat import (
+    QATDepthwiseConv2d,
+    QATPointwiseConv2d,
+    convert_qat_mobilenet,
+    prepare_qat_mobilenet,
+)
+from .qmodel import QuantizedDSCLayer, QuantizedMobileNet, quantize_mobilenet
+from .serialize import load_quantized_model, save_quantized_model
+from .scheme import QuantParams, dequantize, quantization_error, quantize
+
+__all__ = [
+    "QuantParams",
+    "quantize",
+    "dequantize",
+    "quantization_error",
+    "MinMaxObserver",
+    "PercentileObserver",
+    "LSQQuantizer",
+    "lsq_initial_step",
+    "BNParams",
+    "NonConvParams",
+    "derive_nonconv_params",
+    "QuantizedDSCLayer",
+    "QuantizedMobileNet",
+    "quantize_mobilenet",
+    "prepare_qat_mobilenet",
+    "convert_qat_mobilenet",
+    "QATDepthwiseConv2d",
+    "QATPointwiseConv2d",
+    "NonConvOpCounts",
+    "nonconv_op_counts",
+    "network_nonconv_op_counts",
+    "save_quantized_model",
+    "load_quantized_model",
+]

@@ -1,0 +1,218 @@
+"""Folding dequantization + BatchNorm + ReLU + requantization into k*x + b.
+
+This is the mathematical heart of EDEA's Non-Conv unit (paper Section III-C
+and Fig. 6).  Between the DWC and PWC engines the network applies, in float:
+
+    y = quant( relu( BN( dequant(acc) ) ) )
+
+with ``dequant(acc) = s_in * s_w * acc`` (symmetric int8 scales) and
+``BN(v) = gamma * (v - mu) / sqrt(var + eps) + beta``.  Because every
+parameter is fixed at inference time, the whole chain collapses to
+
+    y = clip( round( k * acc + b ) ),   with per-channel constants
+    k = s_in * s_w * gamma / sqrt(var + eps) / s_out
+    b = (beta - gamma * mu / sqrt(var + eps)) / s_out
+
+and ReLU realized by clamping the result at zero.  The hardware stores
+``k`` and ``b`` as Q8.16 fixed-point (24-bit) values; this module derives
+those constants and applies them with bit-accurate integer arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import QuantizationError
+from ..fixedpoint import Q8_16, QFormat, fixed_mul_add, requantize_to_int8
+from .scheme import QuantParams
+
+__all__ = ["BNParams", "NonConvParams", "derive_nonconv_params"]
+
+
+@dataclass(frozen=True)
+class BNParams:
+    """Inference-time batch-norm parameters for one channel group."""
+
+    gamma: np.ndarray
+    beta: np.ndarray
+    mean: np.ndarray
+    var: np.ndarray
+    eps: float = 1e-5
+
+    def __post_init__(self) -> None:
+        shapes = {
+            np.shape(self.gamma),
+            np.shape(self.beta),
+            np.shape(self.mean),
+            np.shape(self.var),
+        }
+        if len(shapes) != 1:
+            raise QuantizationError(
+                f"BN parameter shapes disagree: {sorted(shapes)}"
+            )
+        if np.any(np.asarray(self.var) < 0):
+            raise QuantizationError("BN variance must be non-negative")
+
+    @property
+    def channels(self) -> int:
+        """Number of channels covered."""
+        return int(np.shape(self.gamma)[0])
+
+    def inv_std(self) -> np.ndarray:
+        """``1 / sqrt(var + eps)`` per channel."""
+        return 1.0 / np.sqrt(np.asarray(self.var) + self.eps)
+
+
+@dataclass(frozen=True)
+class NonConvParams:
+    """Per-channel folded constants of one Non-Conv stage.
+
+    Attributes:
+        k_raw: Per-channel multiplier as raw Q8.16 integers.
+        b_raw: Per-channel offset as raw Q8.16 integers.
+        relu: Apply ReLU (clamp at zero) before requantization.
+        fmt: The fixed-point format of ``k_raw``/``b_raw`` (Q8.16 in EDEA).
+    """
+
+    k_raw: np.ndarray
+    b_raw: np.ndarray
+    relu: bool = True
+    fmt: QFormat = field(default=Q8_16)
+
+    def __post_init__(self) -> None:
+        if np.shape(self.k_raw) != np.shape(self.b_raw):
+            raise QuantizationError(
+                f"k/b shape mismatch: {np.shape(self.k_raw)} vs "
+                f"{np.shape(self.b_raw)}"
+            )
+
+    @property
+    def channels(self) -> int:
+        """Number of channels covered."""
+        return int(np.shape(self.k_raw)[0])
+
+    def k_float(self) -> np.ndarray:
+        """Real-valued multipliers (after Q8.16 rounding)."""
+        return self.fmt.to_float(self.k_raw)
+
+    def b_float(self) -> np.ndarray:
+        """Real-valued offsets (after Q8.16 rounding)."""
+        return self.fmt.to_float(self.b_raw)
+
+    def apply(self, acc: np.ndarray, channel_axis: int = 0) -> np.ndarray:
+        """Run the Non-Conv datapath on integer accumulators.
+
+        Args:
+            acc: Integer convolution accumulators; the size along
+                ``channel_axis`` must equal :attr:`channels`.
+            channel_axis: Axis indexing the output channel.
+
+        Returns:
+            int8 activations with identical shape.
+        """
+        acc = np.asarray(acc)
+        if acc.shape[channel_axis] != self.channels:
+            raise QuantizationError(
+                f"accumulator has {acc.shape[channel_axis]} channels on axis "
+                f"{channel_axis}, Non-Conv params cover {self.channels}"
+            )
+        shape = [1] * acc.ndim
+        shape[channel_axis] = self.channels
+        k = np.asarray(self.k_raw, dtype=np.int64).reshape(shape)
+        b = np.asarray(self.b_raw, dtype=np.int64).reshape(shape)
+        # One multiply and one add per element — the unit's whole datapath —
+        # followed by the rounding/ReLU/saturation output stage.
+        wide = acc.astype(np.int64) * k + b
+        return requantize_to_int8(
+            wide, self.fmt.fraction_bits, apply_relu=self.relu
+        )
+
+    def apply_scalar(self, acc: int, channel: int) -> int:
+        """Scalar version of :meth:`apply` (used by the PE-level model)."""
+        wide = fixed_mul_add(
+            np.asarray([acc]),
+            int(np.asarray(self.k_raw)[channel]),
+            int(np.asarray(self.b_raw)[channel]),
+            self.fmt,
+        )
+        out = requantize_to_int8(
+            wide, self.fmt.fraction_bits, apply_relu=self.relu
+        )
+        return int(out[0])
+
+    def float_reference(self, acc: np.ndarray, channel_axis: int = 0):
+        """Float-domain reference of the same computation.
+
+        Uses the Q8.16-rounded constants so it differs from :meth:`apply`
+        only by the output rounding model; used in property tests.
+        """
+        shape = [1] * acc.ndim
+        shape[channel_axis] = self.channels
+        k = self.k_float().reshape(shape)
+        b = self.b_float().reshape(shape)
+        val = acc.astype(np.float64) * k + b
+        if self.relu:
+            val = np.maximum(val, 0.0)
+        return np.clip(np.round(val), -128, 127)
+
+
+def derive_nonconv_params(
+    input_params: QuantParams,
+    weight_params: QuantParams,
+    bn: BNParams,
+    output_params: QuantParams,
+    relu: bool = True,
+    fmt: QFormat = Q8_16,
+    saturate: bool = False,
+) -> NonConvParams:
+    """Fold the dequant→BN→ReLU→quant chain into Q8.16 ``(k, b)`` pairs.
+
+    Args:
+        input_params: Quantization of the convolution's int8 input.
+        weight_params: Quantization of the convolution's int8 weights.
+        bn: Batch-norm parameters following the convolution.
+        output_params: Quantization of the stage's int8 output.
+        relu: Whether a ReLU sits between BN and requantization.
+        fmt: Fixed-point storage format for the folded constants.
+        saturate: Clamp out-of-range constants to the format limits
+            instead of raising.  The paper chose Q8.16 to cover all ranges
+            of its trained network; barely-trained networks (whose BN
+            running statistics are still settling) can exceed it on a few
+            channels, where clamping is the hardware-faithful behaviour.
+
+    Returns:
+        :class:`NonConvParams` covering ``bn.channels`` channels.
+
+    Raises:
+        QuantizationError: If a folded constant saturates the fixed-point
+            format and ``saturate`` is False.
+    """
+    inv_std = bn.inv_std()
+    k = (
+        input_params.scale
+        * weight_params.scale
+        * np.asarray(bn.gamma)
+        * inv_std
+        / output_params.scale
+    )
+    b = (
+        np.asarray(bn.beta)
+        - np.asarray(bn.gamma) * np.asarray(bn.mean) * inv_std
+    ) / output_params.scale
+    if not saturate:
+        for name, values in (("k", k), ("b", b)):
+            if np.any(values < fmt.min_value) or np.any(
+                values > fmt.max_value
+            ):
+                raise QuantizationError(
+                    f"folded constant {name} exceeds {fmt} range: "
+                    f"[{values.min():.4f}, {values.max():.4f}]"
+                )
+    return NonConvParams(
+        k_raw=np.asarray(fmt.to_fixed(k), dtype=np.int64),
+        b_raw=np.asarray(fmt.to_fixed(b), dtype=np.int64),
+        relu=relu,
+        fmt=fmt,
+    )

@@ -1,0 +1,105 @@
+"""Learned Step-size Quantization (LSQ), Esser et al. 2019.
+
+The paper quantizes MobileNetV1 weights and activations to 8 bit "using the
+LSQ technique" before mapping the network onto the accelerator.  LSQ treats
+the quantizer step size ``s`` as a trainable parameter: the fake-quantized
+value is ``q = clip(round(x/s), Qn, Qp) * s`` and the gradient w.r.t. ``s``
+uses the straight-through estimator
+
+    d q / d s =  -x/s + round(x/s)    if Qn < x/s < Qp
+                 Qn or Qp             otherwise,
+
+scaled by ``g = 1 / sqrt(N * Qp)`` for stable training.  This module
+implements LSQ as a :class:`~repro.nn.layers.Layer` that can be inserted
+into a model for quantization-aware training; after QAT the learned step
+becomes the deployment scale.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import QuantizationError
+from ..nn.layers import Layer, Parameter
+from .scheme import QuantParams
+
+__all__ = ["LSQQuantizer", "lsq_initial_step"]
+
+
+def lsq_initial_step(
+    x: np.ndarray, qmax: int
+) -> float:
+    """LSQ paper initialization: ``2 * mean(|x|) / sqrt(Qp)``."""
+    if x.size == 0:
+        raise QuantizationError("cannot initialize LSQ from an empty array")
+    step = 2.0 * float(np.mean(np.abs(x))) / np.sqrt(qmax)
+    return step if step > 0 else 1.0 / qmax
+
+
+class LSQQuantizer(Layer):
+    """Fake-quantization layer with a learned step size.
+
+    In training mode the forward pass fake-quantizes (quantize, then
+    dequantize) and the backward pass propagates straight-through input
+    gradients plus the LSQ step-size gradient.  In eval mode it behaves
+    identically on the forward path, so QAT and deployment see the same
+    numerics.
+
+    Args:
+        signed: False for post-ReLU activations (range [0, 127]).
+        step: Initial step size; when None it is set from the first batch.
+    """
+
+    def __init__(self, signed: bool = True, step: float | None = None) -> None:
+        super().__init__()
+        self.signed = signed
+        self.qmin = -128 if signed else 0
+        self.qmax = 127
+        initial = float(step) if step is not None else float("nan")
+        self.step = Parameter(np.array([initial]), name="lsq.step")
+        self._cache: tuple | None = None
+
+    @property
+    def initialized(self) -> bool:
+        """Whether the step size has been set (directly or from data)."""
+        return bool(np.isfinite(self.step.data[0]))
+
+    def quant_params(self) -> QuantParams:
+        """Deployment quantization parameters from the learned step."""
+        if not self.initialized:
+            raise QuantizationError("LSQ step was never initialized")
+        return QuantParams(scale=float(self.step.data[0]), signed=self.signed)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.initialized:
+            self.step.data[0] = lsq_initial_step(x, self.qmax)
+        s = float(self.step.data[0])
+        if s <= 0:
+            # Training can push s toward zero; clamp to keep the quantizer
+            # sane, as reference LSQ implementations do.
+            s = 1e-8
+            self.step.data[0] = s
+        ratio = x / s
+        clipped = np.clip(ratio, self.qmin, self.qmax)
+        rounded = np.round(clipped)
+        out = rounded * s
+        if self.training:
+            self._cache = (ratio, rounded, x.size)
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise QuantizationError("backward called before forward")
+        ratio, rounded, n = self._cache
+        inside = (ratio > self.qmin) & (ratio < self.qmax)
+        # d(out)/d(s): rounded - ratio inside the range; the clip bound
+        # outside it (rounded equals the bound there).
+        ds_elem = np.where(inside, rounded - ratio, rounded)
+        grad_scale = 1.0 / np.sqrt(n * self.qmax)
+        self.step.grad[0] += float(np.sum(dout * ds_elem)) * grad_scale
+        return dout * inside
+
+    def parameters(self) -> Iterator[Parameter]:
+        yield self.step

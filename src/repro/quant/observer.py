@@ -1,0 +1,76 @@
+"""Calibration observers: derive quantization scales from sample data.
+
+Observers accumulate statistics over one or more calibration batches and
+then emit :class:`~repro.quant.scheme.QuantParams`.  Two strategies are
+provided: plain absolute-max and a clipping percentile variant that is more
+robust to outliers (a common post-training-quantization practice).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import QuantizationError
+from .scheme import QuantParams
+
+__all__ = ["MinMaxObserver", "PercentileObserver"]
+
+
+class MinMaxObserver:
+    """Tracks the absolute maximum and maps it to the int8 range."""
+
+    def __init__(self, signed: bool = True) -> None:
+        self.signed = signed
+        self._abs_max = 0.0
+        self._observed = False
+
+    def observe(self, x: np.ndarray) -> None:
+        """Fold one batch of values into the statistics."""
+        if x.size == 0:
+            raise QuantizationError("cannot observe an empty array")
+        self._abs_max = max(self._abs_max, float(np.max(np.abs(x))))
+        self._observed = True
+
+    def compute_params(self) -> QuantParams:
+        """Emit quantization parameters from the observed range."""
+        if not self._observed:
+            raise QuantizationError("observer has not seen any data")
+        # An all-zero tensor still needs a valid (arbitrary) positive scale.
+        abs_max = self._abs_max if self._abs_max > 0 else 1.0
+        return QuantParams(scale=abs_max / 127.0, signed=self.signed)
+
+
+class PercentileObserver:
+    """Clips to a high percentile of |x| before deriving the scale.
+
+    Keeping the histogram of every batch exactly would be costly; instead
+    the observer stores per-batch percentile estimates and combines them
+    with the maximum, which is a good, cheap approximation for the smooth
+    activation distributions seen here.
+    """
+
+    def __init__(self, percentile: float = 99.9, signed: bool = True) -> None:
+        if not 50.0 < percentile <= 100.0:
+            raise QuantizationError(
+                f"percentile must be in (50, 100] (got {percentile})"
+            )
+        self.percentile = percentile
+        self.signed = signed
+        self._estimates: list[float] = []
+
+    def observe(self, x: np.ndarray) -> None:
+        """Fold one batch of values into the statistics."""
+        if x.size == 0:
+            raise QuantizationError("cannot observe an empty array")
+        self._estimates.append(
+            float(np.percentile(np.abs(x), self.percentile))
+        )
+
+    def compute_params(self) -> QuantParams:
+        """Emit quantization parameters from the observed range."""
+        if not self._estimates:
+            raise QuantizationError("observer has not seen any data")
+        clip = max(self._estimates)
+        if clip <= 0:
+            clip = 1.0
+        return QuantParams(scale=clip / 127.0, signed=self.signed)

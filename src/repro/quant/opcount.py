@@ -1,0 +1,93 @@
+"""Operation-count model for the Non-Conv folding ablation.
+
+The paper claims the Non-Conv unit "reduces the overall number of
+operations" by merging dequantization, batch norm, ReLU and quantization
+into one multiply-add.  This module counts the elementary arithmetic
+operations of both formulations per activation element, so the saving can
+be quantified per layer and per network (the ablation bench prints it).
+
+Unfolded chain, per element (Fig. 6 left):
+
+* dequantization: 1 multiply (``acc * s_in*s_w``; the scale product is
+  pre-computed),
+* batch norm: 1 subtract, 1 multiply, 1 add  (``gamma/sigma`` folded
+  offline, as any sane deployment would),
+* ReLU: 1 compare,
+* quantization: 1 multiply (by ``1/s_out``), 1 round, 1 clamp.
+
+Total: 8 operations.  Folded Non-Conv, per element: 1 multiply, 1 add,
+1 round, 1 compare+clamp (ReLU merges into the clamp's lower bound) = 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..nn.mobilenet import DSCLayerSpec
+
+__all__ = ["NonConvOpCounts", "nonconv_op_counts", "network_nonconv_op_counts"]
+
+UNFOLDED_OPS_PER_ELEMENT = 8
+FOLDED_OPS_PER_ELEMENT = 4
+
+
+@dataclass(frozen=True)
+class NonConvOpCounts:
+    """Operation counts of the two formulations for one layer.
+
+    Attributes:
+        elements: Activation elements passing through the stage(s).
+        unfolded_ops: Ops with separate dequant/BN/ReLU/quant stages.
+        folded_ops: Ops with the merged ``k*x + b`` Non-Conv unit.
+    """
+
+    elements: int
+    unfolded_ops: int
+    folded_ops: int
+
+    @property
+    def saved_ops(self) -> int:
+        """Operations eliminated by folding."""
+        return self.unfolded_ops - self.folded_ops
+
+    @property
+    def reduction_percent(self) -> float:
+        """Relative saving in percent."""
+        if self.unfolded_ops == 0:
+            return 0.0
+        return 100.0 * self.saved_ops / self.unfolded_ops
+
+    def __add__(self, other: "NonConvOpCounts") -> "NonConvOpCounts":
+        return NonConvOpCounts(
+            elements=self.elements + other.elements,
+            unfolded_ops=self.unfolded_ops + other.unfolded_ops,
+            folded_ops=self.folded_ops + other.folded_ops,
+        )
+
+
+def nonconv_op_counts(spec: DSCLayerSpec) -> NonConvOpCounts:
+    """Non-Conv operation counts for one DSC layer.
+
+    Both the DWC→PWC stage (``N·M·D`` elements) and the PWC output stage
+    (``N·M·K`` elements) pass through the unit.
+    """
+    n = spec.out_size
+    elements = n * n * (spec.in_channels + spec.out_channels)
+    return NonConvOpCounts(
+        elements=elements,
+        unfolded_ops=elements * UNFOLDED_OPS_PER_ELEMENT,
+        folded_ops=elements * FOLDED_OPS_PER_ELEMENT,
+    )
+
+
+def network_nonconv_op_counts(
+    specs: list[DSCLayerSpec],
+) -> NonConvOpCounts:
+    """Aggregate Non-Conv operation counts over a network."""
+    if not specs:
+        raise ConfigError("no layer specs supplied")
+    total = NonConvOpCounts(0, 0, 0)
+    for spec in specs:
+        total = total + nonconv_op_counts(spec)
+    return total

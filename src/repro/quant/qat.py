@@ -1,0 +1,278 @@
+"""Quantization-aware training (QAT) with LSQ, and conversion to int8.
+
+The paper quantizes MobileNetV1 "to 8 bits using the LSQ technique",
+i.e. quantization-aware training with learned step sizes, then deploys
+the learned scales.  This module provides that flow on our NumPy
+substrate:
+
+1. :func:`prepare_qat_mobilenet` rebuilds a float MobileNetV1 with LSQ
+   fake-quantizers on every DSC weight tensor and every activation edge
+   the hardware quantizes;
+2. ordinary training (``repro.nn.Trainer``) then learns weights *and*
+   step sizes jointly (straight-through gradients);
+3. :func:`convert_qat_mobilenet` folds the learned steps and BN
+   statistics into a deployable bit-exact
+   :class:`~repro.quant.qmodel.QuantizedMobileNet`.
+
+The post-training path (:func:`~repro.quant.qmodel.quantize_mobilenet`)
+remains available; the QAT path typically recovers accuracy lost to
+quantization because the scales co-adapt with the weights (asserted in
+the test suite on a separable toy task).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..nn import functional as F
+from ..nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    GlobalAvgPool,
+    Layer,
+    Linear,
+    Parameter,
+    PointwiseConv2d,
+    ReLU,
+)
+from ..nn.mobilenet import DSCLayerSpec
+from ..nn.model import Sequential
+from .fold import BNParams, derive_nonconv_params
+from .lsq import LSQQuantizer
+from .qmodel import QuantizedDSCLayer, QuantizedMobileNet
+from .scheme import quantize
+
+__all__ = [
+    "QATDepthwiseConv2d",
+    "QATPointwiseConv2d",
+    "prepare_qat_mobilenet",
+    "convert_qat_mobilenet",
+]
+
+
+class QATDepthwiseConv2d(Layer):
+    """Depthwise convolution with LSQ fake-quantized weights."""
+
+    def __init__(self, conv: DepthwiseConv2d) -> None:
+        super().__init__()
+        self.conv = conv
+        self.weight_quant = LSQQuantizer(signed=True)
+        self._x: np.ndarray | None = None
+        self._w_fq: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        self._w_fq = self.weight_quant.forward(self.conv.weight.data)
+        return F.depthwise_conv2d(
+            x, self._w_fq, None, self.conv.stride, self.conv.padding
+        )
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._x is None or self._w_fq is None:
+            raise ShapeError("backward called before forward")
+        dx, dw_fq, _ = F.depthwise_conv2d_backward(
+            dout,
+            self._x,
+            self._w_fq,
+            self.conv.stride,
+            self.conv.padding,
+            has_bias=False,
+        )
+        self.conv.weight.grad += self.weight_quant.backward(dw_fq)
+        return dx
+
+    def parameters(self) -> Iterator[Parameter]:
+        yield self.conv.weight
+        yield from self.weight_quant.parameters()
+
+
+class QATPointwiseConv2d(Layer):
+    """Pointwise convolution with LSQ fake-quantized weights."""
+
+    def __init__(self, conv: PointwiseConv2d) -> None:
+        super().__init__()
+        self.conv = conv
+        self.weight_quant = LSQQuantizer(signed=True)
+        self._x: np.ndarray | None = None
+        self._w_fq: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        self._w_fq = self.weight_quant.forward(self.conv.weight.data)
+        return F.pointwise_conv2d(x, self._w_fq, None)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._x is None or self._w_fq is None:
+            raise ShapeError("backward called before forward")
+        dx, dw_fq, _ = F.pointwise_conv2d_backward(
+            dout, self._x, self._w_fq, has_bias=False
+        )
+        self.conv.weight.grad += self.weight_quant.backward(dw_fq)
+        return dx
+
+    def parameters(self) -> Iterator[Parameter]:
+        yield self.conv.weight
+        yield from self.weight_quant.parameters()
+
+
+def prepare_qat_mobilenet(model: Sequential, num_blocks: int) -> Sequential:
+    """Rebuild a float MobileNetV1 for quantization-aware training.
+
+    The returned model shares parameters with ``model`` (training the QAT
+    model trains the original tensors) and inserts:
+
+    * an unsigned LSQ activation quantizer after the stem ReLU and after
+      every ReLU inside the DSC blocks (the tensors the hardware stores
+      as int8), and
+    * a signed LSQ weight quantizer inside every DSC convolution.
+
+    Layout: ``[Conv, BN, ReLU, ActQ] + num_blocks x [QATDW, BN, ReLU,
+    ActQ, QATPW, BN, ReLU, ActQ] + [GAP, Linear]``.
+
+    Args:
+        model: A model from :func:`repro.nn.build_mobilenet_v1`.
+        num_blocks: Number of DSC blocks (13 for MobileNetV1).
+    """
+    expected = 3 + 6 * num_blocks + 2
+    if len(model) != expected:
+        raise ShapeError(
+            f"model has {len(model)} layers, expected {expected} for "
+            f"{num_blocks} DSC blocks"
+        )
+    qat = Sequential()
+    # stem
+    qat.add(model[0]).add(model[1]).add(model[2])
+    qat.add(LSQQuantizer(signed=False))
+    for i in range(num_blocks):
+        base = 3 + 6 * i
+        dw = model[base + 0]
+        if not isinstance(dw, DepthwiseConv2d):
+            raise ShapeError(
+                f"expected DepthwiseConv2d at index {base}, got "
+                f"{type(dw).__name__}"
+            )
+        pw = model[base + 3]
+        if not isinstance(pw, PointwiseConv2d):
+            raise ShapeError(
+                f"expected PointwiseConv2d at index {base + 3}, got "
+                f"{type(pw).__name__}"
+            )
+        qat.add(QATDepthwiseConv2d(dw))
+        qat.add(model[base + 1])
+        qat.add(model[base + 2])
+        qat.add(LSQQuantizer(signed=False))
+        qat.add(QATPointwiseConv2d(pw))
+        qat.add(model[base + 4])
+        qat.add(model[base + 5])
+        qat.add(LSQQuantizer(signed=False))
+    qat.add(model[3 + 6 * num_blocks])
+    qat.add(model[4 + 6 * num_blocks])
+    return qat
+
+
+def convert_qat_mobilenet(
+    qat_model: Sequential, specs: list[DSCLayerSpec]
+) -> QuantizedMobileNet:
+    """Fold a trained QAT model into a deployable int8 network.
+
+    All scales come from the learned LSQ step sizes; BN statistics come
+    from the (shared) BatchNorm layers; the Non-Conv constants are
+    derived exactly as in the PTQ path.
+    """
+    expected = 4 + 8 * len(specs) + 2
+    if len(qat_model) != expected:
+        raise ShapeError(
+            f"QAT model has {len(qat_model)} layers, expected {expected}"
+        )
+    qat_model.eval()
+
+    stem = [qat_model[0], qat_model[1], qat_model[2]]
+    for layer, cls in zip(stem, (Conv2d, BatchNorm2d, ReLU)):
+        if not isinstance(layer, cls):
+            raise ShapeError(
+                f"stem structure mismatch: got {type(layer).__name__}"
+            )
+    stem_actq = qat_model[3]
+    if not isinstance(stem_actq, LSQQuantizer):
+        raise ShapeError("expected stem activation quantizer at index 3")
+    input_params = stem_actq.quant_params()
+
+    qlayers = []
+    prev_params = input_params
+    for i, spec in enumerate(specs):
+        base = 4 + 8 * i
+        qat_dw = qat_model[base + 0]
+        bn1 = qat_model[base + 1]
+        mid_actq = qat_model[base + 3]
+        qat_pw = qat_model[base + 4]
+        bn2 = qat_model[base + 5]
+        out_actq = qat_model[base + 7]
+        if not isinstance(qat_dw, QATDepthwiseConv2d) or not isinstance(
+            qat_pw, QATPointwiseConv2d
+        ):
+            raise ShapeError(f"block {i} structure mismatch")
+
+        dwc_w_params = qat_dw.weight_quant.quant_params()
+        pwc_w_params = qat_pw.weight_quant.quant_params()
+        mid_params = mid_actq.quant_params()
+        out_params = out_actq.quant_params()
+
+        dwc_nonconv = derive_nonconv_params(
+            prev_params,
+            dwc_w_params,
+            BNParams(
+                gamma=bn1.gamma.data,
+                beta=bn1.beta.data,
+                mean=bn1.running_mean,
+                var=bn1.running_var,
+                eps=bn1.eps,
+            ),
+            mid_params,
+            relu=True,
+            saturate=True,
+        )
+        pwc_nonconv = derive_nonconv_params(
+            mid_params,
+            pwc_w_params,
+            BNParams(
+                gamma=bn2.gamma.data,
+                beta=bn2.beta.data,
+                mean=bn2.running_mean,
+                var=bn2.running_var,
+                eps=bn2.eps,
+            ),
+            out_params,
+            relu=True,
+            saturate=True,
+        )
+        qlayers.append(
+            QuantizedDSCLayer(
+                spec=spec,
+                dwc_weight=quantize(qat_dw.conv.weight.data, dwc_w_params),
+                pwc_weight=quantize(qat_pw.conv.weight.data, pwc_w_params),
+                dwc_nonconv=dwc_nonconv,
+                pwc_nonconv=pwc_nonconv,
+                input_params=prev_params,
+                mid_params=mid_params,
+                output_params=out_params,
+            )
+        )
+        prev_params = out_params
+
+    head_pool = qat_model[4 + 8 * len(specs)]
+    head_linear = qat_model[5 + 8 * len(specs)]
+    if not isinstance(head_pool, GlobalAvgPool) or not isinstance(
+        head_linear, Linear
+    ):
+        raise ShapeError("head structure mismatch")
+    return QuantizedMobileNet(
+        stem=stem,
+        input_params=input_params,
+        layers=qlayers,
+        head_pool=head_pool,
+        head_linear=head_linear,
+    )

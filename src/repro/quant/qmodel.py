@@ -1,0 +1,337 @@
+"""Bit-accurate int8 reference model of quantized MobileNetV1.
+
+This is the golden reference the accelerator simulator is checked against:
+every DSC layer is executed with integer arithmetic only — int8 operands,
+wide accumulators, and the Q8.16 Non-Conv stage — exactly as the hardware
+does, but without any tiling or scheduling.  The stem convolution and the
+classifier head stay in float, mirroring the paper's system boundary (the
+EDEA accelerator covers the 13 DSC layers; other layers run elsewhere).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import QuantizationError, ShapeError
+from ..nn import functional as F
+from ..nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    GlobalAvgPool,
+    Linear,
+    PointwiseConv2d,
+    ReLU,
+)
+from ..nn.mobilenet import DSCLayerSpec
+from ..nn.model import Sequential
+from .fold import BNParams, NonConvParams, derive_nonconv_params
+from .observer import MinMaxObserver, PercentileObserver
+from .scheme import QuantParams, quantize
+
+__all__ = ["QuantizedDSCLayer", "QuantizedMobileNet", "quantize_mobilenet"]
+
+
+@dataclass
+class QuantizedDSCLayer:
+    """One int8 depthwise-separable layer with folded Non-Conv stages.
+
+    Attributes:
+        spec: Layer geometry.
+        dwc_weight: int8 depthwise kernels, shape ``(D, 3, 3)``.
+        pwc_weight: int8 pointwise kernels, shape ``(K, D)``.
+        dwc_nonconv: Folded constants between DWC and PWC (D channels).
+        pwc_nonconv: Folded constants after PWC (K channels).
+        input_params: Quantization of the layer's int8 input.
+        mid_params: Quantization of the intermediate (PWC input) tensor.
+        output_params: Quantization of the layer's int8 output.
+    """
+
+    spec: DSCLayerSpec
+    dwc_weight: np.ndarray
+    pwc_weight: np.ndarray
+    dwc_nonconv: NonConvParams
+    pwc_nonconv: NonConvParams
+    input_params: QuantParams
+    mid_params: QuantParams
+    output_params: QuantParams
+
+    def __post_init__(self) -> None:
+        d, k = self.spec.in_channels, self.spec.out_channels
+        if self.dwc_weight.shape != (d, 3, 3):
+            raise ShapeError(
+                f"dwc_weight shape {self.dwc_weight.shape} != {(d, 3, 3)}"
+            )
+        if self.pwc_weight.shape != (k, d):
+            raise ShapeError(
+                f"pwc_weight shape {self.pwc_weight.shape} != {(k, d)}"
+            )
+
+    def dwc_accumulate(self, x_q: np.ndarray) -> np.ndarray:
+        """Integer depthwise convolution: int8 in, int64 accumulators out."""
+        acc = F.depthwise_conv2d(
+            x_q.astype(np.int64),
+            self.dwc_weight.astype(np.int64),
+            None,
+            stride=self.spec.stride,
+            padding=1,
+        )
+        return acc
+
+    def pwc_accumulate(self, mid_q: np.ndarray) -> np.ndarray:
+        """Integer pointwise convolution: int8 in, int64 accumulators out."""
+        return F.pointwise_conv2d(
+            mid_q.astype(np.int64), self.pwc_weight.astype(np.int64), None
+        )
+
+    def forward(self, x_q: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Run the layer on an int8 batch ``(N, D, H, W)``.
+
+        Returns:
+            ``(mid_q, out_q)``: the int8 intermediate (PWC input) and the
+            int8 layer output — both are needed by the sparsity analysis.
+        """
+        if x_q.dtype != np.int8:
+            raise QuantizationError(
+                f"layer input must be int8 (got {x_q.dtype})"
+            )
+        mid_q = self.dwc_nonconv.apply(self.dwc_accumulate(x_q), channel_axis=1)
+        out_q = self.pwc_nonconv.apply(self.pwc_accumulate(mid_q), channel_axis=1)
+        return mid_q, out_q
+
+
+class QuantizedMobileNet:
+    """Float stem + 13 int8 DSC layers + float classifier head."""
+
+    def __init__(
+        self,
+        stem: list,
+        input_params: QuantParams,
+        layers: list[QuantizedDSCLayer],
+        head_pool: GlobalAvgPool,
+        head_linear: Linear,
+    ) -> None:
+        self.stem = stem
+        self.input_params = input_params
+        self.layers = layers
+        self.head_pool = head_pool
+        self.head_linear = head_linear
+
+    def stem_forward(self, images: np.ndarray) -> np.ndarray:
+        """Float stem, then quantization to the int8 domain of layer 0."""
+        x = images
+        for layer in self.stem:
+            x = layer.forward(x)
+        return quantize(x, self.input_params)
+
+    def forward(
+        self, images: np.ndarray, return_activations: bool = False
+    ):
+        """Classify a float image batch through the quantized network.
+
+        Args:
+            images: ``(N, 3, H, W)`` float input batch.
+            return_activations: When True, also return the per-layer int8
+                intermediate and output tensors (for sparsity analysis).
+
+        Returns:
+            Logits ``(N, classes)``, optionally with an activation list of
+            ``(mid_q, out_q)`` tuples per DSC layer.
+        """
+        x_q = self.stem_forward(images)
+        activations = []
+        for layer in self.layers:
+            mid_q, x_q = layer.forward(x_q)
+            if return_activations:
+                activations.append((mid_q, x_q))
+        x = x_q.astype(np.float64) * self.layers[-1].output_params.scale
+        pooled = self.head_pool.forward(x)
+        logits = self.head_linear.forward(pooled)
+        if return_activations:
+            return logits, activations
+        return logits
+
+    def layer_input(self, images: np.ndarray, layer_index: int) -> np.ndarray:
+        """int8 input tensor of DSC layer ``layer_index`` for ``images``."""
+        if not 0 <= layer_index < len(self.layers):
+            raise ShapeError(f"no DSC layer {layer_index}")
+        x_q = self.stem_forward(images)
+        for layer in self.layers[:layer_index]:
+            _, x_q = layer.forward(x_q)
+        return x_q
+
+    def zero_fractions(self, images: np.ndarray) -> list[dict]:
+        """Per-layer sparsity of the DWC and PWC int8 activations.
+
+        Returns a list of dicts with keys ``dwc_input``, ``pwc_input`` and
+        ``pwc_output`` giving the fraction of zero-valued int8 elements —
+        the quantity Fig. 11 of the paper plots against layer power.
+        """
+        x_q = self.stem_forward(images)
+        stats = []
+        for layer in self.layers:
+            mid_q, out_q = layer.forward(x_q)
+            stats.append(
+                {
+                    "dwc_input": float(np.mean(x_q == 0)),
+                    "pwc_input": float(np.mean(mid_q == 0)),
+                    "pwc_output": float(np.mean(out_q == 0)),
+                }
+            )
+            x_q = out_q
+        return stats
+
+
+def _expect(layer, cls):
+    if not isinstance(layer, cls):
+        raise ShapeError(
+            f"model structure mismatch: expected {cls.__name__}, got "
+            f"{type(layer).__name__}"
+        )
+    return layer
+
+
+def _make_observer(strategy: str, signed: bool):
+    if strategy == "minmax":
+        return MinMaxObserver(signed=signed)
+    if strategy == "percentile":
+        return PercentileObserver(signed=signed)
+    raise QuantizationError(f"unknown calibration strategy {strategy!r}")
+
+
+def quantize_mobilenet(
+    model: Sequential,
+    specs: list[DSCLayerSpec],
+    calibration_images: np.ndarray,
+    strategy: str = "minmax",
+) -> QuantizedMobileNet:
+    """Post-training-quantize a float MobileNetV1 into the int8 reference.
+
+    The float model must follow the structure produced by
+    :func:`repro.nn.build_mobilenet_v1`.  Activation scales come from
+    running the calibration batch through the float model in eval mode;
+    weight scales are per-tensor absolute-max; BN parameters are folded
+    into per-channel Q8.16 Non-Conv constants.
+
+    Args:
+        model: Trained float model (will be switched to eval mode).
+        specs: The DSC layer geometry the model was built from.
+        calibration_images: Float batch used to calibrate activations.
+        strategy: ``"minmax"`` or ``"percentile"``.
+
+    Returns:
+        A :class:`QuantizedMobileNet`.
+    """
+    expected_len = 3 + 6 * len(specs) + 2
+    if len(model) != expected_len:
+        raise ShapeError(
+            f"model has {len(model)} layers, expected {expected_len} for "
+            f"{len(specs)} DSC blocks"
+        )
+    model.eval()
+
+    stem = [
+        _expect(model[0], Conv2d),
+        _expect(model[1], BatchNorm2d),
+        _expect(model[2], ReLU),
+    ]
+
+    # --- calibration pass: capture float activations at quantization points
+    x = calibration_images
+    for layer in stem:
+        x = layer.forward(x)
+    act_observers = []
+    obs = _make_observer(strategy, signed=False)
+    obs.observe(x)
+    act_observers.append(obs)  # input of DSC layer 0 (post stem ReLU)
+    for i in range(len(specs)):
+        base = 3 + 6 * i
+        dw = _expect(model[base + 0], DepthwiseConv2d)
+        bn1 = _expect(model[base + 1], BatchNorm2d)
+        relu1 = _expect(model[base + 2], ReLU)
+        pw = _expect(model[base + 3], PointwiseConv2d)
+        bn2 = _expect(model[base + 4], BatchNorm2d)
+        relu2 = _expect(model[base + 5], ReLU)
+        x = relu1.forward(bn1.forward(dw.forward(x)))
+        obs_mid = _make_observer(strategy, signed=False)
+        obs_mid.observe(x)
+        x = relu2.forward(bn2.forward(pw.forward(x)))
+        obs_out = _make_observer(strategy, signed=False)
+        obs_out.observe(x)
+        act_observers.append(obs_mid)
+        act_observers.append(obs_out)
+
+    input_params = act_observers[0].compute_params()
+
+    # --- fold every block
+    qlayers = []
+    prev_params = input_params
+    for i, spec in enumerate(specs):
+        base = 3 + 6 * i
+        dw = model[base + 0]
+        bn1 = model[base + 1]
+        pw = model[base + 3]
+        bn2 = model[base + 4]
+        mid_params = act_observers[1 + 2 * i].compute_params()
+        out_params = act_observers[2 + 2 * i].compute_params()
+
+        w_obs = MinMaxObserver(signed=True)
+        w_obs.observe(dw.weight.data)
+        dwc_w_params = w_obs.compute_params()
+        w_obs = MinMaxObserver(signed=True)
+        w_obs.observe(pw.weight.data)
+        pwc_w_params = w_obs.compute_params()
+
+        dwc_nonconv = derive_nonconv_params(
+            prev_params,
+            dwc_w_params,
+            BNParams(
+                gamma=bn1.gamma.data,
+                beta=bn1.beta.data,
+                mean=bn1.running_mean,
+                var=bn1.running_var,
+                eps=bn1.eps,
+            ),
+            mid_params,
+            relu=True,
+            saturate=True,
+        )
+        pwc_nonconv = derive_nonconv_params(
+            mid_params,
+            pwc_w_params,
+            BNParams(
+                gamma=bn2.gamma.data,
+                beta=bn2.beta.data,
+                mean=bn2.running_mean,
+                var=bn2.running_var,
+                eps=bn2.eps,
+            ),
+            out_params,
+            relu=True,
+            saturate=True,
+        )
+        qlayers.append(
+            QuantizedDSCLayer(
+                spec=spec,
+                dwc_weight=quantize(dw.weight.data, dwc_w_params),
+                pwc_weight=quantize(pw.weight.data, pwc_w_params),
+                dwc_nonconv=dwc_nonconv,
+                pwc_nonconv=pwc_nonconv,
+                input_params=prev_params,
+                mid_params=mid_params,
+                output_params=out_params,
+            )
+        )
+        prev_params = out_params
+
+    head_pool = _expect(model[3 + 6 * len(specs)], GlobalAvgPool)
+    head_linear = _expect(model[4 + 6 * len(specs)], Linear)
+    return QuantizedMobileNet(
+        stem=stem,
+        input_params=input_params,
+        layers=qlayers,
+        head_pool=head_pool,
+        head_linear=head_linear,
+    )

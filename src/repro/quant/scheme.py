@@ -1,0 +1,72 @@
+"""Symmetric int8 quantization scheme.
+
+EDEA uses 8-bit weights and activations (quantized with LSQ in the paper).
+We model symmetric uniform quantization: ``x_q = clip(round(x / s), lo, hi)``
+with a per-tensor real scale ``s`` and zero zero-point.  Activations after
+ReLU are non-negative, so their effective range is ``[0, 127]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import QuantizationError
+
+__all__ = ["QuantParams", "quantize", "dequantize", "quantization_error"]
+
+INT8_MIN = -128
+INT8_MAX = 127
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Per-tensor symmetric quantization parameters.
+
+    Attributes:
+        scale: Real value of one integer step; must be positive.
+        signed: When False the integer range is ``[0, 127]`` (post-ReLU
+            activations); when True it is ``[-128, 127]``.
+    """
+
+    scale: float
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.scale) or self.scale <= 0:
+            raise QuantizationError(
+                f"scale must be a positive finite number (got {self.scale})"
+            )
+
+    @property
+    def qmin(self) -> int:
+        """Lower end of the integer range."""
+        return INT8_MIN if self.signed else 0
+
+    @property
+    def qmax(self) -> int:
+        """Upper end of the integer range."""
+        return INT8_MAX
+
+    @property
+    def max_representable(self) -> float:
+        """Largest real magnitude representable without clipping."""
+        return self.qmax * self.scale
+
+
+def quantize(x: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Quantize a real array to int8 under ``params``."""
+    q = np.round(np.asarray(x, dtype=np.float64) / params.scale)
+    return np.clip(q, params.qmin, params.qmax).astype(np.int8)
+
+
+def dequantize(q: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Map int8 codes back to real values."""
+    return np.asarray(q, dtype=np.float64) * params.scale
+
+
+def quantization_error(x: np.ndarray, params: QuantParams) -> float:
+    """Root-mean-square error introduced by quantizing ``x``."""
+    rec = dequantize(quantize(x, params), params)
+    return float(np.sqrt(np.mean((rec - np.asarray(x)) ** 2)))

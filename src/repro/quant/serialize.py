@@ -1,0 +1,153 @@
+"""Serialization of quantized models to a single ``.npz`` archive.
+
+A deployable EDEA network is exactly what the hardware consumes: int8
+weight tensors, per-channel Q8.16 Non-Conv constants, and per-tensor
+scales — plus the float stem/head parameters of the host-side layers.
+This module packs a :class:`~repro.quant.qmodel.QuantizedMobileNet` into
+one NumPy archive and restores it bit-identically, so trained/quantized
+models can be shipped without re-running training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import QuantizationError, ShapeError
+from ..nn.layers import BatchNorm2d, Conv2d, GlobalAvgPool, Linear, ReLU
+from ..nn.mobilenet import DSCLayerSpec
+from .fold import NonConvParams
+from .qmodel import QuantizedDSCLayer, QuantizedMobileNet
+from .scheme import QuantParams
+
+__all__ = ["save_quantized_model", "load_quantized_model"]
+
+FORMAT_VERSION = 1
+
+
+def save_quantized_model(model: QuantizedMobileNet, path: str) -> None:
+    """Write a quantized model to ``path`` (.npz).
+
+    The archive is self-describing: layer geometry, all int8 tensors,
+    raw Q8.16 constants, scales, and the float stem/head parameters.
+    """
+    stem_conv, stem_bn, stem_relu = model.stem
+    if not isinstance(stem_conv, Conv2d) or not isinstance(
+        stem_bn, BatchNorm2d
+    ):
+        raise ShapeError("model stem has unexpected structure")
+    if not isinstance(stem_relu, ReLU):
+        raise ShapeError("model stem has unexpected structure")
+
+    arrays: dict[str, np.ndarray] = {
+        "format_version": np.array(FORMAT_VERSION),
+        "num_layers": np.array(len(model.layers)),
+        "input_scale": np.array(model.input_params.scale),
+        "input_signed": np.array(model.input_params.signed),
+        "stem_conv_weight": stem_conv.weight.data,
+        "stem_conv_stride": np.array(stem_conv.stride),
+        "stem_conv_padding": np.array(stem_conv.padding),
+        "stem_bn_gamma": stem_bn.gamma.data,
+        "stem_bn_beta": stem_bn.beta.data,
+        "stem_bn_mean": stem_bn.running_mean,
+        "stem_bn_var": stem_bn.running_var,
+        "stem_bn_eps": np.array(stem_bn.eps),
+        "head_weight": model.head_linear.weight.data,
+        "head_bias": model.head_linear.bias.data,
+    }
+    for i, layer in enumerate(model.layers):
+        p = f"layer{i}_"
+        spec = layer.spec
+        arrays[p + "spec"] = np.array(
+            [spec.index, spec.in_size, spec.stride,
+             spec.in_channels, spec.out_channels]
+        )
+        arrays[p + "dwc_weight"] = layer.dwc_weight
+        arrays[p + "pwc_weight"] = layer.pwc_weight
+        arrays[p + "dwc_k"] = np.asarray(layer.dwc_nonconv.k_raw)
+        arrays[p + "dwc_b"] = np.asarray(layer.dwc_nonconv.b_raw)
+        arrays[p + "pwc_k"] = np.asarray(layer.pwc_nonconv.k_raw)
+        arrays[p + "pwc_b"] = np.asarray(layer.pwc_nonconv.b_raw)
+        arrays[p + "scales"] = np.array(
+            [layer.input_params.scale, layer.mid_params.scale,
+             layer.output_params.scale]
+        )
+    np.savez_compressed(path, **arrays)
+
+
+def load_quantized_model(path: str) -> QuantizedMobileNet:
+    """Restore a model written by :func:`save_quantized_model`.
+
+    Raises:
+        QuantizationError: On version mismatch or a malformed archive.
+    """
+    with np.load(path) as data:
+        version = int(data["format_version"])
+        if version != FORMAT_VERSION:
+            raise QuantizationError(
+                f"unsupported model format version {version} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        num_layers = int(data["num_layers"])
+
+        stem_weight = data["stem_conv_weight"]
+        out_ch, in_ch, k, _ = stem_weight.shape
+        stem_conv = Conv2d(
+            in_ch, out_ch, k,
+            stride=int(data["stem_conv_stride"]),
+            padding=int(data["stem_conv_padding"]),
+        )
+        stem_conv.weight.data = stem_weight.copy()
+        stem_bn = BatchNorm2d(out_ch, eps=float(data["stem_bn_eps"]))
+        stem_bn.gamma.data = data["stem_bn_gamma"].copy()
+        stem_bn.beta.data = data["stem_bn_beta"].copy()
+        stem_bn.running_mean = data["stem_bn_mean"].copy()
+        stem_bn.running_var = data["stem_bn_var"].copy()
+        stem = [stem_conv, stem_bn, ReLU()]
+        for layer in stem:
+            layer.eval()
+
+        layers = []
+        for i in range(num_layers):
+            p = f"layer{i}_"
+            if p + "spec" not in data:
+                raise QuantizationError(
+                    f"archive is missing layer {i} (of {num_layers})"
+                )
+            idx, in_size, stride, d, kk = (int(v) for v in data[p + "spec"])
+            spec = DSCLayerSpec(idx, in_size, stride, d, kk)
+            scales = data[p + "scales"]
+            layers.append(
+                QuantizedDSCLayer(
+                    spec=spec,
+                    dwc_weight=data[p + "dwc_weight"].copy(),
+                    pwc_weight=data[p + "pwc_weight"].copy(),
+                    dwc_nonconv=NonConvParams(
+                        k_raw=data[p + "dwc_k"].copy(),
+                        b_raw=data[p + "dwc_b"].copy(),
+                        relu=True,
+                    ),
+                    pwc_nonconv=NonConvParams(
+                        k_raw=data[p + "pwc_k"].copy(),
+                        b_raw=data[p + "pwc_b"].copy(),
+                        relu=True,
+                    ),
+                    input_params=QuantParams(float(scales[0]), signed=False),
+                    mid_params=QuantParams(float(scales[1]), signed=False),
+                    output_params=QuantParams(float(scales[2]), signed=False),
+                )
+            )
+
+        head_weight = data["head_weight"]
+        head_linear = Linear(head_weight.shape[1], head_weight.shape[0])
+        head_linear.weight.data = head_weight.copy()
+        head_linear.bias.data = data["head_bias"].copy()
+        head_linear.eval()
+
+        return QuantizedMobileNet(
+            stem=stem,
+            input_params=QuantParams(float(data["input_scale"]),
+                                     signed=bool(data["input_signed"])),
+            layers=layers,
+            head_pool=GlobalAvgPool(),
+            head_linear=head_linear,
+        )

@@ -1,0 +1,41 @@
+"""Cycle-level simulation: pipeline timing (Eqs. 1-2), network runner
+with bit-exact verification, run statistics, and pipeline tracing."""
+
+from .batch import BatchResult, run_batch
+from .faults import (
+    FaultImpact,
+    FaultSpec,
+    inject_weight_fault,
+    measure_impact,
+)
+from .pipeline import LatencyBreakdown, eq1_tile_latency_cycles, layer_latency
+from .runner import AcceleratorRunner
+from .schedule import (
+    OpKind,
+    ScheduleOp,
+    generate_layer_schedule,
+    schedule_summary,
+)
+from .stats import NetworkRunStats
+from .tracer import STAGES, PipelineEvent, trace_tile_pipeline
+
+__all__ = [
+    "LatencyBreakdown",
+    "eq1_tile_latency_cycles",
+    "layer_latency",
+    "AcceleratorRunner",
+    "OpKind",
+    "ScheduleOp",
+    "generate_layer_schedule",
+    "schedule_summary",
+    "NetworkRunStats",
+    "STAGES",
+    "PipelineEvent",
+    "trace_tile_pipeline",
+    "FaultSpec",
+    "FaultImpact",
+    "inject_weight_fault",
+    "measure_impact",
+    "BatchResult",
+    "run_batch",
+]

@@ -1,0 +1,174 @@
+"""Fault injection for reliability studies of the quantized datapath.
+
+Injects controlled bit flips into the int8 weight tensors or the Non-Conv
+constants of a quantized layer and quantifies the functional impact at
+the layer output.  Two things this enables:
+
+* **reliability analysis** — how much a single-event upset in the weight
+  SRAM perturbs a layer (classically: high-order bits hurt, low-order
+  bits vanish in the requantization), and
+* **verification hardening** — the bit-exact runner must flag any
+  injected fault that changes the output (asserted in the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..quant.fold import NonConvParams
+from ..quant.qmodel import QuantizedDSCLayer
+
+__all__ = ["FaultSpec", "FaultImpact", "inject_weight_fault", "measure_impact"]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected bit flip.
+
+    Attributes:
+        target: ``"dwc_weight"``, ``"pwc_weight"``, ``"dwc_k"`` or
+            ``"pwc_k"``.
+        flat_index: Flattened element index within the target tensor.
+        bit: Bit position to flip (0 = LSB; int8 targets allow 0..7,
+            Q8.16 constants 0..23).
+    """
+
+    target: str
+    flat_index: int
+    bit: int
+
+    VALID_TARGETS = ("dwc_weight", "pwc_weight", "dwc_k", "pwc_k")
+
+    def __post_init__(self) -> None:
+        if self.target not in self.VALID_TARGETS:
+            raise ConfigError(
+                f"unknown fault target {self.target!r}; "
+                f"valid: {', '.join(self.VALID_TARGETS)}"
+            )
+        max_bit = 7 if self.target.endswith("weight") else 23
+        if not 0 <= self.bit <= max_bit:
+            raise ConfigError(
+                f"bit {self.bit} out of range 0..{max_bit} for "
+                f"{self.target}"
+            )
+        if self.flat_index < 0:
+            raise ConfigError(f"negative flat_index {self.flat_index}")
+
+
+@dataclass(frozen=True)
+class FaultImpact:
+    """Output divergence caused by one fault.
+
+    Attributes:
+        changed_elements: Output elements that differ from fault-free.
+        total_elements: Output size.
+        max_abs_error: Largest int8 output deviation.
+        mean_abs_error: Mean absolute output deviation.
+    """
+
+    changed_elements: int
+    total_elements: int
+    max_abs_error: int
+    mean_abs_error: float
+
+    @property
+    def changed_fraction(self) -> float:
+        """Fraction of outputs perturbed."""
+        if self.total_elements == 0:
+            return 0.0
+        return self.changed_elements / self.total_elements
+
+    @property
+    def silent(self) -> bool:
+        """True when the fault is completely masked by the datapath."""
+        return self.changed_elements == 0
+
+
+def _flip_int8(tensor: np.ndarray, flat_index: int, bit: int) -> np.ndarray:
+    flat = tensor.reshape(-1).copy()
+    if flat_index >= flat.size:
+        raise ConfigError(
+            f"flat_index {flat_index} out of range for tensor of "
+            f"{flat.size} elements"
+        )
+    # two's-complement bit flip on the 8-bit pattern
+    value = int(flat[flat_index]) & 0xFF
+    value ^= 1 << bit
+    if value >= 128:
+        value -= 256
+    flat[flat_index] = value
+    return flat.reshape(tensor.shape)
+
+
+def _flip_q8_16(raw: np.ndarray, flat_index: int, bit: int) -> np.ndarray:
+    flat = np.asarray(raw, dtype=np.int64).reshape(-1).copy()
+    if flat_index >= flat.size:
+        raise ConfigError(
+            f"flat_index {flat_index} out of range for tensor of "
+            f"{flat.size} elements"
+        )
+    value = int(flat[flat_index]) & 0xFFFFFF  # 24-bit two's complement
+    value ^= 1 << bit
+    if value >= 1 << 23:
+        value -= 1 << 24
+    flat[flat_index] = value
+    return flat.reshape(np.asarray(raw).shape)
+
+
+def inject_weight_fault(
+    layer: QuantizedDSCLayer, fault: FaultSpec
+) -> QuantizedDSCLayer:
+    """Return a copy of ``layer`` with one bit flipped per ``fault``."""
+    dwc_w, pwc_w = layer.dwc_weight, layer.pwc_weight
+    dwc_nc, pwc_nc = layer.dwc_nonconv, layer.pwc_nonconv
+    if fault.target == "dwc_weight":
+        dwc_w = _flip_int8(dwc_w, fault.flat_index, fault.bit)
+    elif fault.target == "pwc_weight":
+        pwc_w = _flip_int8(pwc_w, fault.flat_index, fault.bit)
+    elif fault.target == "dwc_k":
+        dwc_nc = NonConvParams(
+            k_raw=_flip_q8_16(dwc_nc.k_raw, fault.flat_index, fault.bit),
+            b_raw=np.asarray(dwc_nc.b_raw),
+            relu=dwc_nc.relu,
+            fmt=dwc_nc.fmt,
+        )
+    else:  # pwc_k
+        pwc_nc = NonConvParams(
+            k_raw=_flip_q8_16(pwc_nc.k_raw, fault.flat_index, fault.bit),
+            b_raw=np.asarray(pwc_nc.b_raw),
+            relu=pwc_nc.relu,
+            fmt=pwc_nc.fmt,
+        )
+    return QuantizedDSCLayer(
+        spec=layer.spec,
+        dwc_weight=dwc_w,
+        pwc_weight=pwc_w,
+        dwc_nonconv=dwc_nc,
+        pwc_nonconv=pwc_nc,
+        input_params=layer.input_params,
+        mid_params=layer.mid_params,
+        output_params=layer.output_params,
+    )
+
+
+def measure_impact(
+    layer: QuantizedDSCLayer,
+    fault: FaultSpec,
+    x_q: np.ndarray,
+) -> FaultImpact:
+    """Run the layer with and without the fault; compare int8 outputs."""
+    _, clean = layer.forward(x_q[np.newaxis])
+    faulty_layer = inject_weight_fault(layer, fault)
+    _, faulty = faulty_layer.forward(x_q[np.newaxis])
+    diff = np.abs(
+        clean.astype(np.int64) - faulty.astype(np.int64)
+    )
+    return FaultImpact(
+        changed_elements=int(np.count_nonzero(diff)),
+        total_elements=int(diff.size),
+        max_abs_error=int(diff.max()),
+        mean_abs_error=float(diff.mean()),
+    )

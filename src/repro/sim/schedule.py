@@ -1,0 +1,131 @@
+"""Explicit tile-schedule generation (the accelerator's control program).
+
+The accelerator's controller walks a fixed loop nest (La dataflow with the
+ifmap-buffer spatial tiling).  This module materializes that walk as an
+explicit operation stream — the "microcode" of one layer — which the test
+suite cross-checks against both the closed-form timing model and the
+event-level simulator's invocation counts, and which makes the schedule
+inspectable and unit-testable on its own.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator
+
+from ..arch.params import EDEA_CONFIG, ArchConfig
+from ..errors import ConfigError
+from ..nn.mobilenet import DSCLayerSpec
+
+__all__ = ["OpKind", "ScheduleOp", "generate_layer_schedule", "schedule_summary"]
+
+
+class OpKind(Enum):
+    """Controller operation types, in pipeline order."""
+
+    LOAD_DWC_WEIGHTS = "load_dwc_weights"
+    LOAD_OFFLINE = "load_offline"
+    LOAD_PWC_WEIGHTS = "load_pwc_weights"
+    LOAD_IFMAP_TILE = "load_ifmap_tile"
+    DWC_PASS = "dwc_pass"
+    NONCONV_PASS = "nonconv_pass"
+    PWC_PASS = "pwc_pass"
+    STORE_OUTPUT = "store_output"
+
+
+@dataclass(frozen=True)
+class ScheduleOp:
+    """One controller operation.
+
+    Attributes:
+        kind: Operation type.
+        channel_group: Td-group index (-1 where not applicable).
+        tile: Linear ifmap-tile index (-1 where not applicable).
+        position: Output-position index within the tile (-1 if N/A).
+        kernel_group: Tk-group index (-1 if N/A).
+    """
+
+    kind: OpKind
+    channel_group: int = -1
+    tile: int = -1
+    position: int = -1
+    kernel_group: int = -1
+
+
+def generate_layer_schedule(
+    spec: DSCLayerSpec, config: ArchConfig = EDEA_CONFIG
+) -> Iterator[ScheduleOp]:
+    """Yield the full operation stream of one layer.
+
+    Loop order (outermost first): channel group → ifmap tile → position →
+    kernel group, with per-group weight/offline loads and a final output
+    store per kernel group — exactly the walk
+    :class:`~repro.arch.accelerator.DSCAccelerator` performs.
+    """
+    if spec.in_channels % config.td:
+        raise ConfigError(
+            f"channels {spec.in_channels} not a multiple of Td={config.td}"
+        )
+    if spec.out_channels % config.tk:
+        raise ConfigError(
+            f"kernels {spec.out_channels} not a multiple of Tk={config.tk}"
+        )
+    out = spec.out_size
+    n_channel_groups = spec.in_channels // config.td
+    n_kernel_groups = spec.out_channels // config.tk
+    edge = config.max_output_tile
+    tile_starts = list(range(0, out, edge))
+
+    for group in range(n_channel_groups):
+        yield ScheduleOp(OpKind.LOAD_DWC_WEIGHTS, channel_group=group)
+        yield ScheduleOp(OpKind.LOAD_OFFLINE, channel_group=group)
+        yield ScheduleOp(OpKind.LOAD_PWC_WEIGHTS, channel_group=group)
+        tile_index = 0
+        for ty in tile_starts:
+            for tx in tile_starts:
+                yield ScheduleOp(
+                    OpKind.LOAD_IFMAP_TILE,
+                    channel_group=group,
+                    tile=tile_index,
+                )
+                tile_h = min(edge, out - ty)
+                tile_w = min(edge, out - tx)
+                positions = math.ceil(tile_h / config.tn) * math.ceil(
+                    tile_w / config.tm
+                )
+                for pos in range(positions):
+                    yield ScheduleOp(
+                        OpKind.DWC_PASS,
+                        channel_group=group,
+                        tile=tile_index,
+                        position=pos,
+                    )
+                    yield ScheduleOp(
+                        OpKind.NONCONV_PASS,
+                        channel_group=group,
+                        tile=tile_index,
+                        position=pos,
+                    )
+                    for kg in range(n_kernel_groups):
+                        yield ScheduleOp(
+                            OpKind.PWC_PASS,
+                            channel_group=group,
+                            tile=tile_index,
+                            position=pos,
+                            kernel_group=kg,
+                        )
+                tile_index += 1
+    for kg in range(n_kernel_groups):
+        yield ScheduleOp(OpKind.STORE_OUTPUT, kernel_group=kg)
+
+
+def schedule_summary(
+    spec: DSCLayerSpec, config: ArchConfig = EDEA_CONFIG
+) -> dict[str, int]:
+    """Operation counts by kind for one layer's schedule."""
+    counts: dict[str, int] = {kind.value: 0 for kind in OpKind}
+    for op in generate_layer_schedule(spec, config):
+        counts[op.kind.value] += 1
+    return counts

@@ -1,0 +1,73 @@
+"""Aggregated statistics for whole-network accelerator runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.accelerator import LayerRunStats
+
+__all__ = ["NetworkRunStats"]
+
+
+@dataclass
+class NetworkRunStats:
+    """Per-layer stats plus network-level aggregates.
+
+    Attributes:
+        layers: One :class:`~repro.arch.accelerator.LayerRunStats` per DSC
+            layer, in execution order.
+        clock_hz: Clock the latencies/throughputs are evaluated at.
+    """
+
+    layers: list[LayerRunStats]
+    clock_hz: float
+
+    @property
+    def total_cycles(self) -> int:
+        """Sum of per-layer cycle counts."""
+        return sum(layer.cycles for layer in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        """Useful MACs across the network."""
+        return sum(layer.total_macs for layer in self.layers)
+
+    @property
+    def total_ops(self) -> int:
+        """Useful operations (2 per MAC)."""
+        return sum(layer.total_ops for layer in self.layers)
+
+    @property
+    def total_latency_seconds(self) -> float:
+        """End-to-end DSC latency (layers run back-to-back)."""
+        return self.total_cycles / self.clock_hz
+
+    @property
+    def mean_layer_throughput_gops(self) -> float:
+        """Arithmetic mean of per-layer throughputs (paper's "average
+        throughput" aggregation, ≈981 GOPS)."""
+        values = [
+            layer.throughput_ops_per_second(self.clock_hz) / 1e9
+            for layer in self.layers
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def aggregate_throughput_gops(self) -> float:
+        """Ops-weighted throughput: total ops / total latency."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.total_ops * self.clock_hz / self.total_cycles / 1e9
+
+    def layer_throughputs_gops(self) -> list[float]:
+        """Per-layer throughput series (Fig. 13)."""
+        return [
+            layer.throughput_ops_per_second(self.clock_hz) / 1e9
+            for layer in self.layers
+        ]
+
+    def layer_latencies_ns(self) -> list[float]:
+        """Per-layer latency series in nanoseconds (Fig. 10)."""
+        return [
+            1e9 * layer.cycles / self.clock_hz for layer in self.layers
+        ]

@@ -1,0 +1,118 @@
+"""Event tracing for the pipeline timing model (paper Fig. 7).
+
+Generates the per-cycle occupancy of the pipeline stages for one tile —
+the reproduction of the paper's timing diagram.  The trace is analytic
+(derived from the same schedule as Eqs. 1-2), bounded in length, and used
+by the Fig. 7 benchmark and the timing tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.params import EDEA_CONFIG, ArchConfig
+from ..errors import ConfigError
+
+__all__ = ["PipelineEvent", "trace_tile_pipeline", "STAGES"]
+
+#: Pipeline stages in Fig. 7's order.
+STAGES: tuple[str, ...] = (
+    "dwc_input_load",
+    "dwc_process",
+    "offline_load",
+    "nonconv_process",
+    "intermediate_write",
+    "pwc_weight_load",
+    "pwc_process",
+    "output",
+)
+
+
+@dataclass(frozen=True)
+class PipelineEvent:
+    """One stage occupying one cycle.
+
+    Attributes:
+        cycle: Clock cycle (0-based within the tile).
+        stage: One of :data:`STAGES`.
+        position: Output-position index the work belongs to.
+        kernel_group: PWC kernel group (only for pwc/output stages).
+    """
+
+    cycle: int
+    stage: str
+    position: int
+    kernel_group: int = 0
+
+
+def trace_tile_pipeline(
+    positions: int,
+    kernel_groups: int,
+    config: ArchConfig = EDEA_CONFIG,
+    max_events: int = 100_000,
+) -> list[PipelineEvent]:
+    """Trace one tile's pipeline schedule.
+
+    The initiation occupies the first ``init_cycles`` cycles (stages fill
+    one after another, as Fig. 7 draws: the first PWC output appears at
+    cycle 9); afterwards one PWC result is produced per cycle.  The DWC
+    stage fires once per position and then idles for the remaining
+    ``kernel_groups - 1`` cycles — the imbalance the paper notes.
+
+    Args:
+        positions: Output positions in the tile (``ceil(N/Tn)*ceil(M/Tm)``).
+        kernel_groups: ``ceil(K/Tk)``.
+        config: Architecture parameters (for ``init_cycles``).
+        max_events: Safety bound on trace length.
+    """
+    if positions < 1 or kernel_groups < 1:
+        raise ConfigError("positions and kernel_groups must be >= 1")
+    events: list[PipelineEvent] = []
+
+    def emit(event: PipelineEvent) -> None:
+        if len(events) >= max_events:
+            raise ConfigError(
+                f"trace exceeds max_events={max_events}; "
+                "trace a smaller tile"
+            )
+        events.append(event)
+
+    # Initiation: the eight stages fill sequentially for position 0; the
+    # ninth cycle delivers the first output (init_cycles = 9 total).
+    fill_stages = STAGES[:-1]
+    for cycle, stage in enumerate(fill_stages):
+        emit(PipelineEvent(cycle=cycle, stage=stage, position=0))
+    first_output_cycle = config.init_cycles
+
+    # Streaming: one PWC result per cycle thereafter.
+    cycle = first_output_cycle
+    for position in range(positions):
+        for kg in range(kernel_groups):
+            emit(
+                PipelineEvent(
+                    cycle=cycle,
+                    stage="pwc_process",
+                    position=position,
+                    kernel_group=kg,
+                )
+            )
+            emit(
+                PipelineEvent(
+                    cycle=cycle,
+                    stage="output",
+                    position=position,
+                    kernel_group=kg,
+                )
+            )
+            if kg == 0 and position + 1 < positions:
+                # The DWC engine computes the next position while the PWC
+                # consumes the current one, then idles.
+                emit(
+                    PipelineEvent(
+                        cycle=cycle,
+                        stage="dwc_process",
+                        position=position + 1,
+                    )
+                )
+            cycle += 1
+    return events

@@ -1,0 +1,194 @@
+"""Top-level accelerator: bit-exactness, cycle accounting, traffic."""
+
+import numpy as np
+import pytest
+
+from repro.arch import DSCAccelerator, EDEA_CONFIG
+from repro.arch.params import ArchConfig
+from repro.errors import ShapeError, SimulationError
+from repro.sim import layer_latency
+
+
+@pytest.fixture(scope="module")
+def accel():
+    return DSCAccelerator(EDEA_CONFIG)
+
+
+def layer_input(workload, index):
+    image = workload.images[:1]
+    return workload.qmodel.layer_input(image, index)[0]
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("layer_index", [0, 1, 5, 12])
+    def test_bit_exact_vs_reference(self, small_workload, layer_index):
+        accel = DSCAccelerator(EDEA_CONFIG)
+        layer = small_workload.qmodel.layers[layer_index]
+        x_q = layer_input(small_workload, layer_index)
+        out, _ = accel.run_layer(layer, x_q)
+        _, ref = layer.forward(x_q[np.newaxis])
+        np.testing.assert_array_equal(out, ref[0])
+
+    def test_output_dtype_and_shape(self, small_workload, accel):
+        layer = small_workload.qmodel.layers[0]
+        x_q = layer_input(small_workload, 0)
+        out, _ = accel.run_layer(layer, x_q)
+        spec = layer.spec
+        assert out.dtype == np.int8
+        assert out.shape == (spec.out_channels, spec.out_size, spec.out_size)
+
+    def test_baseline_mode_same_functional_result(self, small_workload):
+        direct = DSCAccelerator(EDEA_CONFIG, direct_transfer=True)
+        spilled = DSCAccelerator(EDEA_CONFIG, direct_transfer=False)
+        layer = small_workload.qmodel.layers[2]
+        x_q = layer_input(small_workload, 2)
+        out_a, _ = direct.run_layer(layer, x_q)
+        out_b, _ = spilled.run_layer(layer, x_q)
+        np.testing.assert_array_equal(out_a, out_b)
+
+
+class TestInputValidation:
+    def test_wrong_dtype(self, small_workload, accel):
+        layer = small_workload.qmodel.layers[0]
+        spec = layer.spec
+        bad = np.zeros((spec.in_channels, spec.in_size, spec.in_size))
+        with pytest.raises(ShapeError):
+            accel.run_layer(layer, bad)
+
+    def test_wrong_shape(self, small_workload, accel):
+        layer = small_workload.qmodel.layers[0]
+        with pytest.raises(ShapeError):
+            accel.run_layer(layer, np.zeros((1, 2, 3), dtype=np.int8))
+
+    def test_indivisible_channels_rejected(self, small_workload):
+        # Td=3 cannot tile 8-channel layers
+        accel = DSCAccelerator(ArchConfig(td=3, max_output_tile=8))
+        layer = small_workload.qmodel.layers[0]
+        x_q = layer_input(small_workload, 0)
+        with pytest.raises(SimulationError):
+            accel.run_layer(layer, x_q)
+
+
+class TestCycleAccounting:
+    def test_cycles_match_eq1_eq2(self, small_workload):
+        accel = DSCAccelerator(EDEA_CONFIG)
+        for index in (0, 1, 6, 12):
+            layer = small_workload.qmodel.layers[index]
+            x_q = layer_input(small_workload, index)
+            _, stats = accel.run_layer(layer, x_q)
+            assert stats.cycles == layer_latency(
+                layer.spec, EDEA_CONFIG
+            ).total_cycles
+
+    def test_macs_match_spec(self, small_workload, accel):
+        layer = small_workload.qmodel.layers[3]
+        x_q = layer_input(small_workload, 3)
+        _, stats = accel.run_layer(layer, x_q)
+        assert stats.dwc_macs == layer.spec.dwc_macs
+        assert stats.pwc_macs == layer.spec.pwc_macs
+
+    def test_pwc_busier_than_dwc(self, small_workload, accel):
+        # paper: "DWC PE arrays encounter more idle time due to fewer MAC
+        # operations in DWC compared to PWC"
+        layer = small_workload.qmodel.layers[6]
+        x_q = layer_input(small_workload, 6)
+        _, stats = accel.run_layer(layer, x_q)
+        assert stats.pwc_busy_cycles > stats.dwc_busy_cycles
+        assert stats.dwc_utilization < stats.pwc_utilization
+
+    def test_dwc_busy_ratio_is_one_over_kernel_groups(self, small_workload,
+                                                      accel):
+        layer = small_workload.qmodel.layers[6]
+        x_q = layer_input(small_workload, 6)
+        _, stats = accel.run_layer(layer, x_q)
+        assert stats.pwc_busy_cycles == (
+            stats.dwc_busy_cycles * stats.kernel_groups
+        )
+
+    def test_init_cycles_per_tile_and_group(self, small_workload, accel):
+        layer = small_workload.qmodel.layers[0]
+        x_q = layer_input(small_workload, 0)
+        _, stats = accel.run_layer(layer, x_q)
+        assert stats.init_cycle_total == (
+            EDEA_CONFIG.init_cycles * stats.spatial_tiles
+            * stats.channel_groups
+        )
+
+    def test_throughput_positive_and_bounded(self, small_workload, accel):
+        layer = small_workload.qmodel.layers[4]
+        x_q = layer_input(small_workload, 4)
+        _, stats = accel.run_layer(layer, x_q)
+        tp = stats.throughput_ops_per_second(EDEA_CONFIG.clock_hz)
+        assert 0 < tp <= EDEA_CONFIG.peak_ops_per_second
+
+
+class TestTrafficAccounting:
+    def test_direct_transfer_saves_external_traffic(self, small_workload):
+        """The architectural claim behind Fig. 3, measured on the model."""
+        layer = small_workload.qmodel.layers[4]
+        x_q = layer_input(small_workload, 4)
+
+        direct = DSCAccelerator(EDEA_CONFIG, direct_transfer=True)
+        direct.run_layer(layer, x_q)
+        spilled = DSCAccelerator(EDEA_CONFIG, direct_transfer=False)
+        spilled.run_layer(layer, x_q)
+
+        saved = (
+            spilled.memory.total_activation_accesses
+            - direct.memory.total_activation_accesses
+        )
+        n, d = layer.spec.out_size, layer.spec.in_channels
+        assert saved == 2 * n * n * d  # one write + one read per element
+
+    def test_weight_reads_match_table2(self, small_workload):
+        accel = DSCAccelerator(EDEA_CONFIG)
+        layer = small_workload.qmodel.layers[6]
+        x_q = layer_input(small_workload, 6)
+        _, stats = accel.run_layer(layer, x_q)
+        spec = layer.spec
+        expected = 9 * spec.in_channels + spec.in_channels * spec.out_channels
+        assert stats.external["weight_reads"] == expected
+
+    def test_output_writes_once(self, small_workload):
+        accel = DSCAccelerator(EDEA_CONFIG)
+        layer = small_workload.qmodel.layers[2]
+        x_q = layer_input(small_workload, 2)
+        _, stats = accel.run_layer(layer, x_q)
+        spec = layer.spec
+        assert stats.external["activation_writes"] == (
+            spec.out_size**2 * spec.out_channels
+        )
+
+    def test_buffer_accesses_recorded(self, small_workload):
+        accel = DSCAccelerator(EDEA_CONFIG)
+        layer = small_workload.qmodel.layers[0]
+        x_q = layer_input(small_workload, 0)
+        _, stats = accel.run_layer(layer, x_q)
+        for name in ("dwc_ifmap", "dwc_weight", "offline", "intermediate",
+                     "pwc_weight"):
+            assert stats.buffer_accesses[name] > 0
+
+    def test_baseline_skips_intermediate_buffer(self, small_workload):
+        accel = DSCAccelerator(EDEA_CONFIG, direct_transfer=False)
+        layer = small_workload.qmodel.layers[0]
+        x_q = layer_input(small_workload, 0)
+        _, stats = accel.run_layer(layer, x_q)
+        assert stats.buffer_accesses["intermediate"] == 0
+
+
+class TestZeroStatistics:
+    def test_fractions_in_range(self, small_workload, accel):
+        layer = small_workload.qmodel.layers[5]
+        x_q = layer_input(small_workload, 5)
+        _, stats = accel.run_layer(layer, x_q)
+        assert 0.0 <= stats.dwc_zero_fraction <= 1.0
+        assert 0.0 <= stats.pwc_zero_fraction <= 1.0
+
+    def test_all_zero_input_reports_full_sparsity(self, small_workload):
+        accel = DSCAccelerator(EDEA_CONFIG)
+        layer = small_workload.qmodel.layers[0]
+        spec = layer.spec
+        x_q = np.zeros((spec.in_channels, spec.in_size, spec.in_size),
+                       dtype=np.int8)
+        _, stats = accel.run_layer(layer, x_q)
+        assert stats.dwc_zero_fraction == pytest.approx(1.0)

@@ -1,0 +1,228 @@
+"""PE primitives and the DWC/PWC engine functional models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import (
+    DWCEngine,
+    EDEA_CONFIG,
+    MACUnit,
+    NonConvUnitBank,
+    PWCEngine,
+    adder_tree_sum,
+    mac_multiply,
+)
+from repro.arch.params import ArchConfig
+from repro.errors import ShapeError
+from repro.fixedpoint import Q8_16
+from repro.nn import functional as F
+from repro.quant import NonConvParams
+
+
+def int8(rng, shape):
+    return rng.integers(-128, 128, size=shape).astype(np.int8)
+
+
+class TestPEPrimitives:
+    def test_mac_multiply(self):
+        assert mac_multiply(3, -4) == -12
+        assert mac_multiply(-128, -128) == 16384
+
+    def test_mac_multiply_range_check(self):
+        with pytest.raises(ShapeError):
+            mac_multiply(200, 1)
+
+    def test_adder_tree_matches_sum(self, rng):
+        values = rng.integers(-1000, 1000, size=9).tolist()
+        assert adder_tree_sum(values) == sum(values)
+
+    def test_adder_tree_single_input(self):
+        assert adder_tree_sum([7]) == 7
+
+    def test_adder_tree_empty_raises(self):
+        with pytest.raises(ShapeError):
+            adder_tree_sum([])
+
+    def test_mac_unit_accumulates(self):
+        unit = MACUnit()
+        unit.mac(2, 3)
+        unit.mac(-1, 4)
+        assert unit.accumulator == 2
+        unit.clear()
+        assert unit.accumulator == 0
+
+    @given(st.lists(
+        st.tuples(st.integers(-128, 127), st.integers(-128, 127)),
+        min_size=1, max_size=64,
+    ))
+    def test_mac_unit_equals_dot_product(self, pairs):
+        unit = MACUnit()
+        for a, w in pairs:
+            unit.mac(a, w)
+        assert unit.accumulator == sum(a * w for a, w in pairs)
+
+
+class TestDWCEngine:
+    def test_matches_reference_depthwise_conv_stride1(self, rng):
+        engine = DWCEngine(EDEA_CONFIG)
+        x = int8(rng, (8, 4, 4))
+        w = int8(rng, (8, 3, 3))
+        result = engine.compute_tile(x, w, stride=1)
+        ref = F.depthwise_conv2d(
+            x[np.newaxis].astype(np.int64), w.astype(np.int64), None, 1, 0
+        )[0]
+        np.testing.assert_array_equal(result.acc, ref)
+
+    def test_matches_reference_stride2(self, rng):
+        engine = DWCEngine(EDEA_CONFIG)
+        x = int8(rng, (8, 5, 5))
+        w = int8(rng, (8, 3, 3))
+        result = engine.compute_tile(x, w, stride=2)
+        ref = F.depthwise_conv2d(
+            x[np.newaxis].astype(np.int64), w.astype(np.int64), None, 2, 0
+        )[0]
+        np.testing.assert_array_equal(result.acc, ref)
+
+    def test_matches_scalar_mac_units(self, rng):
+        """The vectorized engine equals an explicit PE-by-PE evaluation."""
+        engine = DWCEngine(EDEA_CONFIG)
+        x = int8(rng, (8, 4, 4))
+        w = int8(rng, (8, 3, 3))
+        result = engine.compute_tile(x, w, stride=1)
+        for ch in range(8):
+            for oy in range(2):
+                for ox in range(2):
+                    unit = MACUnit()
+                    for ky in range(3):
+                        for kx in range(3):
+                            unit.mac(int(x[ch, oy + ky, ox + kx]),
+                                     int(w[ch, ky, kx]))
+                    assert unit.accumulator == result.acc[ch, oy, ox]
+
+    def test_mac_count_is_288(self, rng):
+        engine = DWCEngine(EDEA_CONFIG)
+        result = engine.compute_tile(
+            int8(rng, (8, 4, 4)), int8(rng, (8, 3, 3)), stride=1
+        )
+        assert result.macs == 288
+
+    def test_counters_accumulate(self, rng):
+        engine = DWCEngine(EDEA_CONFIG)
+        for _ in range(3):
+            engine.compute_tile(int8(rng, (8, 4, 4)), int8(rng, (8, 3, 3)), 1)
+        assert engine.invocations == 3
+        assert engine.total_macs == 3 * 288
+
+    def test_zero_fraction_reported(self):
+        engine = DWCEngine(EDEA_CONFIG)
+        x = np.zeros((8, 4, 4), dtype=np.int8)
+        w = np.ones((8, 3, 3), dtype=np.int8)
+        result = engine.compute_tile(x, w, 1)
+        assert result.nonzero_input_fraction == 0.0
+
+    def test_wrong_tile_shape_raises(self, rng):
+        engine = DWCEngine(EDEA_CONFIG)
+        with pytest.raises(ShapeError):
+            engine.compute_tile(int8(rng, (8, 4, 4)), int8(rng, (8, 3, 3)), 2)
+        with pytest.raises(ShapeError):
+            engine.compute_tile(int8(rng, (4, 4, 4)), int8(rng, (8, 3, 3)), 1)
+
+    def test_scaled_engine(self, rng):
+        cfg = ArchConfig(td=16)
+        engine = DWCEngine(cfg)
+        result = engine.compute_tile(
+            int8(rng, (16, 4, 4)), int8(rng, (16, 3, 3)), 1
+        )
+        assert result.macs == 576
+
+
+class TestPWCEngine:
+    def test_matches_reference_pointwise_conv(self, rng):
+        engine = PWCEngine(EDEA_CONFIG)
+        x = int8(rng, (8, 2, 2))
+        w = int8(rng, (16, 8))
+        result = engine.compute_group(x, w)
+        ref = F.pointwise_conv2d(
+            x[np.newaxis].astype(np.int64), w.astype(np.int64), None
+        )[0]
+        np.testing.assert_array_equal(result.psum, ref)
+
+    def test_mac_count_is_512(self, rng):
+        engine = PWCEngine(EDEA_CONFIG)
+        result = engine.compute_group(int8(rng, (8, 2, 2)), int8(rng, (16, 8)))
+        assert result.macs == 512
+
+    def test_accumulation_across_groups(self, rng):
+        """Summing per-group psums equals the full-depth pointwise conv."""
+        engine = PWCEngine(EDEA_CONFIG)
+        d = 32
+        x = int8(rng, (d, 2, 2))
+        w = int8(rng, (16, d))
+        acc = np.zeros((16, 2, 2), dtype=np.int64)
+        for g in range(d // 8):
+            acc += engine.compute_group(
+                x[8 * g : 8 * g + 8], w[:, 8 * g : 8 * g + 8]
+            ).psum
+        ref = F.pointwise_conv2d(
+            x[np.newaxis].astype(np.int64), w.astype(np.int64), None
+        )[0]
+        np.testing.assert_array_equal(acc, ref)
+
+    def test_shape_checks(self, rng):
+        engine = PWCEngine(EDEA_CONFIG)
+        with pytest.raises(ShapeError):
+            engine.compute_group(int8(rng, (8, 2, 3)), int8(rng, (16, 8)))
+        with pytest.raises(ShapeError):
+            engine.compute_group(int8(rng, (8, 2, 2)), int8(rng, (8, 8)))
+
+    def test_worst_case_no_overflow(self):
+        """Extreme int8 operands accumulated over MobileNet's deepest
+        reduction stay far inside the int64 psum range."""
+        engine = PWCEngine(EDEA_CONFIG)
+        x = np.full((8, 2, 2), -128, dtype=np.int8)
+        w = np.full((16, 8), -128, dtype=np.int8)
+        total = np.zeros((16, 2, 2), dtype=np.int64)
+        for _ in range(1024 // 8):  # D = 1024 worst case
+            total += engine.compute_group(x, w).psum
+        assert total.max() == 128 * 128 * 1024  # = 2^24, fits int32 too
+
+
+class TestNonConvUnitBank:
+    def make_params(self, channels):
+        return NonConvParams(
+            k_raw=np.full(channels, Q8_16.to_fixed(0.01)),
+            b_raw=np.full(channels, Q8_16.to_fixed(1.0)),
+            relu=True,
+        )
+
+    def test_process_slices_channels(self, rng):
+        bank = NonConvUnitBank(EDEA_CONFIG)
+        params = self.make_params(32)
+        acc = rng.integers(-1000, 1000, size=(8, 2, 2))
+        out = bank.process(acc, params, channel_offset=8)
+        expected = NonConvParams(
+            k_raw=np.asarray(params.k_raw)[8:16],
+            b_raw=np.asarray(params.b_raw)[8:16],
+            relu=True,
+        ).apply(acc)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_ops_counted(self, rng):
+        bank = NonConvUnitBank(EDEA_CONFIG)
+        acc = rng.integers(-10, 10, size=(8, 2, 2))
+        bank.process(acc, self.make_params(8), 0)
+        assert bank.total_ops == 2 * acc.size
+        assert bank.invocations == 1
+
+    def test_too_many_channels_rejected(self, rng):
+        bank = NonConvUnitBank(EDEA_CONFIG)
+        acc = rng.integers(-10, 10, size=(32, 2, 2))
+        with pytest.raises(ShapeError):
+            bank.process(acc, self.make_params(32), 0)
+
+    def test_offset_out_of_range_rejected(self, rng):
+        bank = NonConvUnitBank(EDEA_CONFIG)
+        acc = rng.integers(-10, 10, size=(8, 2, 2))
+        with pytest.raises(ShapeError):
+            bank.process(acc, self.make_params(8), 4)

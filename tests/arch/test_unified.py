@@ -1,0 +1,106 @@
+"""Unified / serial baselines vs the dual-engine design."""
+
+import pytest
+
+from repro.arch import (
+    ArchConfig,
+    BaselineLatency,
+    SerialDualEngineModel,
+    UnifiedEngineModel,
+    dual_vs_baselines,
+)
+from repro.errors import ConfigError
+from repro.nn import MOBILENET_V1_CIFAR10_SPECS
+from repro.sim import layer_latency
+
+
+class TestBaselineLatency:
+    def test_total(self):
+        lat = BaselineLatency(dwc_cycles=10, pwc_cycles=20, overhead_cycles=5)
+        assert lat.total_cycles == 35
+
+
+class TestUnifiedEngine:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            UnifiedEngineModel(pe_count=0)
+        with pytest.raises(ConfigError):
+            UnifiedEngineModel(dwc_usable_fraction=0.0)
+        with pytest.raises(ConfigError):
+            UnifiedEngineModel(pwc_usable_fraction=1.5)
+
+    @pytest.mark.parametrize("index", [0, 5, 12])
+    def test_slower_than_dual_engine(self, index):
+        """The paper's core claim at iso resources."""
+        spec = MOBILENET_V1_CIFAR10_SPECS[index]
+        unified = UnifiedEngineModel().layer_latency(spec)
+        dual = layer_latency(spec).total_cycles
+        assert unified.total_cycles > dual
+
+    def test_phase_decomposition(self):
+        spec = MOBILENET_V1_CIFAR10_SPECS[6]
+        lat = UnifiedEngineModel().layer_latency(spec)
+        assert lat.dwc_cycles == -(-spec.dwc_macs // 288)
+        assert lat.pwc_cycles == -(-spec.pwc_macs // 512)
+        assert lat.overhead_cycles > 0
+
+    def test_average_utilization_below_dual(self):
+        """Unified arrays cannot keep all lanes busy — the utilization
+        gap the paper motivates the dual design with."""
+        spec = MOBILENET_V1_CIFAR10_SPECS[6]
+        unified_util = UnifiedEngineModel().average_utilization(spec)
+        dual_cycles = layer_latency(spec).total_cycles
+        dual_util = spec.total_macs / (dual_cycles * 800)
+        assert unified_util < dual_util
+        assert 0 < unified_util < 1
+
+    def test_full_usability_recovers_ideal(self):
+        model = UnifiedEngineModel(
+            dwc_usable_fraction=1.0, pwc_usable_fraction=1.0
+        )
+        spec = MOBILENET_V1_CIFAR10_SPECS[4]
+        lat = model.layer_latency(spec)
+        assert lat.dwc_cycles == -(-spec.dwc_macs // 800)
+
+
+class TestSerialDualEngine:
+    @pytest.mark.parametrize("index", [0, 6, 12])
+    def test_slower_than_overlapped_dual(self, index):
+        """Parallel operation of the two engines is what the paper adds
+        over [6]; serializing them must cost cycles."""
+        spec = MOBILENET_V1_CIFAR10_SPECS[index]
+        serial = SerialDualEngineModel().layer_latency(spec)
+        dual = layer_latency(spec).total_cycles
+        assert serial.total_cycles > dual
+
+    def test_pwc_cycles_match_dual_streaming(self):
+        """The PWC phase alone takes exactly the dual design's streaming
+        cycles — the overlap hides the DWC passes, nothing else."""
+        spec = MOBILENET_V1_CIFAR10_SPECS[6]
+        serial = SerialDualEngineModel().layer_latency(spec)
+        dual = layer_latency(spec)
+        assert serial.pwc_cycles == dual.streaming_cycles
+        assert serial.total_cycles - dual.total_cycles == serial.dwc_cycles
+
+
+class TestNetworkComparison:
+    def test_ordering_dual_serial_unified(self):
+        totals = dual_vs_baselines(MOBILENET_V1_CIFAR10_SPECS)
+        assert totals["dual"] < totals["serial_dual"] < totals["unified"]
+
+    def test_dual_total_matches_timing_model(self):
+        totals = dual_vs_baselines(MOBILENET_V1_CIFAR10_SPECS)
+        expected = sum(
+            layer_latency(s).total_cycles for s in MOBILENET_V1_CIFAR10_SPECS
+        )
+        assert totals["dual"] == expected
+
+    def test_empty_specs_rejected(self):
+        with pytest.raises(ConfigError):
+            dual_vs_baselines([])
+
+    def test_scaled_config_respected(self):
+        cfg = ArchConfig(td=16, tk=32)
+        totals = dual_vs_baselines(MOBILENET_V1_CIFAR10_SPECS, cfg)
+        base = dual_vs_baselines(MOBILENET_V1_CIFAR10_SPECS)
+        assert totals["dual"] < base["dual"]

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite.
+
+The expensive artifact — a trained, quantized, accelerator-verified
+workload — is built once per session at reduced width (0.25) so the whole
+suite stays fast while still exercising every code path end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_cifar10_like
+from repro.eval.workloads import prepare_workload
+from repro.nn import SGD, Trainer, build_mobilenet_v1, mobilenet_v1_specs
+from repro.quant import quantize_mobilenet
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """Deterministic random generator for ad-hoc test data."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_specs():
+    """Width-0.25 MobileNetV1 layer geometry (channels 8..256)."""
+    return mobilenet_v1_specs(width_multiplier=0.25)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """Small synthetic dataset reused across tests."""
+    return make_cifar10_like(num_samples=48, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_float_model(small_dataset):
+    """Briefly trained width-0.25 float model."""
+    model = build_mobilenet_v1(width_multiplier=0.25, seed=3)
+    trainer = Trainer(
+        model, SGD(list(model.parameters()), lr=0.02), batch_size=16, seed=4
+    )
+    trainer.fit(small_dataset.images, small_dataset.labels, epochs=1)
+    return model
+
+
+@pytest.fixture(scope="session")
+def small_qmodel(small_float_model, small_specs, small_dataset):
+    """Quantized version of the small model."""
+    return quantize_mobilenet(
+        small_float_model, small_specs, small_dataset.images[:16]
+    )
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """Full train/quantize/simulate workload at width 0.25 (verified)."""
+    return prepare_workload(
+        width_multiplier=0.25,
+        num_samples=32,
+        train_epochs=1,
+        batch_size=16,
+        seed=21,
+    )

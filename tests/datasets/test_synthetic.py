@@ -1,0 +1,103 @@
+"""Synthetic CIFAR10-like dataset: determinism, structure, learnability."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SyntheticImageDataset, make_cifar10_like
+from repro.errors import ConfigError
+from repro.nn import SGD, Linear, ReLU, Sequential, Trainer
+
+
+class TestShapes:
+    def test_cifar_geometry(self):
+        ds = make_cifar10_like(num_samples=12, seed=0)
+        assert ds.images.shape == (12, 3, 32, 32)
+        assert ds.labels.shape == (12,)
+        assert ds.labels.min() >= 0 and ds.labels.max() < 10
+
+    def test_len(self):
+        assert len(make_cifar10_like(7)) == 7
+
+    def test_custom_size(self):
+        ds = SyntheticImageDataset(num_samples=4, size=16, num_classes=4)
+        assert ds.images.shape == (4, 3, 16, 16)
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = make_cifar10_like(8, seed=3)
+        b = make_cifar10_like(8, seed=3)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seed_different_data(self):
+        a = make_cifar10_like(8, seed=3)
+        b = make_cifar10_like(8, seed=4)
+        assert not np.array_equal(a.images, b.images)
+
+
+class TestStructure:
+    def test_images_are_bounded(self):
+        ds = make_cifar10_like(32, seed=0)
+        assert np.abs(ds.images).max() < 4.0
+
+    def test_within_class_more_similar_than_between(self):
+        ds = SyntheticImageDataset(num_samples=200, noise_std=0.1, seed=5)
+        means = {}
+        for cls in range(10):
+            mask = ds.labels == cls
+            if mask.sum() >= 2:
+                means[cls] = ds.images[mask].mean(axis=0)
+        classes = sorted(means)
+        # mean same-class residual should be smaller than distance
+        # between different class prototypes for at least most pairs
+        within = []
+        for cls in classes:
+            mask = ds.labels == cls
+            within.append(
+                np.mean([np.linalg.norm(img - means[cls])
+                         for img in ds.images[mask]])
+            )
+        between = [
+            np.linalg.norm(means[a] - means[b])
+            for i, a in enumerate(classes)
+            for b in classes[i + 1:]
+        ]
+        assert np.median(between) > 0.1  # classes genuinely differ
+
+    def test_split(self):
+        ds = make_cifar10_like(20, seed=1)
+        (tx, ty), (vx, vy) = ds.split(0.75)
+        assert tx.shape[0] == 15 and vx.shape[0] == 5
+        assert ty.shape[0] == 15 and vy.shape[0] == 5
+
+    def test_split_validation(self):
+        ds = make_cifar10_like(8)
+        with pytest.raises(ConfigError):
+            ds.split(1.5)
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ConfigError):
+            SyntheticImageDataset(num_samples=0)
+        with pytest.raises(ConfigError):
+            SyntheticImageDataset(num_samples=4, size=2)
+        with pytest.raises(ConfigError):
+            SyntheticImageDataset(num_samples=4, num_classes=1)
+        with pytest.raises(ConfigError):
+            SyntheticImageDataset(num_samples=4, noise_std=-1)
+
+
+class TestLearnability:
+    def test_linear_probe_beats_chance(self):
+        # the task must be learnable for training to be meaningful
+        ds = SyntheticImageDataset(num_samples=300, noise_std=0.15, seed=9)
+        x = ds.images.reshape(len(ds), -1)
+        rng = np.random.default_rng(0)
+        model = Sequential([Linear(x.shape[1], 64, rng=rng), ReLU(),
+                            Linear(64, 10, rng=rng)])
+        trainer = Trainer(model, SGD(list(model.parameters()), lr=0.01),
+                          batch_size=32)
+        result = trainer.fit(x, ds.labels, epochs=8)
+        assert result.final_accuracy > 0.3  # chance is 0.1

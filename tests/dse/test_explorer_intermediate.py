@@ -1,0 +1,138 @@
+"""The Fig. 2 sweep and the Fig. 3 intermediate-traffic analysis."""
+
+import pytest
+
+from repro.dse import (
+    LoopOrder,
+    best_point,
+    explore,
+    intermediate_access_report,
+    table1_case,
+)
+from repro.errors import ConfigError
+from repro.nn import MOBILENET_V1_CIFAR10_SPECS, mobilenet_v1_specs
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return explore()
+
+
+class TestSweepStructure:
+    def test_24_points(self, sweep):
+        assert len(sweep.points) == 2 * 2 * 6  # orders x Tn x cases
+
+    def test_group_points_sorted_by_case(self, sweep):
+        group = sweep.group_points(LoopOrder.LA, tn=2)
+        assert [p.case for p in group] == [1, 2, 3, 4, 5, 6]
+
+    def test_by_case_returns_four_groups(self, sweep):
+        assert len(sweep.by_case(3)) == 4
+
+    def test_group_label(self, sweep):
+        labels = {p.group for p in sweep.points}
+        assert labels == {
+            "La, Tn=Tm=1", "La, Tn=Tm=2", "Lb, Tn=Tm=1", "Lb, Tn=Tm=2",
+        }
+
+
+class TestPaperConclusions:
+    """The qualitative Section II claims, asserted point by point."""
+
+    def test_best_point_is_la_tn2_case6(self, sweep):
+        best = best_point(sweep)
+        assert best.order is LoopOrder.LA
+        assert best.tiling.tn == 2
+        assert best.case == 6
+
+    def test_la_always_more_activation_traffic(self, sweep):
+        for case in range(1, 7):
+            for tn in (1, 2):
+                points = {p.order: p for p in sweep.by_case(case)
+                          if p.tiling.tn == tn}
+                assert (points[LoopOrder.LA].activation_access
+                        > points[LoopOrder.LB].activation_access)
+
+    def test_lb_always_more_weight_traffic(self, sweep):
+        for case in range(1, 7):
+            for tn in (1, 2):
+                points = {p.order: p for p in sweep.by_case(case)
+                          if p.tiling.tn == tn}
+                assert (points[LoopOrder.LB].weight_access
+                        > points[LoopOrder.LA].weight_access)
+
+    def test_pe_size_linear_in_tiling(self, sweep):
+        # paper: "required PE array size exhibits a linear relationship
+        # with the tiling size"
+        for case in range(1, 7):
+            tn1 = next(p for p in sweep.by_case(case)
+                       if p.order is LoopOrder.LA and p.tiling.tn == 1)
+            tn2 = next(p for p in sweep.by_case(case)
+                       if p.order is LoopOrder.LA and p.tiling.tn == 2)
+            assert tn2.pe_total == 4 * tn1.pe_total
+
+    def test_case6_tn2_pe_is_800(self, sweep):
+        best = best_point(sweep)
+        assert best.pe_total == 800
+        assert (best.pe_dwc, best.pe_pwc) == (288, 512)
+
+    def test_pe_size_independent_of_loop_order(self, sweep):
+        for case in range(1, 7):
+            totals = {p.pe_total for p in sweep.by_case(case)
+                      if p.tiling.tn == 2}
+            assert len(totals) == 1
+
+
+class TestSweepCustomGeometry:
+    def test_smaller_network_sweeps(self):
+        specs = mobilenet_v1_specs(width_multiplier=0.25)
+        result = explore(specs)
+        assert len(result.points) == 24
+        assert best_point(result).total_access > 0
+
+
+class TestIntermediateReport:
+    def test_thirteen_layers(self):
+        report = intermediate_access_report()
+        assert len(report.layers) == 13
+
+    def test_reduction_bounds(self):
+        report = intermediate_access_report()
+        # our "unique" counting mode yields 25%..50% (paper: 15.4%..46.9%)
+        assert report.min_reduction_percent == pytest.approx(25.0)
+        assert report.max_reduction_percent == pytest.approx(50.0)
+
+    def test_total_reduction_near_paper(self):
+        report = intermediate_access_report()
+        # paper: 34.7%; our counting mode: ~40%
+        assert 30.0 < report.total_reduction_percent < 45.0
+
+    def test_stride2_layers_benefit_least(self):
+        # the Fig. 3 sawtooth: stride-2 layers (1, 3, 5, 11) have the
+        # smallest reductions because their input dominates
+        report = intermediate_access_report()
+        by_index = {l.index: l.reduction_percent for l in report.layers}
+        low = min(by_index.values())
+        for idx in (1, 3, 5, 11):
+            assert by_index[idx] == pytest.approx(low)
+
+    def test_optimized_never_exceeds_baseline(self):
+        for mode in ("unique", "tiled"):
+            report = intermediate_access_report(mode=mode)
+            for layer in report.layers:
+                assert 0 < layer.optimized < layer.baseline
+
+    def test_tiled_mode_counts_more(self):
+        unique = intermediate_access_report(mode="unique")
+        tiled = intermediate_access_report(mode="tiled")
+        assert tiled.total_baseline > unique.total_baseline
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ConfigError):
+            intermediate_access_report(mode="bogus")
+
+    def test_eliminated_equals_intermediate_tensor_traffic(self):
+        report = intermediate_access_report(mode="unique")
+        for layer, spec in zip(report.layers, MOBILENET_V1_CIFAR10_SPECS):
+            n = spec.out_size
+            assert layer.eliminated == 2 * n * n * spec.in_channels

@@ -1,0 +1,88 @@
+"""Loop orders and tiling configurations (paper Section II, Table I)."""
+
+import pytest
+
+from repro.dse import TABLE1_CASES, LoopLevel, LoopOrder, TilingConfig, table1_case
+from repro.errors import ConfigError
+
+
+class TestLoopOrder:
+    def test_la_is_spatial_inside_channel(self):
+        assert LoopOrder.LA.spatial_inside_channel
+
+    def test_lb_is_channel_inside_spatial(self):
+        assert not LoopOrder.LB.spatial_inside_channel
+
+    def test_la_level_sequence(self):
+        assert LoopOrder.LA.levels() == (
+            LoopLevel.WINDOW,
+            LoopLevel.CHANNEL_TILE,
+            LoopLevel.SPATIAL,
+            LoopLevel.CHANNEL,
+            LoopLevel.KERNEL,
+        )
+
+    def test_lb_swaps_loop3_loop4(self):
+        la, lb = LoopOrder.LA.levels(), LoopOrder.LB.levels()
+        assert la[2], la[3] == (lb[3], lb[2])
+        assert la[0] == lb[0] and la[1] == lb[1] and la[4] == lb[4]
+
+    def test_kernel_loop_is_outermost_for_both(self):
+        for order in LoopOrder:
+            assert order.levels()[-1] is LoopLevel.KERNEL
+
+
+class TestTilingConfig:
+    def test_input_tile_stride1(self):
+        # Fig. 5a: 4x4 input for a 2x2 output at stride 1
+        assert TilingConfig(2, 2, 8, 16).input_tile(1) == 4
+
+    def test_input_tile_stride2(self):
+        # Fig. 5a: 5x5 input for a 2x2 output at stride 2
+        assert TilingConfig(2, 2, 8, 16).input_tile(2) == 5
+
+    def test_input_tile_tn1(self):
+        assert TilingConfig(1, 1, 4, 4).input_tile(1) == 3
+        assert TilingConfig(1, 1, 4, 4).input_tile(2) == 3
+
+    def test_invalid_stride(self):
+        with pytest.raises(ConfigError):
+            TilingConfig(2, 2, 8, 16).input_tile(3)
+
+    def test_outputs_per_tile(self):
+        assert TilingConfig(2, 2, 8, 16).outputs_per_tile == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TilingConfig(0, 2, 8, 16)
+        with pytest.raises(ConfigError):
+            TilingConfig(2, 2, 8, 0)
+
+    def test_describe(self):
+        assert TilingConfig(2, 2, 8, 16).describe() == "Tn=Tm=2, Td=8, Tk=16"
+        assert "Tn=1" in TilingConfig(1, 2, 8, 16).describe()
+
+
+class TestTable1:
+    def test_six_cases(self):
+        assert sorted(TABLE1_CASES) == [1, 2, 3, 4, 5, 6]
+
+    def test_values_match_paper(self):
+        assert TABLE1_CASES[1] == (4, 4)
+        assert TABLE1_CASES[2] == (4, 8)
+        assert TABLE1_CASES[3] == (4, 16)
+        assert TABLE1_CASES[4] == (8, 4)
+        assert TABLE1_CASES[5] == (8, 8)
+        assert TABLE1_CASES[6] == (8, 16)
+
+    def test_case6_is_the_implemented_design(self):
+        tiling = table1_case(6, tn=2)
+        assert (tiling.td, tiling.tk, tiling.tn, tiling.tm) == (8, 16, 2, 2)
+
+    def test_unknown_case_raises(self):
+        with pytest.raises(ConfigError):
+            table1_case(7)
+
+    def test_tm_defaults_to_tn(self):
+        assert table1_case(1, tn=2).tm == 2
+        assert table1_case(1, tn=2, tm=1).tm == 1

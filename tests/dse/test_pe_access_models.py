@@ -1,0 +1,190 @@
+"""PE sizing and access-count models vs the paper's Table II equations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dse import (
+    AccessModelConfig,
+    LoopOrder,
+    TilingConfig,
+    dwc_access,
+    layer_access,
+    pe_array_size,
+    pwc_access,
+    table1_case,
+    table2_dwc_activation_access,
+    table2_dwc_weight_access,
+    table2_pwc_activation_access,
+    table2_pwc_weight_access,
+)
+from repro.errors import ConfigError
+from repro.nn import MOBILENET_V1_CIFAR10_SPECS, DSCLayerSpec
+
+
+EDEA_TILING = table1_case(6, tn=2)
+
+
+class TestPEModel:
+    def test_paper_design_point(self):
+        pe = pe_array_size(EDEA_TILING)
+        assert pe.dwc == 288  # Fig. 5a: 8 channels x 3x3 x 2x2
+        assert pe.pwc == 512  # Fig. 5b: 8 x 16 x 2x2
+        assert pe.total == 800  # Table III PE count
+
+    def test_pwc_to_dwc_ratio_near_paper(self):
+        # paper: "PWC to DWC PE ratio of 1.8X"
+        assert pe_array_size(EDEA_TILING).pwc_to_dwc_ratio == pytest.approx(
+            512 / 288
+        )
+
+    def test_linear_in_tile_sizes(self):
+        base = pe_array_size(TilingConfig(1, 1, 4, 4))
+        doubled = pe_array_size(TilingConfig(2, 1, 4, 4))
+        assert doubled.dwc == 2 * base.dwc
+        assert doubled.pwc == 2 * base.pwc
+
+    @given(
+        tn=st.integers(min_value=1, max_value=4),
+        td=st.sampled_from([4, 8, 16]),
+        tk=st.sampled_from([4, 8, 16]),
+    )
+    def test_table2_formulas(self, tn, td, tk):
+        tiling = TilingConfig(tn, tn, td, tk)
+        pe = pe_array_size(tiling)
+        assert pe.dwc == td * 9 * tn * tn
+        assert pe.pwc == td * tk * tn * tn
+
+
+class TestDWCAccess:
+    def test_la_weight_reads_once(self):
+        spec = MOBILENET_V1_CIFAR10_SPECS[6]
+        counts = dwc_access(spec, EDEA_TILING, LoopOrder.LA)
+        assert counts.weight_reads == 9 * spec.in_channels
+
+    def test_lb_weight_reads_per_tile(self):
+        spec = MOBILENET_V1_CIFAR10_SPECS[6]  # 4x4 out -> 4 tiles of 2x2
+        counts = dwc_access(spec, EDEA_TILING, LoopOrder.LB)
+        assert counts.weight_reads == 9 * spec.in_channels * 4
+
+    def test_ifmap_reads_equal_between_orders(self):
+        spec = MOBILENET_V1_CIFAR10_SPECS[2]
+        la = dwc_access(spec, EDEA_TILING, LoopOrder.LA)
+        lb = dwc_access(spec, EDEA_TILING, LoopOrder.LB)
+        assert la.ifmap_reads == lb.ifmap_reads
+
+    def test_ofmap_writes_every_element_once(self):
+        spec = MOBILENET_V1_CIFAR10_SPECS[0]
+        counts = dwc_access(spec, EDEA_TILING, LoopOrder.LA)
+        assert counts.ofmap_writes == (
+            spec.out_size**2 * spec.in_channels
+        )
+
+    def test_matches_table2_closed_form(self):
+        for spec in MOBILENET_V1_CIFAR10_SPECS:
+            counts = dwc_access(spec, EDEA_TILING, LoopOrder.LA)
+            assert counts.ifmap_reads == table2_dwc_activation_access(
+                spec, EDEA_TILING
+            )
+            assert counts.weight_reads == table2_dwc_weight_access(spec)
+
+    def test_stride2_uses_5x5_tiles(self):
+        spec = MOBILENET_V1_CIFAR10_SPECS[1]  # stride 2
+        counts = dwc_access(spec, EDEA_TILING, LoopOrder.LA)
+        tiles = (spec.out_size // 2) ** 2
+        assert counts.ifmap_reads == 25 * 8 * tiles * (spec.in_channels // 8)
+
+
+class TestPWCAccess:
+    def test_ifmap_rereads_per_kernel_group(self):
+        spec = MOBILENET_V1_CIFAR10_SPECS[6]  # K=512 -> 32 kernel groups
+        counts = pwc_access(spec, EDEA_TILING, LoopOrder.LA)
+        n = spec.out_size
+        assert counts.ifmap_reads == n * n * spec.in_channels * 32
+
+    def test_matches_table2_closed_form(self):
+        for spec in MOBILENET_V1_CIFAR10_SPECS:
+            counts = pwc_access(spec, EDEA_TILING, LoopOrder.LA)
+            assert counts.ifmap_reads == table2_pwc_activation_access(
+                spec, EDEA_TILING
+            )
+            assert counts.weight_reads == table2_pwc_weight_access(spec)
+
+    def test_la_has_psum_traffic_lb_none(self):
+        spec = MOBILENET_V1_CIFAR10_SPECS[6]
+        la = pwc_access(spec, EDEA_TILING, LoopOrder.LA)
+        lb = pwc_access(spec, EDEA_TILING, LoopOrder.LB)
+        assert la.psum_spills > 0
+        assert lb.psum_spills == 0
+
+    def test_psum_disabled_by_config(self):
+        spec = MOBILENET_V1_CIFAR10_SPECS[6]
+        config = AccessModelConfig(count_psum=False)
+        counts = pwc_access(spec, EDEA_TILING, LoopOrder.LA, config)
+        assert counts.psum_spills == 0
+
+    def test_psum_factor_scales(self):
+        spec = MOBILENET_V1_CIFAR10_SPECS[6]
+        one = pwc_access(
+            spec, EDEA_TILING, LoopOrder.LA, AccessModelConfig(1.0)
+        )
+        two = pwc_access(
+            spec, EDEA_TILING, LoopOrder.LA, AccessModelConfig(2.0)
+        )
+        assert two.psum_spills == 2 * one.psum_spills
+
+    def test_single_channel_group_no_psum(self):
+        spec = DSCLayerSpec(0, 4, 1, 8, 16)  # D = Td -> one group
+        counts = pwc_access(spec, EDEA_TILING, LoopOrder.LA)
+        assert counts.psum_spills == 0
+
+    def test_lb_weight_reads_per_tile(self):
+        spec = MOBILENET_V1_CIFAR10_SPECS[6]
+        lb = pwc_access(spec, EDEA_TILING, LoopOrder.LB)
+        la = pwc_access(spec, EDEA_TILING, LoopOrder.LA)
+        assert lb.weight_reads == la.weight_reads * 4  # 4 spatial tiles
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigError):
+            AccessModelConfig(psum_access_factor=-1)
+
+
+class TestAccessCounts:
+    def test_addition(self):
+        from repro.dse import AccessCounts
+
+        a = AccessCounts(1, 2, 3, 4)
+        b = AccessCounts(10, 20, 30, 40)
+        c = a + b
+        assert (c.ifmap_reads, c.weight_reads, c.ofmap_writes,
+                c.psum_spills) == (11, 22, 33, 44)
+
+    def test_activation_total(self):
+        from repro.dse import AccessCounts
+
+        counts = AccessCounts(ifmap_reads=10, weight_reads=5,
+                              ofmap_writes=3, psum_spills=2)
+        assert counts.activation == 15
+        assert counts.total == 20
+
+
+class TestLayerAccess:
+    def test_combines_both_convolutions(self):
+        spec = MOBILENET_V1_CIFAR10_SPECS[4]
+        combined = layer_access(spec, EDEA_TILING, LoopOrder.LA)
+        dwc = dwc_access(spec, EDEA_TILING, LoopOrder.LA)
+        pwc = pwc_access(spec, EDEA_TILING, LoopOrder.LA)
+        assert combined.total == dwc.total + pwc.total
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        case=st.integers(min_value=1, max_value=6),
+        tn=st.sampled_from([1, 2]),
+        layer=st.integers(min_value=0, max_value=12),
+    )
+    def test_larger_tk_never_increases_pwc_ifmap_traffic(self, case, tn, layer):
+        spec = MOBILENET_V1_CIFAR10_SPECS[layer]
+        tiling = table1_case(case, tn=tn)
+        bigger = TilingConfig(tiling.tn, tiling.tm, tiling.td, tiling.tk * 2)
+        a = pwc_access(spec, tiling, LoopOrder.LA)
+        b = pwc_access(spec, bigger, LoopOrder.LA)
+        assert b.ifmap_reads <= a.ifmap_reads

@@ -1,0 +1,156 @@
+"""Efficiency reports, workload caching, and the experiment registry."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval import (
+    EXPERIMENTS,
+    build_efficiency_report,
+    clear_workload_cache,
+    list_experiments,
+    paper_profile_stats,
+    prepare_workload,
+    run_experiment,
+)
+from repro.eval.paper_data import PAPER_FIG11_LAYER12_ZEROS
+
+
+class TestEfficiencyReport:
+    def test_measured_mode(self, small_workload):
+        report = build_efficiency_report(
+            small_workload.layer_stats, clock_hz=1e9, mode="measured"
+        )
+        assert report.mode == "measured"
+        assert len(report.layers) == 13
+        for layer in report.layers:
+            assert layer.power_w > 0
+            assert layer.ee_tops_w > 0
+
+    def test_paper_profile_mode_reaches_endpoints(self, small_workload):
+        report = build_efficiency_report(
+            small_workload.layer_stats, clock_hz=1e9, mode="paper_profile"
+        )
+        # profile calibration should hit the paper's endpoint powers
+        assert report.max_power_w == pytest.approx(0.1177, rel=0.02)
+        assert report.min_power_w == pytest.approx(0.0677, rel=0.10)
+        assert report.calibration_note is None
+
+    def test_paper_profile_ee_shape(self, small_workload):
+        """With the paper's sparsity profile, deep stride-1 layers are the
+        most efficient and layer 1 the least — the Fig. 12 shape."""
+        report = build_efficiency_report(
+            small_workload.layer_stats, clock_hz=1e9, mode="paper_profile"
+        )
+        ee = {l.index: l.ee_tops_w for l in report.layers}
+        assert report.peak_ee_layer in (10, 12)
+        assert min(ee, key=ee.get) in (0, 1, 2)
+        assert ee[10] > ee[1]
+
+    def test_paper_profile_peak_in_paper_ballpark(self, small_workload):
+        """The width-0.25 fixture has lower PWC utilization (fewer kernel
+        groups amortize the initiation worse), so its peak EE sits below
+        the full-width value; the full-width benchmark checks the tighter
+        bound against the paper's 13.43."""
+        report = build_efficiency_report(
+            small_workload.layer_stats, clock_hz=1e9, mode="paper_profile"
+        )
+        assert report.peak_ee_tops_w == pytest.approx(13.43, rel=0.3)
+
+    def test_unknown_mode_raises(self, small_workload):
+        with pytest.raises(EvaluationError):
+            build_efficiency_report(
+                small_workload.layer_stats, clock_hz=1e9, mode="bogus"
+            )
+
+    def test_aggregates(self, small_workload):
+        report = build_efficiency_report(
+            small_workload.layer_stats, clock_hz=1e9
+        )
+        assert report.lowest_ee_tops_w <= report.mean_ee_tops_w
+        assert report.mean_ee_tops_w <= report.peak_ee_tops_w
+        assert report.ops_weighted_ee_tops_w > 0
+
+
+class TestPaperProfileStats:
+    def test_anchored_to_published_layer12_zeros(self, small_workload):
+        adjusted = paper_profile_stats(small_workload.layer_stats)
+        last = adjusted[-1]
+        assert last.dwc_zero_fraction == pytest.approx(
+            PAPER_FIG11_LAYER12_ZEROS["dwc"], abs=0.01
+        )
+        assert last.pwc_zero_fraction == pytest.approx(
+            PAPER_FIG11_LAYER12_ZEROS["pwc"], abs=0.01
+        )
+
+    def test_monotone_in_depth(self, small_workload):
+        adjusted = paper_profile_stats(small_workload.layer_stats)
+        zeros = [s.dwc_zero_fraction for s in adjusted]
+        assert zeros == sorted(zeros)
+
+    def test_preserves_cycles_and_macs(self, small_workload):
+        adjusted = paper_profile_stats(small_workload.layer_stats)
+        for before, after in zip(small_workload.layer_stats, adjusted):
+            assert before.cycles == after.cycles
+            assert before.total_macs == after.total_macs
+
+    def test_empty_raises(self):
+        with pytest.raises(EvaluationError):
+            paper_profile_stats([])
+
+
+class TestWorkloadCache:
+    def test_memoized(self):
+        a = prepare_workload(width_multiplier=0.25, num_samples=16,
+                             train_epochs=1, batch_size=8, seed=99)
+        b = prepare_workload(width_multiplier=0.25, num_samples=16,
+                             train_epochs=1, batch_size=8, seed=99)
+        assert a is b
+
+    def test_clear(self):
+        a = prepare_workload(width_multiplier=0.25, num_samples=16,
+                             train_epochs=1, batch_size=8, seed=99)
+        clear_workload_cache()
+        b = prepare_workload(width_multiplier=0.25, num_samples=16,
+                             train_epochs=1, batch_size=8, seed=99)
+        assert a is not b
+
+    def test_workload_contents(self, small_workload):
+        assert len(small_workload.specs) == 13
+        assert len(small_workload.layer_stats) == 13
+        assert small_workload.images.ndim == 4
+
+
+class TestExperimentRegistry:
+    def test_all_paper_artifacts_covered(self):
+        expected = {
+            "table1", "table2", "table3",
+            "fig2a", "fig2b", "fig3", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "fig12", "fig13",
+        }
+        assert set(EXPERIMENTS) == expected
+        assert list_experiments() == sorted(expected)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(EvaluationError):
+            run_experiment("fig99")
+
+    @pytest.mark.parametrize(
+        "eid",
+        ["table1", "table2", "fig2a", "fig2b", "fig3", "fig7", "fig8",
+         "fig9", "fig10", "fig13", "table3"],
+    )
+    def test_analytic_experiments_run(self, eid):
+        result = run_experiment(eid)
+        assert result.experiment_id == eid
+        assert result.text
+        assert result.data
+
+    def test_measured_experiments_with_workload(self, small_workload):
+        for eid in ("fig11", "fig12"):
+            result = run_experiment(eid, workload=small_workload)
+            assert result.text
+            assert len(result.data) >= 2
+
+    def test_fig12_profile_peak_layer(self, small_workload):
+        result = run_experiment("fig12", workload=small_workload)
+        assert result.data["profile_peak_layer"] in (10, 12)

@@ -1,0 +1,95 @@
+"""Report rendering and the paper-data constants."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval import (
+    EDEA_TABLE3_ROW,
+    PAPER_FIG12_EE_TOPS_W,
+    PAPER_FIG13_THROUGHPUT_GOPS,
+    PAPER_HEADLINE,
+    SOTA_WORKS,
+    render_series,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_contains_title_headers_rows(self):
+        text = render_table("T", ["a", "b"], [[1, 2], [3, 4]])
+        assert "T" in text and "a" in text
+        assert "3" in text and "4" in text
+
+    def test_float_formatting(self):
+        text = render_table("T", ["x"], [[3.14159]])
+        assert "3.14" in text
+
+    def test_thousands_grouping(self):
+        text = render_table("T", ["x"], [[1234567]])
+        assert "1,234,567" in text
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(EvaluationError):
+            render_table("T", ["a", "b"], [[1]])
+
+    def test_empty_headers_raise(self):
+        with pytest.raises(EvaluationError):
+            render_table("T", [], [])
+
+    def test_empty_rows_ok(self):
+        text = render_table("T", ["a"], [])
+        assert "a" in text
+
+
+class TestRenderSeries:
+    def test_pairs(self):
+        text = render_series("S", "x", "y", [1, 2], [10, 20])
+        assert "10" in text and "20" in text
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(EvaluationError):
+            render_series("S", "x", "y", [1], [1, 2])
+
+
+class TestPaperData:
+    def test_fig12_has_13_values(self):
+        assert len(PAPER_FIG12_EE_TOPS_W) == 13
+
+    def test_fig12_extremes_match_text(self):
+        # paper text: peak 13.43 at layer 10; lowest 8.70 at layer 1
+        assert max(PAPER_FIG12_EE_TOPS_W) == 13.43
+        assert PAPER_FIG12_EE_TOPS_W.index(13.43) == 10
+        assert min(PAPER_FIG12_EE_TOPS_W) == 8.70
+        assert PAPER_FIG12_EE_TOPS_W.index(8.70) == 1
+
+    def test_fig13_has_13_values_with_three_plateaus(self):
+        assert len(PAPER_FIG13_THROUGHPUT_GOPS) == 13
+        assert set(PAPER_FIG13_THROUGHPUT_GOPS) == {1024.0, 973.55, 905.64}
+
+    def test_headline_consistency(self):
+        # peak EE * layer-1 power chain: TP/EE = P
+        ee = PAPER_HEADLINE["peak_ee_tops_w"]
+        tp = PAPER_HEADLINE["throughput_at_peak_ee_gops"]
+        # Table III power column: 72.5 mW at the peak-efficiency point
+        assert tp / ee / 1000 == pytest.approx(0.0725, abs=0.001)
+
+    def test_layer1_power_consistent_with_fig12(self):
+        # P(layer1) = TP(layer1) / EE(layer1) = 1024 / 8.70 = 117.7 mW
+        p = PAPER_FIG13_THROUGHPUT_GOPS[1] / PAPER_FIG12_EE_TOPS_W[1] / 1000
+        assert p == pytest.approx(PAPER_HEADLINE["layer1_power_w"], abs=1e-4)
+
+    def test_layer12_power_consistent_with_fig12(self):
+        p = PAPER_FIG13_THROUGHPUT_GOPS[12] / PAPER_FIG12_EE_TOPS_W[12] / 1000
+        assert p == pytest.approx(PAPER_HEADLINE["layer12_power_w"], abs=1e-4)
+
+    def test_sota_rows(self):
+        assert len(SOTA_WORKS) == 5  # [16], [17], [18], [4] x2 engines
+        for work in SOTA_WORKS:
+            assert work.tech_nm >= 22
+            assert work.energy_efficiency_tops_w > 0
+
+    def test_edea_row_area_efficiency(self):
+        row = EDEA_TABLE3_ROW
+        assert row["throughput_gops"] / row["area_mm2"] == pytest.approx(
+            row["area_efficiency_gops_mm2"], rel=0.001
+        )

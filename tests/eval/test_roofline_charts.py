@@ -1,0 +1,102 @@
+"""Roofline analysis and ASCII chart rendering."""
+
+import pytest
+
+from repro.errors import ConfigError, EvaluationError
+from repro.eval import (
+    bar_chart,
+    grouped_bar_chart,
+    roofline_analysis,
+)
+from repro.nn import MOBILENET_V1_CIFAR10_SPECS, mobilenet_v2_dsc_specs
+
+
+class TestRoofline:
+    def test_thirteen_layers(self):
+        assert len(roofline_analysis()) == 13
+
+    def test_direct_transfer_raises_intensity(self):
+        for layer in roofline_analysis():
+            assert layer.arithmetic_intensity > layer.intensity_baseline
+
+    def test_pwc_dominated_layers_have_low_intensity(self):
+        """Deep layers move mostly weights (D*K bytes for N*M*D*K MACs),
+        so intensity collapses to ~N*M — the data-reuse limitation the
+        paper's introduction describes."""
+        profile = {l.index: l for l in roofline_analysis()}
+        assert profile[12].arithmetic_intensity < 8  # 2x2 maps
+        assert profile[0].arithmetic_intensity > 15  # 32x32 maps
+
+    def test_bandwidth_demand_peaks_at_late_layers(self):
+        profile = roofline_analysis()
+        demand = [l.required_bandwidth_gbs for l in profile]
+        assert max(demand) == pytest.approx(demand[11], rel=0.05)
+
+    def test_compute_bound_classification(self):
+        profile = roofline_analysis()
+        generous = all(l.is_compute_bound(1000.0) for l in profile)
+        starved = any(not l.is_compute_bound(1.0) for l in profile)
+        assert generous and starved
+
+    def test_invalid_bandwidth_rejected(self):
+        layer = roofline_analysis()[0]
+        with pytest.raises(ConfigError):
+            layer.is_compute_bound(0.0)
+
+    def test_other_networks(self):
+        profile = roofline_analysis(mobilenet_v2_dsc_specs())
+        assert len(profile) == 17
+        assert all(l.external_bytes > 0 for l in profile)
+
+    def test_macs_match_specs(self):
+        for layer, spec in zip(roofline_analysis(),
+                               MOBILENET_V1_CIFAR10_SPECS):
+            assert layer.macs == spec.total_macs
+
+
+class TestBarChart:
+    def test_renders_all_labels(self):
+        text = bar_chart("T", ["a", "b"], [1.0, 2.0])
+        assert "a |" in text and "b |" in text
+
+    def test_max_value_gets_full_width(self):
+        text = bar_chart("T", ["x", "y"], [5.0, 10.0], width=10)
+        lines = text.splitlines()
+        assert "#" * 10 in lines[3]  # the max bar
+        assert "#" * 5 in lines[2]
+
+    def test_zero_values_ok(self):
+        text = bar_chart("T", ["x"], [0.0])
+        assert "0.00" in text
+
+    def test_unit_suffix(self):
+        text = bar_chart("T", ["x"], [3.0], unit=" GOPS")
+        assert "3.00 GOPS" in text
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            bar_chart("T", ["a"], [1.0, 2.0])
+        with pytest.raises(EvaluationError):
+            bar_chart("T", [], [])
+        with pytest.raises(EvaluationError):
+            bar_chart("T", ["a"], [-1.0])
+        with pytest.raises(EvaluationError):
+            bar_chart("T", ["a"], [1.0], width=0)
+
+
+class TestGroupedBarChart:
+    def test_renders_both_series(self):
+        text = grouped_bar_chart(
+            "T", ["l0", "l1"],
+            {"ours": [1.0, 2.0], "paper": [1.5, 2.5]},
+        )
+        assert "ours" in text and "paper" in text
+        assert text.count("|") == 4
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            grouped_bar_chart("T", ["a"], {})
+        with pytest.raises(EvaluationError):
+            grouped_bar_chart("T", ["a"], {"s": [1.0, 2.0]})
+        with pytest.raises(EvaluationError):
+            grouped_bar_chart("T", ["a"], {"s": [-1.0]})

@@ -1,0 +1,54 @@
+"""The aggregated reproduction report."""
+
+import pytest
+
+from repro.eval import render_report, reproduction_report
+from repro.eval.summary import ClaimCheck
+
+
+class TestAnalyticReport:
+    @pytest.fixture(scope="class")
+    def checks(self):
+        return reproduction_report()
+
+    def test_all_analytic_claims_pass(self, checks):
+        failed = [c.claim for c in checks if not c.passed]
+        assert not failed, f"failed claims: {failed}"
+
+    def test_covers_the_headline_claims(self, checks):
+        claims = " ".join(c.claim for c in checks)
+        for token in ("DWC engine", "PWC engine", "throughput", "area",
+                      "DSE optimum", "baselines"):
+            assert token.lower() in claims.lower()
+
+    def test_exact_checks_are_exact(self, checks):
+        exact = [c for c in checks if c.tolerance == "exact"]
+        assert len(exact) >= 4
+        for check in exact:
+            assert check.paper_value == check.measured_value
+
+    def test_render_contains_pass_counts(self, checks):
+        text = render_report(checks)
+        assert f"{len(checks)}/{len(checks)} claims hold" in text
+        assert "FAIL" not in text
+
+
+class TestMeasuredReport:
+    def test_workload_claims_included_and_pass(self, small_workload):
+        checks = reproduction_report(small_workload)
+        analytic = reproduction_report()
+        assert len(checks) == len(analytic) + 3
+        measured = checks[len(analytic):]
+        assert all("profile mode" in c.claim for c in measured)
+        assert all(c.passed for c in measured)
+
+
+class TestClaimCheck:
+    def test_failed_check_renders_fail(self):
+        check = ClaimCheck(
+            claim="x", paper_value="1", measured_value="2",
+            tolerance="exact", passed=False,
+        )
+        text = render_report([check])
+        assert "FAIL" in text
+        assert "0/1" in text

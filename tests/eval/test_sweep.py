@@ -1,0 +1,55 @@
+"""Width/resolution scaling sweep."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.eval.sweep import width_resolution_sweep
+
+
+class TestSweep:
+    def test_grid_size(self):
+        points = width_resolution_sweep(
+            widths=(0.5, 1.0), resolutions=(32, 64)
+        )
+        assert len(points) == 4
+
+    def test_macs_scale_with_resolution(self):
+        points = {
+            (p.width, p.resolution): p
+            for p in width_resolution_sweep(
+                widths=(1.0,), resolutions=(32, 64)
+            )
+        }
+        # 2x resolution -> ~4x spatial work
+        ratio = points[(1.0, 64)].total_macs / points[(1.0, 32)].total_macs
+        assert ratio == pytest.approx(4.0, rel=0.05)
+
+    def test_macs_scale_with_width(self):
+        points = {
+            p.width: p
+            for p in width_resolution_sweep(
+                widths=(0.5, 1.0), resolutions=(32,)
+            )
+        }
+        # DSC MACs are dominated by the PWC D*K term -> ~quadratic in width
+        ratio = points[1.0].total_macs / points[0.5].total_macs
+        assert 3.0 < ratio < 4.5
+
+    def test_throughput_improves_with_resolution(self):
+        """Larger maps amortize the 9-cycle initiation better."""
+        points = width_resolution_sweep(widths=(1.0,), resolutions=(32, 224))
+        by_res = {p.resolution: p for p in points}
+        assert (by_res[224].init_fraction < by_res[32].init_fraction)
+
+    def test_throughput_bounded_by_peak(self):
+        for p in width_resolution_sweep():
+            assert 0 < p.throughput_gops <= 1600
+
+    def test_paper_point_recovered(self):
+        points = width_resolution_sweep(widths=(1.0,), resolutions=(32,))
+        assert points[0].total_cycles == 92_784
+        assert points[0].latency_us == pytest.approx(92.784)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigError):
+            width_resolution_sweep(widths=(), resolutions=(32,))

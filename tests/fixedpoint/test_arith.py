@@ -1,0 +1,151 @@
+"""Saturating arithmetic and the Non-Conv datapath primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FixedPointError
+from repro.fixedpoint import (
+    Q8_16,
+    clip_to_width,
+    fixed_mul_add,
+    requantize_to_int8,
+    rounding_right_shift,
+    saturating_add,
+    saturating_mul,
+)
+
+
+class TestClipToWidth:
+    def test_in_range_untouched(self):
+        assert clip_to_width(np.array([5, -5]), 8).tolist() == [5, -5]
+
+    def test_saturates_high(self):
+        assert clip_to_width(np.array([300]), 8).tolist() == [127]
+
+    def test_saturates_low(self):
+        assert clip_to_width(np.array([-300]), 8).tolist() == [-128]
+
+    def test_rejects_width_one(self):
+        with pytest.raises(FixedPointError):
+            clip_to_width(np.array([0]), 1)
+
+    def test_rejects_width_64(self):
+        with pytest.raises(FixedPointError):
+            clip_to_width(np.array([0]), 64)
+
+
+class TestSaturatingOps:
+    def test_add_no_saturation(self):
+        assert saturating_add(np.array([3]), np.array([4]), 8).tolist() == [7]
+
+    def test_add_saturates(self):
+        out = saturating_add(np.array([120]), np.array([120]), 8)
+        assert out.tolist() == [127]
+
+    def test_mul_no_saturation(self):
+        assert saturating_mul(np.array([5]), np.array([6]), 16).tolist() == [30]
+
+    def test_mul_saturates(self):
+        out = saturating_mul(np.array([127]), np.array([127]), 8)
+        assert out.tolist() == [127]
+
+    def test_mul_int8_operands_fit_int16(self):
+        # worst case -128 * -128 = 16384 fits in 16 bits signed
+        out = saturating_mul(np.array([-128]), np.array([-128]), 16)
+        assert out.tolist() == [16384]
+
+
+class TestRoundingRightShift:
+    def test_shift_zero_is_identity(self):
+        arr = np.array([7, -7])
+        assert rounding_right_shift(arr, 0).tolist() == [7, -7]
+
+    def test_rounds_to_nearest(self):
+        # 3/2 = 1.5 -> 2 ; 1/2 = 0.5 -> 1 (ties away from zero)
+        assert rounding_right_shift(np.array([3]), 1).tolist() == [2]
+        assert rounding_right_shift(np.array([1]), 1).tolist() == [1]
+
+    def test_negative_ties(self):
+        # -1/2 = -0.5 -> -1 (away from zero), -3/2 -> -2
+        assert rounding_right_shift(np.array([-1]), 1).tolist() == [-1]
+        assert rounding_right_shift(np.array([-3]), 1).tolist() == [-2]
+
+    def test_plain_values(self):
+        assert rounding_right_shift(np.array([8]), 2).tolist() == [2]
+        assert rounding_right_shift(np.array([-8]), 2).tolist() == [-2]
+
+    def test_rejects_negative_shift(self):
+        with pytest.raises(FixedPointError):
+            rounding_right_shift(np.array([1]), -1)
+
+    @given(st.integers(min_value=-(1 << 40), max_value=1 << 40),
+           st.integers(min_value=0, max_value=20))
+    def test_matches_float_rounding(self, value, shift):
+        out = int(rounding_right_shift(np.array([value]), shift)[0])
+        exact = value / (2**shift)
+        # ties away from zero
+        expected = int(np.floor(exact + 0.5)) if exact >= 0 else int(
+            np.ceil(exact - 0.5)
+        )
+        assert out == expected
+
+
+class TestFixedMulAdd:
+    def test_matches_float_computation(self):
+        k = Q8_16.to_fixed(0.125)
+        b = Q8_16.to_fixed(2.0)
+        acc = np.array([100, -40, 0])
+        wide = fixed_mul_add(acc, k, b, Q8_16)
+        real = wide / Q8_16.scale
+        np.testing.assert_allclose(real, 0.125 * acc + 2.0)
+
+    def test_zero_k_gives_b(self):
+        b = Q8_16.to_fixed(-1.5)
+        wide = fixed_mul_add(np.array([12345]), 0, b, Q8_16)
+        assert wide[0] == b
+
+
+class TestRequantizeToInt8:
+    def test_basic_rounding(self):
+        wide = np.array([Q8_16.to_fixed(3.4), Q8_16.to_fixed(3.6)])
+        out = requantize_to_int8(wide, 16, apply_relu=False)
+        assert out.tolist() == [3, 4]
+        assert out.dtype == np.int8
+
+    def test_relu_clamps_negative(self):
+        wide = np.array([Q8_16.to_fixed(-5.0)])
+        out = requantize_to_int8(wide, 16, apply_relu=True)
+        assert out.tolist() == [0]
+
+    def test_no_relu_keeps_negative(self):
+        wide = np.array([Q8_16.to_fixed(-5.0)])
+        out = requantize_to_int8(wide, 16, apply_relu=False)
+        assert out.tolist() == [-5]
+
+    def test_saturates_to_127(self):
+        wide = np.array([Q8_16.to_fixed(127.9)])
+        out = requantize_to_int8(wide, 16, apply_relu=False)
+        assert out.tolist() == [127]
+
+    def test_saturates_to_minus_128(self):
+        wide = np.array([-300 * Q8_16.scale])
+        out = requantize_to_int8(wide, 16, apply_relu=False)
+        assert out.tolist() == [-128]
+
+    def test_custom_clip_range_validated(self):
+        with pytest.raises(FixedPointError):
+            requantize_to_int8(np.array([0]), 16, apply_relu=False, lo=-200)
+
+    @given(st.lists(st.floats(min_value=-200, max_value=200), min_size=1,
+                    max_size=32))
+    def test_matches_float_reference(self, values):
+        wide = np.array([Q8_16.to_fixed(v) for v in values], dtype=np.int64)
+        out = requantize_to_int8(wide, 16, apply_relu=True)
+        grid = np.array([Q8_16.quantize(v) for v in values])
+        # round-half-away-from-zero, as the hardware rounder does
+        rounded = np.where(
+            grid >= 0, np.floor(grid + 0.5), np.ceil(grid - 0.5)
+        )
+        ref = np.clip(np.maximum(rounded, 0), -128, 127)
+        np.testing.assert_array_equal(out, ref.astype(np.int8))

@@ -1,0 +1,106 @@
+"""QFormat: ranges, conversion, rounding, saturation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FixedPointError
+from repro.fixedpoint import INT8, Q8_16, QFormat
+
+
+class TestConstruction:
+    def test_q8_16_totals_24_bits(self):
+        assert Q8_16.total_bits == 24
+
+    def test_q8_16_scale(self):
+        assert Q8_16.scale == 65536
+
+    def test_int8_format(self):
+        assert INT8.total_bits == 8
+        assert INT8.raw_min == -128
+        assert INT8.raw_max == 127
+
+    def test_rejects_zero_integer_bits(self):
+        with pytest.raises(FixedPointError):
+            QFormat(integer_bits=0, fraction_bits=4)
+
+    def test_rejects_negative_fraction_bits(self):
+        with pytest.raises(FixedPointError):
+            QFormat(integer_bits=4, fraction_bits=-1)
+
+    def test_rejects_too_wide_format(self):
+        with pytest.raises(FixedPointError):
+            QFormat(integer_bits=40, fraction_bits=40)
+
+    def test_str(self):
+        assert str(Q8_16) == "Q8.16"
+
+
+class TestRanges:
+    def test_q8_16_range(self):
+        assert Q8_16.max_value == pytest.approx(127.99998474121094)
+        assert Q8_16.min_value == -128.0
+
+    def test_resolution(self):
+        assert Q8_16.resolution == pytest.approx(1.0 / 65536)
+
+    def test_raw_limits(self):
+        assert Q8_16.raw_min == -(1 << 23)
+        assert Q8_16.raw_max == (1 << 23) - 1
+
+
+class TestConversion:
+    def test_one_point_five(self):
+        assert Q8_16.to_fixed(1.5) == 98304
+
+    def test_roundtrip_exact_values(self):
+        for value in (0.0, 1.0, -1.0, 0.5, -127.5, 100.25):
+            assert Q8_16.to_float(Q8_16.to_fixed(value)) == value
+
+    def test_scalar_returns_int(self):
+        assert isinstance(Q8_16.to_fixed(0.25), int)
+
+    def test_array_conversion(self):
+        raw = Q8_16.to_fixed(np.array([0.5, -0.5]))
+        assert raw.tolist() == [32768, -32768]
+
+    def test_saturation_clamps_high(self):
+        assert Q8_16.to_fixed(1000.0) == Q8_16.raw_max
+
+    def test_saturation_clamps_low(self):
+        assert Q8_16.to_fixed(-1000.0) == Q8_16.raw_min
+
+    def test_no_saturate_raises(self):
+        with pytest.raises(FixedPointError):
+            Q8_16.to_fixed(1000.0, saturate=False)
+
+    def test_quantize_rounds_to_grid(self):
+        value = 0.1
+        quantized = Q8_16.quantize(value)
+        assert quantized != value  # 0.1 is not on the grid
+        assert abs(quantized - value) <= Q8_16.resolution / 2
+
+    def test_representable(self):
+        assert Q8_16.representable(0.5)
+        assert not Q8_16.representable(1e-9)
+
+
+class TestHypothesis:
+    @given(st.floats(min_value=-127.9, max_value=127.9))
+    def test_roundtrip_error_bounded_by_half_lsb(self, value):
+        back = Q8_16.quantize(value)
+        assert abs(back - value) <= Q8_16.resolution / 2 + 1e-12
+
+    @given(st.integers(min_value=-(1 << 23), max_value=(1 << 23) - 1))
+    def test_raw_roundtrip_is_identity(self, raw):
+        assert Q8_16.to_fixed(Q8_16.to_float(raw)) == raw
+
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=0, max_value=16),
+    )
+    def test_arbitrary_formats_roundtrip_zero_and_one(self, ibits, fbits):
+        fmt = QFormat(ibits, fbits)
+        assert fmt.to_float(fmt.to_fixed(0.0)) == 0.0
+        if fmt.max_value >= 1.0:
+            assert fmt.to_float(fmt.to_fixed(1.0)) == 1.0

@@ -1,0 +1,240 @@
+"""Convolution primitives vs SciPy references and finite differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import signal
+
+from repro.errors import ShapeError
+from repro.nn import functional as F
+
+
+def scipy_conv2d(x, w, stride, padding):
+    """Reference standard convolution via scipy.signal.correlate."""
+    n, c, h, wd = x.shape
+    f = w.shape[0]
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (h + 2 * padding - w.shape[2]) // stride + 1
+    out_w = (wd + 2 * padding - w.shape[3]) // stride + 1
+    out = np.zeros((n, f, out_h, out_w))
+    for i in range(n):
+        for j in range(f):
+            acc = np.zeros((xp.shape[2] - w.shape[2] + 1,
+                            xp.shape[3] - w.shape[3] + 1))
+            for ch in range(c):
+                acc += signal.correlate2d(xp[i, ch], w[j, ch], mode="valid")
+            out[i, j] = acc[::stride, ::stride]
+    return out
+
+
+class TestConvOutputSize:
+    def test_stride1_pad1_preserves(self):
+        assert F.conv_output_size(32, 3, 1, 1) == 32
+
+    def test_stride2_halves(self):
+        assert F.conv_output_size(32, 3, 2, 1) == 16
+
+    def test_tiny_map(self):
+        assert F.conv_output_size(2, 3, 1, 1) == 2
+
+    def test_empty_output_raises(self):
+        with pytest.raises(ShapeError):
+            F.conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2col:
+    def test_shape(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        cols = F.im2col(x, 3, 1, 1)
+        assert cols.shape == (2, 3, 3, 3, 8, 8)
+
+    def test_values_center_window(self, rng):
+        x = rng.normal(size=(1, 1, 5, 5))
+        cols = F.im2col(x, 3, 1, 1)
+        # output position (2,2) window centered at x[1:4,1:4]
+        np.testing.assert_array_equal(cols[0, 0, :, :, 2, 2], x[0, 0, 1:4, 1:4])
+
+    def test_rejects_3d(self):
+        with pytest.raises(ShapeError):
+            F.im2col(np.zeros((3, 8, 8)), 3, 1, 1)
+
+    def test_col2im_adjoint_property(self, rng):
+        # <im2col(x), y> == <x, col2im(y)> : they are adjoint linear maps.
+        x = rng.normal(size=(1, 2, 6, 6))
+        cols = F.im2col(x, 3, 2, 1)
+        y = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * y))
+        rhs = float(np.sum(x * F.col2im(y, x.shape, 3, 2, 1)))
+        assert lhs == pytest.approx(rhs)
+
+    def test_col2im_shape_check(self, rng):
+        with pytest.raises(ShapeError):
+            F.col2im(np.zeros((1, 1, 3, 3, 2, 2)), (1, 1, 8, 8), 3, 1, 1)
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 1), (2, 1), (1, 0)])
+    def test_matches_scipy(self, rng, stride, padding):
+        x = rng.normal(size=(2, 3, 9, 9))
+        w = rng.normal(size=(4, 3, 3, 3))
+        ours = F.conv2d(x, w, None, stride, padding)
+        ref = scipy_conv2d(x, w, stride, padding)
+        np.testing.assert_allclose(ours, ref, atol=1e-10)
+
+    def test_bias_added(self, rng):
+        x = rng.normal(size=(1, 2, 4, 4))
+        w = rng.normal(size=(3, 2, 3, 3))
+        b = np.array([1.0, -2.0, 0.5])
+        out = F.conv2d(x, w, b, 1, 1)
+        base = F.conv2d(x, w, None, 1, 1)
+        np.testing.assert_allclose(out - base, np.broadcast_to(
+            b.reshape(1, 3, 1, 1), out.shape))
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ShapeError):
+            F.conv2d(np.zeros((1, 2, 4, 4)), np.zeros((3, 5, 3, 3)))
+
+    def test_non_square_kernel_raises(self):
+        with pytest.raises(ShapeError):
+            F.conv2d(np.zeros((1, 2, 4, 4)), np.zeros((3, 2, 3, 2)))
+
+    def test_backward_finite_difference(self, rng):
+        x = rng.normal(size=(1, 2, 5, 5))
+        w = rng.normal(size=(3, 2, 3, 3))
+        dout = rng.normal(size=(1, 3, 5, 5))
+        dx, dw, db = F.conv2d_backward(dout, x, w, 1, 1)
+        eps = 1e-6
+        # check a few positions of dx and dw numerically
+        for idx in [(0, 0, 2, 2), (0, 1, 4, 0)]:
+            xp = x.copy(); xp[idx] += eps
+            xm = x.copy(); xm[idx] -= eps
+            num = np.sum((F.conv2d(xp, w, None, 1, 1)
+                          - F.conv2d(xm, w, None, 1, 1)) * dout) / (2 * eps)
+            assert dx[idx] == pytest.approx(num, rel=1e-4)
+        for idx in [(0, 0, 0, 0), (2, 1, 2, 2)]:
+            wp = w.copy(); wp[idx] += eps
+            wm = w.copy(); wm[idx] -= eps
+            num = np.sum((F.conv2d(x, wp, None, 1, 1)
+                          - F.conv2d(x, wm, None, 1, 1)) * dout) / (2 * eps)
+            assert dw[idx] == pytest.approx(num, rel=1e-4)
+        np.testing.assert_allclose(db, dout.sum(axis=(0, 2, 3)))
+
+
+class TestDepthwiseConv2d:
+    @pytest.mark.parametrize("stride", [1, 2])
+    def test_matches_per_channel_scipy(self, rng, stride):
+        x = rng.normal(size=(2, 4, 8, 8))
+        w = rng.normal(size=(4, 3, 3))
+        ours = F.depthwise_conv2d(x, w, None, stride, 1)
+        # depthwise == standard conv with block-diagonal weights
+        w_full = np.zeros((4, 4, 3, 3))
+        for ch in range(4):
+            w_full[ch, ch] = w[ch]
+        ref = scipy_conv2d(x, w_full, stride, 1)
+        np.testing.assert_allclose(ours, ref, atol=1e-10)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            F.depthwise_conv2d(np.zeros((1, 3, 4, 4)), np.zeros((4, 3, 3)))
+
+    def test_backward_finite_difference(self, rng):
+        x = rng.normal(size=(1, 3, 6, 6))
+        w = rng.normal(size=(3, 3, 3))
+        dout = rng.normal(size=(1, 3, 3, 3))
+        dx, dw, _ = F.depthwise_conv2d_backward(dout, x, w, 2, 1)
+        eps = 1e-6
+        for idx in [(0, 1, 3, 3), (0, 2, 0, 0)]:
+            xp = x.copy(); xp[idx] += eps
+            xm = x.copy(); xm[idx] -= eps
+            num = np.sum((F.depthwise_conv2d(xp, w, None, 2, 1)
+                          - F.depthwise_conv2d(xm, w, None, 2, 1)) * dout
+                         ) / (2 * eps)
+            assert dx[idx] == pytest.approx(num, rel=1e-4, abs=1e-8)
+        for idx in [(0, 1, 1), (2, 0, 2)]:
+            wp = w.copy(); wp[idx] += eps
+            wm = w.copy(); wm[idx] -= eps
+            num = np.sum((F.depthwise_conv2d(x, wp, None, 2, 1)
+                          - F.depthwise_conv2d(x, wm, None, 2, 1)) * dout
+                         ) / (2 * eps)
+            assert dw[idx] == pytest.approx(num, rel=1e-4)
+
+
+class TestPointwiseConv2d:
+    def test_matches_einsum_reference(self, rng):
+        x = rng.normal(size=(2, 5, 4, 4))
+        w = rng.normal(size=(7, 5))
+        ours = F.pointwise_conv2d(x, w)
+        ref = np.einsum("fc,nchw->nfhw", w, x)
+        np.testing.assert_allclose(ours, ref)
+
+    def test_equals_1x1_standard_conv(self, rng):
+        x = rng.normal(size=(1, 4, 5, 5))
+        w = rng.normal(size=(6, 4))
+        ours = F.pointwise_conv2d(x, w)
+        ref = F.conv2d(x, w.reshape(6, 4, 1, 1), None, 1, 0)
+        np.testing.assert_allclose(ours, ref)
+
+    def test_backward_is_transpose(self, rng):
+        x = rng.normal(size=(2, 4, 3, 3))
+        w = rng.normal(size=(6, 4))
+        dout = rng.normal(size=(2, 6, 3, 3))
+        dx, dw, _ = F.pointwise_conv2d_backward(dout, x, w)
+        np.testing.assert_allclose(dx, np.einsum("fc,nfhw->nchw", w, dout))
+        np.testing.assert_allclose(dw, np.einsum("nfhw,nchw->fc", dout, x))
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            F.pointwise_conv2d(np.zeros((1, 3, 4, 4)), np.zeros((2, 5)))
+
+
+class TestPooling:
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = F.global_avg_pool(x)
+        np.testing.assert_allclose(out, x.mean(axis=(2, 3)))
+
+    def test_global_avg_pool_backward(self, rng):
+        dout = rng.normal(size=(2, 3))
+        dx = F.global_avg_pool_backward(dout, (2, 3, 4, 4))
+        np.testing.assert_allclose(dx[0, 0], dout[0, 0] / 16)
+
+
+class TestReLU:
+    def test_forward(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        np.testing.assert_array_equal(F.relu(x), [0.0, 0.0, 2.0])
+
+    def test_backward_masks_negatives(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        dout = np.ones(3)
+        np.testing.assert_array_equal(F.relu_backward(dout, x), [0, 0, 1])
+
+
+class TestHypothesisShapes:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        h=st.integers(min_value=3, max_value=12),
+        c=st.integers(min_value=1, max_value=4),
+        stride=st.sampled_from([1, 2]),
+    )
+    def test_dwc_output_geometry(self, h, c, stride):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, c, h, h))
+        w = rng.normal(size=(c, 3, 3))
+        out = F.depthwise_conv2d(x, w, None, stride, 1)
+        expected = (h + 2 - 3) // stride + 1
+        assert out.shape == (1, c, expected, expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        c=st.integers(min_value=1, max_value=6),
+        f=st.integers(min_value=1, max_value=6),
+    )
+    def test_pwc_linearity(self, c, f):
+        rng = np.random.default_rng(1)
+        x1 = rng.normal(size=(1, c, 3, 3))
+        x2 = rng.normal(size=(1, c, 3, 3))
+        w = rng.normal(size=(f, c))
+        lhs = F.pointwise_conv2d(x1 + x2, w)
+        rhs = F.pointwise_conv2d(x1, w) + F.pointwise_conv2d(x2, w)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-10)

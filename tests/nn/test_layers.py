@@ -1,0 +1,213 @@
+"""Layer forward/backward contracts, including numeric gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    GlobalAvgPool,
+    Linear,
+    PointwiseConv2d,
+    ReLU,
+)
+from repro.nn.layers import Parameter
+
+
+def numeric_grad(layer, x, dout, param, idx, eps=1e-6):
+    original = param.data[idx]
+    param.data[idx] = original + eps
+    hi = np.sum(layer.forward(x) * dout)
+    param.data[idx] = original - eps
+    lo = np.sum(layer.forward(x) * dout)
+    param.data[idx] = original
+    return (hi - lo) / (2 * eps)
+
+
+class TestParameter:
+    def test_grad_starts_zero(self):
+        p = Parameter(np.ones((2, 2)))
+        assert np.all(p.grad == 0)
+
+    def test_zero_grad(self):
+        p = Parameter(np.ones(3))
+        p.grad += 5.0
+        p.zero_grad()
+        assert np.all(p.grad == 0)
+
+    def test_size(self):
+        assert Parameter(np.ones((2, 3))).size == 6
+
+
+class TestConv2d:
+    def test_forward_shape(self, rng):
+        layer = Conv2d(3, 8, 3, stride=1, padding=1, rng=rng)
+        out = layer.forward(rng.normal(size=(2, 3, 8, 8)))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_weight_gradient_matches_numeric(self, rng):
+        layer = Conv2d(2, 3, 3, stride=1, padding=1, rng=rng)
+        x = rng.normal(size=(1, 2, 5, 5))
+        dout = rng.normal(size=(1, 3, 5, 5))
+        layer.forward(x)
+        layer.backward(dout)
+        for idx in [(0, 0, 1, 1), (2, 1, 0, 2)]:
+            num = numeric_grad(layer, x, dout, layer.weight, idx)
+            assert layer.weight.grad[idx] == pytest.approx(num, rel=1e-4)
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = Conv2d(2, 3, 3, rng=rng)
+        with pytest.raises(ShapeError):
+            layer.backward(np.zeros((1, 3, 2, 2)))
+
+    def test_bias_parameter_optional(self, rng):
+        without = Conv2d(2, 3, 3, bias=False, rng=rng)
+        with_bias = Conv2d(2, 3, 3, bias=True, rng=rng)
+        assert len(list(without.parameters())) == 1
+        assert len(list(with_bias.parameters())) == 2
+
+
+class TestDepthwiseConv2d:
+    def test_forward_shape_stride2(self, rng):
+        layer = DepthwiseConv2d(4, stride=2, rng=rng)
+        out = layer.forward(rng.normal(size=(1, 4, 8, 8)))
+        assert out.shape == (1, 4, 4, 4)
+
+    def test_weight_gradient_matches_numeric(self, rng):
+        layer = DepthwiseConv2d(3, stride=1, rng=rng)
+        x = rng.normal(size=(1, 3, 5, 5))
+        dout = rng.normal(size=(1, 3, 5, 5))
+        layer.forward(x)
+        layer.backward(dout)
+        for idx in [(0, 1, 1), (2, 2, 0)]:
+            num = numeric_grad(layer, x, dout, layer.weight, idx)
+            assert layer.weight.grad[idx] == pytest.approx(num, rel=1e-4)
+
+    def test_gradients_accumulate(self, rng):
+        layer = DepthwiseConv2d(2, rng=rng)
+        x = rng.normal(size=(1, 2, 4, 4))
+        dout = rng.normal(size=(1, 2, 4, 4))
+        layer.forward(x)
+        layer.backward(dout)
+        first = layer.weight.grad.copy()
+        layer.forward(x)
+        layer.backward(dout)
+        np.testing.assert_allclose(layer.weight.grad, 2 * first)
+
+
+class TestPointwiseConv2d:
+    def test_forward_shape(self, rng):
+        layer = PointwiseConv2d(4, 6, rng=rng)
+        out = layer.forward(rng.normal(size=(2, 4, 5, 5)))
+        assert out.shape == (2, 6, 5, 5)
+
+    def test_weight_gradient_matches_numeric(self, rng):
+        layer = PointwiseConv2d(3, 4, rng=rng)
+        x = rng.normal(size=(1, 3, 4, 4))
+        dout = rng.normal(size=(1, 4, 4, 4))
+        layer.forward(x)
+        layer.backward(dout)
+        for idx in [(0, 0), (3, 2)]:
+            num = numeric_grad(layer, x, dout, layer.weight, idx)
+            assert layer.weight.grad[idx] == pytest.approx(num, rel=1e-4)
+
+
+class TestBatchNorm2d:
+    def test_training_normalizes_batch(self, rng):
+        layer = BatchNorm2d(4)
+        x = rng.normal(loc=3.0, scale=2.0, size=(8, 4, 5, 5))
+        out = layer.forward(x)
+        assert abs(out.mean()) < 1e-8
+        assert out.std() == pytest.approx(1.0, abs=1e-2)
+
+    def test_running_stats_updated(self, rng):
+        layer = BatchNorm2d(2, momentum=0.5)
+        x = rng.normal(loc=4.0, size=(16, 2, 4, 4))
+        layer.forward(x)
+        assert np.all(layer.running_mean > 1.0)
+
+    def test_eval_uses_running_stats(self, rng):
+        layer = BatchNorm2d(2)
+        x = rng.normal(size=(4, 2, 3, 3))
+        layer.forward(x)  # update running stats
+        layer.eval()
+        y1 = layer.forward(x[:1])
+        y2 = layer.forward(x[:1])
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_shape_mismatch_raises(self):
+        layer = BatchNorm2d(4)
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros((1, 3, 2, 2)))
+
+    def test_gamma_beta_gradients_match_numeric(self, rng):
+        layer = BatchNorm2d(3)
+        x = rng.normal(size=(4, 3, 4, 4))
+        dout = rng.normal(size=(4, 3, 4, 4))
+        layer.forward(x)
+        layer.backward(dout)
+        for param in (layer.gamma, layer.beta):
+            num = numeric_grad(layer, x, dout, param, (1,))
+            assert param.grad[1] == pytest.approx(num, rel=1e-4)
+
+    def test_input_gradient_matches_numeric(self, rng):
+        layer = BatchNorm2d(2)
+        x = rng.normal(size=(3, 2, 3, 3))
+        dout = rng.normal(size=(3, 2, 3, 3))
+        layer.forward(x)
+        dx = layer.backward(dout)
+        eps = 1e-6
+        idx = (1, 0, 2, 1)
+        xp = x.copy(); xp[idx] += eps
+        xm = x.copy(); xm[idx] -= eps
+        num = (np.sum(layer.forward(xp) * dout)
+               - np.sum(layer.forward(xm) * dout)) / (2 * eps)
+        assert dx[idx] == pytest.approx(num, rel=1e-3, abs=1e-6)
+
+
+class TestReLULayer:
+    def test_roundtrip(self, rng):
+        layer = ReLU()
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = layer.forward(x)
+        assert np.all(out >= 0)
+        dx = layer.backward(np.ones_like(x))
+        np.testing.assert_array_equal(dx, (x > 0).astype(float))
+
+
+class TestGlobalAvgPool:
+    def test_forward_backward(self, rng):
+        layer = GlobalAvgPool()
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = layer.forward(x)
+        assert out.shape == (2, 3)
+        dx = layer.backward(np.ones((2, 3)))
+        assert dx.shape == x.shape
+        np.testing.assert_allclose(dx, 1.0 / 16)
+
+
+class TestLinear:
+    def test_forward(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4))
+        out = layer.forward(x)
+        np.testing.assert_allclose(
+            out, x @ layer.weight.data.T + layer.bias.data
+        )
+
+    def test_shape_check(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros((2, 5)))
+
+    def test_gradients_match_numeric(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+        dout = rng.normal(size=(4, 2))
+        layer.forward(x)
+        dx = layer.backward(dout)
+        num = numeric_grad(layer, x, dout, layer.weight, (1, 2))
+        assert layer.weight.grad[1, 2] == pytest.approx(num, rel=1e-5)
+        np.testing.assert_allclose(dx, dout @ layer.weight.data)

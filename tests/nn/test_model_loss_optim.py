@@ -1,0 +1,210 @@
+"""Sequential container, losses, optimizer, trainer, and initializers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn import (
+    SGD,
+    Linear,
+    ReLU,
+    Sequential,
+    Trainer,
+    accuracy,
+    cross_entropy,
+    cross_entropy_backward,
+    softmax,
+)
+from repro.nn import init
+from repro.errors import ShapeError
+
+
+class TestSequential:
+    def test_forward_chains_layers(self, rng):
+        model = Sequential([Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng)])
+        out = model.forward(rng.normal(size=(3, 4)))
+        assert out.shape == (3, 2)
+
+    def test_add_returns_self(self, rng):
+        model = Sequential()
+        assert model.add(Linear(2, 2, rng=rng)) is model
+
+    def test_parameters_collected(self, rng):
+        model = Sequential([Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng)])
+        assert len(list(model.parameters())) == 4  # 2 weights + 2 biases
+
+    def test_num_parameters(self, rng):
+        model = Sequential([Linear(4, 8, rng=rng)])
+        assert model.num_parameters() == 4 * 8 + 8
+
+    def test_train_eval_propagates(self, rng):
+        model = Sequential([Linear(2, 2, rng=rng), ReLU()])
+        model.eval()
+        assert all(not layer.training for layer in model)
+        model.train()
+        assert all(layer.training for layer in model)
+
+    def test_record_activations(self, rng):
+        model = Sequential([Linear(4, 8, rng=rng), ReLU()])
+        model.record_activations = True
+        x = rng.normal(size=(2, 4))
+        model.forward(x)
+        assert len(model.activations) == 3  # input + 2 layers
+
+    def test_indexing_and_len(self, rng):
+        l1 = Linear(2, 2, rng=rng)
+        model = Sequential([l1, ReLU()])
+        assert len(model) == 2
+        assert model[0] is l1
+
+    def test_zero_grad(self, rng):
+        model = Sequential([Linear(2, 2, rng=rng)])
+        model.forward(rng.normal(size=(1, 2)))
+        model.backward(np.ones((1, 2)))
+        model.zero_grad()
+        assert all(np.all(p.grad == 0) for p in model.parameters())
+
+
+class TestSoftmaxCrossEntropy:
+    def test_softmax_rows_sum_to_one(self, rng):
+        probs = softmax(rng.normal(size=(5, 10)))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_softmax_shift_invariant(self, rng):
+        logits = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        labels = np.array([0, 1])
+        assert cross_entropy(logits, labels) == pytest.approx(0.0, abs=1e-6)
+
+    def test_cross_entropy_uniform(self):
+        logits = np.zeros((4, 10))
+        labels = np.array([0, 1, 2, 3])
+        assert cross_entropy(logits, labels) == pytest.approx(np.log(10))
+
+    def test_cross_entropy_shape_checks(self):
+        with pytest.raises(ShapeError):
+            cross_entropy(np.zeros((2, 3, 4)), np.array([0, 1]))
+        with pytest.raises(ShapeError):
+            cross_entropy(np.zeros((2, 3)), np.array([0]))
+
+    def test_gradient_matches_numeric(self, rng):
+        logits = rng.normal(size=(3, 5))
+        labels = np.array([1, 0, 4])
+        grad = cross_entropy_backward(logits, labels)
+        eps = 1e-6
+        for idx in [(0, 1), (2, 3)]:
+            lp = logits.copy(); lp[idx] += eps
+            lm = logits.copy(); lm[idx] -= eps
+            num = (cross_entropy(lp, labels) - cross_entropy(lm, labels)) / (
+                2 * eps
+            )
+            assert grad[idx] == pytest.approx(num, rel=1e-4, abs=1e-8)
+
+    def test_accuracy(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        labels = np.array([0, 1, 1])
+        assert accuracy(logits, labels) == pytest.approx(2 / 3)
+
+
+class TestSGD:
+    def test_plain_step(self, rng):
+        layer = Linear(2, 2, rng=rng)
+        opt = SGD(list(layer.parameters()), lr=0.1, momentum=0.0)
+        layer.weight.grad[...] = 1.0
+        before = layer.weight.data.copy()
+        opt.step()
+        np.testing.assert_allclose(layer.weight.data, before - 0.1)
+
+    def test_momentum_accumulates(self, rng):
+        layer = Linear(1, 1, rng=rng)
+        opt = SGD(list(layer.parameters()), lr=1.0, momentum=0.5)
+        for expected_velocity in (1.0, 1.5, 1.75):
+            before = layer.weight.data.copy()
+            layer.weight.grad[...] = 1.0
+            opt.step()
+            np.testing.assert_allclose(
+                before - layer.weight.data, expected_velocity
+            )
+            layer.weight.zero_grad()
+
+    def test_weight_decay_shrinks_weights(self, rng):
+        layer = Linear(1, 1, rng=rng)
+        layer.weight.data[...] = 1.0
+        opt = SGD(list(layer.parameters()), lr=0.1, momentum=0.0,
+                  weight_decay=0.5)
+        opt.step()  # grad is zero, only decay acts
+        assert layer.weight.data[0, 0] == pytest.approx(0.95)
+
+    def test_validation(self, rng):
+        layer = Linear(1, 1, rng=rng)
+        params = list(layer.parameters())
+        with pytest.raises(ConfigError):
+            SGD(params, lr=-1)
+        with pytest.raises(ConfigError):
+            SGD(params, momentum=1.5)
+        with pytest.raises(ConfigError):
+            SGD(params, weight_decay=-0.1)
+        with pytest.raises(ConfigError):
+            SGD([])
+
+
+class TestTrainer:
+    def test_loss_decreases_on_separable_data(self, rng):
+        # two gaussian blobs -> a linear model must learn them
+        x = np.concatenate(
+            [rng.normal(-2, 0.5, size=(40, 3)), rng.normal(2, 0.5, size=(40, 3))]
+        )
+        y = np.array([0] * 40 + [1] * 40)
+        model = Sequential([Linear(3, 2, rng=rng)])
+        trainer = Trainer(model, SGD(list(model.parameters()), lr=0.1),
+                          batch_size=8)
+        result = trainer.fit(x, y, epochs=5)
+        assert result.losses[-1] < result.losses[0]
+        assert result.final_accuracy > 0.9
+
+    def test_evaluate_does_not_update(self, rng):
+        model = Sequential([Linear(3, 2, rng=rng)])
+        trainer = Trainer(model, SGD(list(model.parameters()), lr=0.1))
+        w = model[0].weight.data.copy()
+        trainer.evaluate(rng.normal(size=(4, 3)), np.array([0, 1, 0, 1]))
+        np.testing.assert_array_equal(w, model[0].weight.data)
+
+    def test_size_mismatch_raises(self, rng):
+        model = Sequential([Linear(3, 2, rng=rng)])
+        trainer = Trainer(model, SGD(list(model.parameters()), lr=0.1))
+        with pytest.raises(ConfigError):
+            trainer.train_epoch(rng.normal(size=(4, 3)), np.array([0, 1]))
+
+    def test_empty_result_defaults(self):
+        from repro.nn import TrainResult
+
+        result = TrainResult()
+        assert result.final_loss == float("inf")
+        assert result.final_accuracy == 0.0
+
+
+class TestInit:
+    def test_he_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = init.he_normal((1000, 100), fan_in=100, rng=rng)
+        assert w.std() == pytest.approx(np.sqrt(2 / 100), rel=0.05)
+
+    def test_xavier_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        w = init.xavier_uniform((100, 100), 100, 100, rng=rng)
+        limit = np.sqrt(6 / 200)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigError):
+            init.he_normal((2, 2), fan_in=0, rng=rng)
+        with pytest.raises(ConfigError):
+            init.xavier_uniform((2, 2), 0, 2, rng=rng)
+
+    def test_zeros_ones(self):
+        assert np.all(init.zeros((3,)) == 0)
+        assert np.all(init.ones((3,)) == 1)

@@ -1,0 +1,95 @@
+"""Geometry zoo: other DSC networks served by the accelerator."""
+
+import pytest
+
+from repro.arch import EDEA_CONFIG
+from repro.errors import ConfigError
+from repro.nn import (
+    custom_dsc_specs,
+    mobilenet_v1_imagenet_specs,
+    mobilenet_v2_dsc_specs,
+)
+from repro.sim import layer_latency
+
+
+class TestMobileNetV1ImageNet:
+    def test_thirteen_layers_starting_at_112(self):
+        specs = mobilenet_v1_imagenet_specs()
+        assert len(specs) == 13
+        assert specs[0].in_size == 112
+
+    def test_ends_at_7x7x1024(self):
+        specs = mobilenet_v1_imagenet_specs()
+        assert specs[-1].out_size == 7
+        assert specs[-1].out_channels == 1024
+
+    def test_same_channel_plan_as_cifar_variant(self):
+        from repro.nn import MOBILENET_V1_CIFAR10_SPECS
+
+        imagenet = mobilenet_v1_imagenet_specs()
+        for a, b in zip(imagenet, MOBILENET_V1_CIFAR10_SPECS):
+            assert a.in_channels == b.in_channels
+            assert a.out_channels == b.out_channels
+            assert a.stride == b.stride
+
+    def test_accelerator_timing_model_accepts_it(self):
+        for spec in mobilenet_v1_imagenet_specs():
+            assert layer_latency(spec).total_cycles > 0
+
+    def test_channels_tile_exactly(self):
+        for spec in mobilenet_v1_imagenet_specs():
+            assert spec.in_channels % EDEA_CONFIG.td == 0
+            assert spec.out_channels % EDEA_CONFIG.tk == 0
+
+
+class TestMobileNetV2:
+    def test_seventeen_dsc_layers(self):
+        assert len(mobilenet_v2_dsc_specs()) == 17
+
+    def test_channels_tile_exactly(self):
+        for spec in mobilenet_v2_dsc_specs():
+            assert spec.in_channels % EDEA_CONFIG.td == 0
+            assert spec.out_channels % EDEA_CONFIG.tk == 0
+
+    def test_spatial_chain_consistent(self):
+        specs = mobilenet_v2_dsc_specs()
+        for prev, cur in zip(specs, specs[1:]):
+            assert cur.in_size == prev.out_size
+
+    def test_expansion_factor_visible(self):
+        specs = mobilenet_v2_dsc_specs()
+        # later blocks run depthwise on ~6x expanded channels
+        assert specs[-1].in_channels == 960  # 6 x 160
+        assert specs[-1].out_channels == 320
+
+    def test_timing_model_accepts_it(self):
+        total = sum(
+            layer_latency(spec).total_cycles
+            for spec in mobilenet_v2_dsc_specs()
+        )
+        assert total > 0
+
+    def test_input_size_validated(self):
+        with pytest.raises(ConfigError):
+            mobilenet_v2_dsc_specs(input_size=2)
+
+
+class TestCustomSpecs:
+    def test_chaining_plan(self):
+        specs = custom_dsc_specs(16, [(1, 8, 16), (2, 16, 32), (1, 32, 32)])
+        assert [s.out_size for s in specs] == [16, 8, 8]
+
+    def test_non_chaining_plan_rejected(self):
+        with pytest.raises(ConfigError):
+            custom_dsc_specs(16, [(1, 8, 16), (1, 24, 32)])
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ConfigError):
+            custom_dsc_specs(16, [])
+
+    def test_runs_through_dse(self):
+        from repro.dse import best_point, explore
+
+        specs = custom_dsc_specs(16, [(1, 16, 32), (2, 32, 64)])
+        result = explore(specs)
+        assert best_point(result).total_access > 0

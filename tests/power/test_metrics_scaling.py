@@ -1,0 +1,103 @@
+"""Metric helpers and the technology-normalization model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.power import (
+    ScalingModel,
+    energy_joules,
+    gops,
+    gops_per_mm2,
+    precision_ops_factor,
+    tops_per_watt,
+)
+
+
+class TestMetrics:
+    def test_gops(self):
+        assert gops(2_000_000_000, 1.0) == pytest.approx(2.0)
+
+    def test_tops_per_watt(self):
+        # the paper's headline point: 973.55 GOPS at 72.5 mW = 13.43 TOPS/W
+        assert tops_per_watt(
+            ops=973_550_000_000, seconds=1.0, watts=0.0725
+        ) == pytest.approx(13.43, abs=0.01)
+
+    def test_gops_per_mm2(self):
+        # Table III: 973.55 GOPS / 0.58 mm2 = 1678.53 GOPS/mm2
+        assert gops_per_mm2(973.55, 0.58) == pytest.approx(1678.53, abs=0.01)
+
+    def test_energy(self):
+        assert energy_joules(0.1, 2.0) == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            gops(1, 0)
+        with pytest.raises(ConfigError):
+            tops_per_watt(1, 1, 0)
+        with pytest.raises(ConfigError):
+            gops_per_mm2(1, 0)
+        with pytest.raises(ConfigError):
+            energy_joules(-1, 1)
+
+
+class TestPrecisionFactor:
+    def test_8bit_is_identity(self):
+        assert precision_ops_factor(8) == 1.0
+
+    def test_16bit_counts_4x(self):
+        # the paper's Table III footnote: (16/8)^2 = 4; 38.8 GOPS -> 155.2
+        assert precision_ops_factor(16) == 4.0
+        assert 38.8 * precision_ops_factor(16) == pytest.approx(155.2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            precision_ops_factor(0)
+
+
+class TestScalingModel:
+    def test_reference_point_is_identity(self):
+        model = ScalingModel()
+        assert model.energy_efficiency_factor(22, 0.8) == 1.0
+        assert model.area_efficiency_factor(22) == 1.0
+
+    def test_older_node_scales_up(self):
+        model = ScalingModel()
+        assert model.energy_efficiency_factor(65, 0.8) > 1.0
+        assert model.area_efficiency_factor(65) > 1.0
+
+    def test_default_exponent_two(self):
+        model = ScalingModel()
+        assert model.area_efficiency_factor(44) == pytest.approx(4.0)
+
+    def test_normalize_energy_efficiency_includes_precision(self):
+        model = ScalingModel()
+        raw_16bit = model.normalize_energy_efficiency(
+            0.34, tech_nm=22, voltage_v=0.8, precision_bits=16
+        )
+        assert raw_16bit == pytest.approx(0.34 * 4)
+
+    def test_model_within_tolerance_of_paper_for_isvlsi19(self):
+        # [16]: 65nm, 1.08V, paper-normalized 7.73 from raw 0.92
+        model = ScalingModel()
+        ours = model.normalize_energy_efficiency(0.92, 65, 1.08)
+        assert ours == pytest.approx(7.73, rel=0.10)
+
+    def test_model_within_tolerance_of_paper_for_icce21(self):
+        # [17]: 40nm, 16-bit, paper-normalized 4.32 (8-bit basis)
+        model = ScalingModel()
+        ours = model.normalize_energy_efficiency(0.34, 40, 0.9,
+                                                 precision_bits=16)
+        assert ours == pytest.approx(4.32, rel=0.10)
+
+    def test_voltage_exponent_configurable(self):
+        model = ScalingModel(beta_energy=2.0)
+        boosted = model.energy_efficiency_factor(22, 1.6)
+        assert boosted == pytest.approx(4.0)
+
+    def test_validation(self):
+        model = ScalingModel()
+        with pytest.raises(ConfigError):
+            model.energy_efficiency_factor(0, 0.8)
+        with pytest.raises(ConfigError):
+            model.area_efficiency_factor(-1)

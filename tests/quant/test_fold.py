@@ -1,0 +1,217 @@
+"""Non-Conv folding: the dequant+BN+ReLU+quant chain collapses to k*x+b."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.errors import QuantizationError
+from repro.fixedpoint import Q8_16, QFormat
+from repro.quant import (
+    BNParams,
+    NonConvParams,
+    QuantParams,
+    derive_nonconv_params,
+)
+
+
+def float_chain(acc, s_in, s_w, bn, s_out, relu=True):
+    """The unfolded reference: dequant -> BN -> ReLU -> quant.
+
+    ``acc`` has the channel on axis 0; BN parameters broadcast over the
+    remaining (spatial) axes.
+    """
+    spatial_axes = (1,) * (acc.ndim - 1)
+    reshape = lambda p: np.asarray(p).reshape((-1,) + spatial_axes)  # noqa: E731
+    v = acc * (s_in * s_w)
+    inv_std = 1.0 / np.sqrt(np.asarray(bn.var) + bn.eps)
+    v = reshape(bn.gamma * inv_std) * (v - reshape(bn.mean)) + reshape(bn.beta)
+    if relu:
+        v = np.maximum(v, 0.0)
+    q = np.round(v / s_out)
+    return np.clip(q, -128, 127)
+
+
+def make_bn(rng, channels):
+    return BNParams(
+        gamma=rng.uniform(0.5, 1.5, channels),
+        beta=rng.uniform(-0.3, 0.3, channels),
+        mean=rng.uniform(-1.0, 1.0, channels),
+        var=rng.uniform(0.1, 2.0, channels),
+    )
+
+
+class TestBNParams:
+    def test_channels(self, rng):
+        assert make_bn(rng, 8).channels == 8
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(QuantizationError):
+            BNParams(gamma=np.ones(3), beta=np.ones(2), mean=np.zeros(3),
+                     var=np.ones(3))
+
+    def test_negative_var_raises(self):
+        with pytest.raises(QuantizationError):
+            BNParams(gamma=np.ones(2), beta=np.zeros(2), mean=np.zeros(2),
+                     var=np.array([1.0, -1.0]))
+
+    def test_inv_std(self):
+        bn = BNParams(gamma=np.ones(1), beta=np.zeros(1), mean=np.zeros(1),
+                      var=np.array([3.0]), eps=1.0)
+        assert bn.inv_std()[0] == pytest.approx(0.5)
+
+
+class TestDerivation:
+    def test_constants_match_closed_form(self, rng):
+        bn = make_bn(rng, 4)
+        s_in, s_w, s_out = 0.05, 0.01, 0.04
+        params = derive_nonconv_params(
+            QuantParams(s_in), QuantParams(s_w), bn, QuantParams(s_out)
+        )
+        inv_std = bn.inv_std()
+        expected_k = s_in * s_w * bn.gamma * inv_std / s_out
+        expected_b = (bn.beta - bn.gamma * bn.mean * inv_std) / s_out
+        np.testing.assert_allclose(params.k_float(), expected_k,
+                                   atol=Q8_16.resolution)
+        np.testing.assert_allclose(params.b_float(), expected_b,
+                                   atol=Q8_16.resolution)
+
+    def test_saturating_constant_raises(self, rng):
+        bn = BNParams(gamma=np.array([1e6]), beta=np.zeros(1),
+                      mean=np.zeros(1), var=np.ones(1))
+        with pytest.raises(QuantizationError):
+            derive_nonconv_params(
+                QuantParams(1.0), QuantParams(1.0), bn, QuantParams(0.001)
+            )
+
+    def test_q8_16_storage_is_24_bit(self, rng):
+        bn = make_bn(rng, 2)
+        params = derive_nonconv_params(
+            QuantParams(0.1), QuantParams(0.1), bn, QuantParams(0.1)
+        )
+        assert params.fmt.total_bits == 24
+        assert np.all(np.abs(params.k_raw) < (1 << 23))
+
+
+class TestApply:
+    def test_matches_float_chain_within_fixed_point_error(self, rng):
+        channels = 8
+        bn = make_bn(rng, channels)
+        s_in, s_w, s_out = 0.04, 0.02, 0.05
+        params = derive_nonconv_params(
+            QuantParams(s_in), QuantParams(s_w), bn, QuantParams(s_out)
+        )
+        acc = rng.integers(-20000, 20000, size=(channels, 4, 4))
+        got = params.apply(acc).astype(np.int64)
+        ref = float_chain(
+            acc.astype(float),
+            s_in,
+            s_w,
+            BNParams(bn.gamma, bn.beta, bn.mean, bn.var),
+            s_out,
+        )
+        ref = np.maximum(ref, 0)
+        # Q8.16 rounding of k/b can move results by at most 1 LSB
+        assert np.max(np.abs(got - ref)) <= 1
+
+    def test_matches_own_float_reference_exactly_off_ties(self, rng):
+        bn = make_bn(rng, 4)
+        params = derive_nonconv_params(
+            QuantParams(0.03), QuantParams(0.02), bn, QuantParams(0.05)
+        )
+        acc = rng.integers(-30000, 30000, size=(4, 5, 5))
+        got = params.apply(acc).astype(np.float64)
+        ref = params.float_reference(acc)
+        assert np.max(np.abs(got - ref)) <= 1  # only rounding-tie diffs
+
+    def test_relu_clamps(self):
+        params = NonConvParams(
+            k_raw=np.array([Q8_16.to_fixed(1.0)]),
+            b_raw=np.array([Q8_16.to_fixed(-10.0)]),
+            relu=True,
+        )
+        out = params.apply(np.array([[5]]))
+        assert out[0, 0] == 0
+
+    def test_no_relu_keeps_negatives(self):
+        params = NonConvParams(
+            k_raw=np.array([Q8_16.to_fixed(1.0)]),
+            b_raw=np.array([Q8_16.to_fixed(-10.0)]),
+            relu=False,
+        )
+        out = params.apply(np.array([[5]]))
+        assert out[0, 0] == -5
+
+    def test_channel_axis_1(self, rng):
+        bn = make_bn(rng, 3)
+        params = derive_nonconv_params(
+            QuantParams(0.1), QuantParams(0.1), bn, QuantParams(0.1)
+        )
+        acc = rng.integers(-100, 100, size=(2, 3, 4, 4))
+        out_axis1 = params.apply(acc, channel_axis=1)
+        out_axis0 = np.stack([params.apply(acc[i]) for i in range(2)])
+        np.testing.assert_array_equal(out_axis1, out_axis0)
+
+    def test_channel_count_mismatch_raises(self, rng):
+        bn = make_bn(rng, 3)
+        params = derive_nonconv_params(
+            QuantParams(0.1), QuantParams(0.1), bn, QuantParams(0.1)
+        )
+        with pytest.raises(QuantizationError):
+            params.apply(np.zeros((4, 2, 2), dtype=np.int64))
+
+    def test_apply_scalar_agrees_with_vector(self, rng):
+        bn = make_bn(rng, 2)
+        params = derive_nonconv_params(
+            QuantParams(0.05), QuantParams(0.05), bn, QuantParams(0.05)
+        )
+        acc = rng.integers(-1000, 1000, size=(2, 2, 2))
+        vector = params.apply(acc)
+        for ch in range(2):
+            for i in range(2):
+                for j in range(2):
+                    assert params.apply_scalar(int(acc[ch, i, j]), ch) == int(
+                        vector[ch, i, j]
+                    )
+
+    def test_kb_shape_mismatch_raises(self):
+        with pytest.raises(QuantizationError):
+            NonConvParams(k_raw=np.ones(3), b_raw=np.ones(2))
+
+
+class TestHypothesisEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        s_in=st.floats(min_value=0.005, max_value=0.2),
+        s_out=st.floats(min_value=0.01, max_value=0.2),
+    )
+    def test_fold_equals_unfolded_chain(self, seed, s_in, s_out):
+        rng = np.random.default_rng(seed)
+        bn = make_bn(rng, 4)
+        s_w = 0.02
+        try:
+            params = derive_nonconv_params(
+                QuantParams(s_in), QuantParams(s_w), bn, QuantParams(s_out)
+            )
+        except QuantizationError:
+            # constants outside Q8.16 — outside the equivalence domain
+            assume(False)
+        acc = rng.integers(-(1 << 16), 1 << 16, size=(4, 3, 3))
+        got = params.apply(acc).astype(np.int64)
+        ref = np.maximum(
+            float_chain(acc.astype(float), s_in, s_w, bn, s_out), 0
+        )
+        assert np.max(np.abs(got - ref)) <= 1
+
+
+class TestCustomFormats:
+    def test_wider_fraction_reduces_error(self, rng):
+        bn = make_bn(rng, 4)
+        args = (QuantParams(0.013), QuantParams(0.017), bn, QuantParams(0.019))
+        coarse = derive_nonconv_params(*args, fmt=QFormat(8, 8))
+        fine = derive_nonconv_params(*args, fmt=QFormat(8, 24))
+        inv_std = bn.inv_std()
+        exact_k = 0.013 * 0.017 * bn.gamma * inv_std / 0.019
+        err_coarse = np.abs(coarse.k_float() - exact_k).max()
+        err_fine = np.abs(fine.k_float() - exact_k).max()
+        assert err_fine <= err_coarse

@@ -1,0 +1,146 @@
+"""LSQ learned-step-size quantizer: init, forward, gradients, QAT."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.nn import SGD
+from repro.quant import LSQQuantizer, lsq_initial_step
+
+
+class TestInitialStep:
+    def test_formula(self):
+        x = np.array([1.0, -1.0, 2.0, -2.0])
+        expected = 2 * 1.5 / np.sqrt(127)
+        assert lsq_initial_step(x, 127) == pytest.approx(expected)
+
+    def test_empty_raises(self):
+        with pytest.raises(QuantizationError):
+            lsq_initial_step(np.array([]), 127)
+
+    def test_zero_data_positive_step(self):
+        assert lsq_initial_step(np.zeros(4), 127) > 0
+
+
+class TestForward:
+    def test_initializes_from_first_batch(self, rng):
+        q = LSQQuantizer(signed=True)
+        assert not q.initialized
+        q.forward(rng.normal(size=(4, 4)))
+        assert q.initialized
+
+    def test_explicit_step_respected(self):
+        q = LSQQuantizer(signed=True, step=0.5)
+        out = q.forward(np.array([0.6, -0.6, 0.24]))
+        np.testing.assert_allclose(out, [0.5, -0.5, 0.0])
+
+    def test_output_on_step_grid(self, rng):
+        q = LSQQuantizer(signed=True, step=0.1)
+        out = q.forward(rng.normal(size=100))
+        ratio = out / 0.1
+        np.testing.assert_allclose(ratio, np.round(ratio), atol=1e-9)
+
+    def test_unsigned_clamps_at_zero(self):
+        q = LSQQuantizer(signed=False, step=1.0)
+        out = q.forward(np.array([-3.0, 5.0]))
+        np.testing.assert_allclose(out, [0.0, 5.0])
+
+    def test_saturation_at_qmax(self):
+        q = LSQQuantizer(signed=True, step=1.0)
+        out = q.forward(np.array([500.0, -500.0]))
+        np.testing.assert_allclose(out, [127.0, -128.0])
+
+    def test_quant_params_export(self):
+        q = LSQQuantizer(signed=False, step=0.25)
+        params = q.quant_params()
+        assert params.scale == 0.25
+        assert not params.signed
+
+    def test_quant_params_uninitialized_raises(self):
+        with pytest.raises(QuantizationError):
+            LSQQuantizer().quant_params()
+
+
+class TestBackward:
+    def test_input_gradient_straight_through_inside(self):
+        q = LSQQuantizer(signed=True, step=1.0)
+        x = np.array([0.4, 200.0, -200.0])
+        q.forward(x)
+        dx = q.backward(np.ones(3))
+        # gradient passes only where |x/s| within (qmin, qmax)
+        np.testing.assert_allclose(dx, [1.0, 0.0, 0.0])
+
+    def test_backward_before_forward_raises(self):
+        q = LSQQuantizer(step=1.0)
+        with pytest.raises(QuantizationError):
+            q.backward(np.ones(2))
+
+    def test_step_gradient_matches_lsq_paper_formula(self):
+        """d(out)/ds = -x/s + round(x/s) inside the range; the clip bound
+        outside — the LSQ paper's Eq. for the STE gradient."""
+        step = 0.5
+        x = np.array([0.3, -0.8, 100.0, -100.0])
+        dout = np.array([1.0, 1.0, 1.0, 1.0])
+        q = LSQQuantizer(signed=True, step=step)
+        q.forward(x)
+        q.backward(dout)
+        ratio = x / step
+        expected_elem = np.array(
+            [
+                np.round(ratio[0]) - ratio[0],
+                np.round(ratio[1]) - ratio[1],
+                127.0,   # clipped high -> gradient is Qp
+                -128.0,  # clipped low -> gradient is Qn
+            ]
+        )
+        grad_scale = 1.0 / np.sqrt(x.size * 127)
+        assert q.step.grad[0] == pytest.approx(
+            np.sum(dout * expected_elem) * grad_scale
+        )
+
+    def test_step_gradient_matches_numeric_in_saturated_region(self):
+        """Where the quantizer saturates, out = bound * s is smooth in s,
+        so finite differences are valid there (unlike the rounding region,
+        where the straight-through estimator intentionally differs)."""
+        step = 0.5
+        x = np.array([400.0, -400.0, 90.0])  # all far beyond +-128*0.5
+        dout = np.array([0.7, -0.3, 1.1])
+        q = LSQQuantizer(signed=True, step=step)
+        q.forward(x)
+        q.backward(dout)
+        eps = 1e-6
+        qp = LSQQuantizer(signed=True, step=step + eps)
+        qm = LSQQuantizer(signed=True, step=step - eps)
+        num = np.sum((qp.forward(x) - qm.forward(x)) * dout) / (2 * eps)
+        grad_scale = 1.0 / np.sqrt(x.size * 127)
+        assert q.step.grad[0] == pytest.approx(num * grad_scale, rel=1e-6)
+
+    def test_step_parameter_listed(self):
+        q = LSQQuantizer(step=1.0)
+        assert len(list(q.parameters())) == 1
+
+
+class TestQAT:
+    def test_step_learns_to_reduce_error(self):
+        # start with a far-too-large step; training should shrink it
+        rng = np.random.default_rng(1)
+        x = rng.normal(scale=1.0, size=(512,))
+        q = LSQQuantizer(signed=True, step=1.0)
+        opt = SGD(list(q.parameters()), lr=0.01, momentum=0.0)
+        initial_mse = np.mean((q.forward(x) - x) ** 2)
+        for _ in range(300):
+            opt.zero_grad()
+            out = q.forward(x)
+            grad = 2 * (out - x)  # sum-of-squares reconstruction loss
+            q.backward(grad)
+            opt.step()
+        final_mse = np.mean((q.forward(x) - x) ** 2)
+        assert final_mse < initial_mse / 2
+        assert q.step.data[0] < 1.0
+
+    def test_negative_step_recovers(self):
+        q = LSQQuantizer(signed=True, step=1.0)
+        q.step.data[0] = -0.5  # pathological state after a bad update
+        out = q.forward(np.array([1.0]))
+        assert np.isfinite(out).all()
+        assert q.step.data[0] > 0

@@ -1,0 +1,166 @@
+"""Non-Conv op-count model and the LSQ QAT flow."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.nn import (
+    MOBILENET_V1_CIFAR10_SPECS,
+    SGD,
+    Sequential,
+    Trainer,
+    build_mobilenet_v1,
+    mobilenet_v1_specs,
+)
+from repro.quant import (
+    NonConvOpCounts,
+    convert_qat_mobilenet,
+    network_nonconv_op_counts,
+    nonconv_op_counts,
+    prepare_qat_mobilenet,
+)
+from repro.quant.qat import QATDepthwiseConv2d, QATPointwiseConv2d
+
+
+class TestOpCounts:
+    def test_layer_counts(self):
+        spec = MOBILENET_V1_CIFAR10_SPECS[0]  # 32x32, D=32, K=64
+        counts = nonconv_op_counts(spec)
+        assert counts.elements == 32 * 32 * (32 + 64)
+        assert counts.unfolded_ops == counts.elements * 8
+        assert counts.folded_ops == counts.elements * 4
+
+    def test_folding_halves_ops(self):
+        counts = network_nonconv_op_counts(MOBILENET_V1_CIFAR10_SPECS)
+        assert counts.reduction_percent == pytest.approx(50.0)
+
+    def test_saved_ops_positive(self):
+        counts = network_nonconv_op_counts(MOBILENET_V1_CIFAR10_SPECS)
+        assert counts.saved_ops == counts.elements * 4
+
+    def test_addition(self):
+        a = NonConvOpCounts(10, 80, 40)
+        b = NonConvOpCounts(5, 40, 20)
+        total = a + b
+        assert total.elements == 15
+        assert total.unfolded_ops == 120
+
+    def test_zero_division_guard(self):
+        assert NonConvOpCounts(0, 0, 0).reduction_percent == 0.0
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ConfigError):
+            network_nonconv_op_counts([])
+
+
+@pytest.fixture(scope="module")
+def qat_setup():
+    """Small float model + its QAT view, trained one epoch each."""
+    from repro.datasets import make_cifar10_like
+
+    specs = mobilenet_v1_specs(width_multiplier=0.25)
+    model = build_mobilenet_v1(width_multiplier=0.25, seed=31)
+    ds = make_cifar10_like(48, seed=32)
+    Trainer(model, SGD(list(model.parameters()), lr=0.02),
+            batch_size=16, seed=33).fit(ds.images, ds.labels, epochs=1)
+    qat = prepare_qat_mobilenet(model, num_blocks=13)
+    Trainer(qat, SGD(list(qat.parameters()), lr=0.01),
+            batch_size=16, seed=34).fit(ds.images, ds.labels, epochs=1)
+    return specs, model, qat, ds
+
+
+class TestPrepareQAT:
+    def test_layer_count(self, qat_setup):
+        _, _, qat, _ = qat_setup
+        assert len(qat) == 4 + 8 * 13 + 2
+
+    def test_shares_parameters_with_float_model(self, qat_setup):
+        _, model, qat, _ = qat_setup
+        dw_float = model[3]
+        dw_qat = qat[4]
+        assert isinstance(dw_qat, QATDepthwiseConv2d)
+        assert dw_qat.conv is dw_float
+
+    def test_forward_shape(self, qat_setup):
+        _, _, qat, ds = qat_setup
+        out = qat.forward(ds.images[:2])
+        assert out.shape == (2, 10)
+
+    def test_quantizer_steps_learned(self, qat_setup):
+        _, _, qat, _ = qat_setup
+        dw = qat[4]
+        assert dw.weight_quant.initialized
+        assert dw.weight_quant.step.data[0] > 0
+
+    def test_wrong_structure_rejected(self):
+        with pytest.raises(ShapeError):
+            prepare_qat_mobilenet(Sequential([]), num_blocks=13)
+
+    def test_weight_fake_quant_on_grid(self, qat_setup):
+        _, _, qat, ds = qat_setup
+        dw = qat[4]
+        dw.forward(np.zeros((1, dw.conv.channels, 8, 8)))
+        step = dw.weight_quant.step.data[0]
+        ratio = dw._w_fq / step
+        np.testing.assert_allclose(ratio, np.round(ratio), atol=1e-6)
+
+
+class TestConvertQAT:
+    def test_conversion_structure(self, qat_setup):
+        specs, _, qat, _ = qat_setup
+        int8_model = convert_qat_mobilenet(qat, specs)
+        assert len(int8_model.layers) == 13
+        for layer, spec in zip(int8_model.layers, specs):
+            assert layer.dwc_weight.dtype == np.int8
+            assert layer.spec == spec
+
+    def test_scales_come_from_learned_steps(self, qat_setup):
+        specs, _, qat, _ = qat_setup
+        int8_model = convert_qat_mobilenet(qat, specs)
+        stem_step = float(qat[3].step.data[0])
+        assert int8_model.input_params.scale == pytest.approx(stem_step)
+
+    def test_int8_tracks_qat_fake_quant(self, qat_setup):
+        """The converted int8 model must agree with the QAT fake-quant
+        model on most predictions (they compute the same quantized
+        network, up to Non-Conv Q8.16 rounding)."""
+        specs, _, qat, ds = qat_setup
+        int8_model = convert_qat_mobilenet(qat, specs)
+        qat.eval()
+        qat_pred = qat.forward(ds.images[:24]).argmax(1)
+        int8_pred = int8_model.forward(ds.images[:24]).argmax(1)
+        assert float(np.mean(qat_pred == int8_pred)) >= 0.5
+
+    def test_accelerator_bit_exact_on_converted_model(self, qat_setup):
+        from repro.sim import AcceleratorRunner
+
+        specs, _, qat, ds = qat_setup
+        int8_model = convert_qat_mobilenet(qat, specs)
+        runner = AcceleratorRunner(int8_model, verify=True)
+        x_q = int8_model.layer_input(ds.images[:1], 0)[0]
+        runner.run_layer(0, x_q)  # verify=True raises on any mismatch
+
+    def test_wrong_structure_rejected(self, qat_setup):
+        specs, model, _, _ = qat_setup
+        with pytest.raises(ShapeError):
+            convert_qat_mobilenet(model, specs)  # float model, not QAT
+
+
+class TestQATImprovesQuantizedFit:
+    def test_qat_matches_float_predictions_better_than_init(self):
+        """After QAT the fake-quant model tracks its own float weights'
+        behaviour closely — prediction agreement should be high."""
+        from repro.datasets import make_cifar10_like
+
+        model = build_mobilenet_v1(width_multiplier=0.25, seed=41)
+        ds = make_cifar10_like(32, seed=42)
+        Trainer(model, SGD(list(model.parameters()), lr=0.02),
+                batch_size=16, seed=43).fit(ds.images, ds.labels, epochs=1)
+        qat = prepare_qat_mobilenet(model, num_blocks=13)
+        Trainer(qat, SGD(list(qat.parameters()), lr=0.005),
+                batch_size=16, seed=44).fit(ds.images, ds.labels, epochs=1)
+        model.eval()
+        qat.eval()
+        float_pred = model.forward(ds.images).argmax(1)
+        qat_pred = qat.forward(ds.images).argmax(1)
+        assert float(np.mean(float_pred == qat_pred)) >= 0.5

@@ -1,0 +1,124 @@
+"""Quantized MobileNet reference model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError, ShapeError
+from repro.nn import Sequential, build_mobilenet_v1, mobilenet_v1_specs
+from repro.nn.loss import accuracy
+from repro.quant import quantize_mobilenet
+from repro.quant.qmodel import QuantizedDSCLayer
+
+
+class TestStructure:
+    def test_thirteen_quantized_layers(self, small_qmodel):
+        assert len(small_qmodel.layers) == 13
+
+    def test_weights_are_int8(self, small_qmodel):
+        for layer in small_qmodel.layers:
+            assert layer.dwc_weight.dtype == np.int8
+            assert layer.pwc_weight.dtype == np.int8
+
+    def test_weight_shapes_match_specs(self, small_qmodel, small_specs):
+        for layer, spec in zip(small_qmodel.layers, small_specs):
+            assert layer.dwc_weight.shape == (spec.in_channels, 3, 3)
+            assert layer.pwc_weight.shape == (
+                spec.out_channels, spec.in_channels
+            )
+
+    def test_nonconv_channel_counts(self, small_qmodel, small_specs):
+        for layer, spec in zip(small_qmodel.layers, small_specs):
+            assert layer.dwc_nonconv.channels == spec.in_channels
+            assert layer.pwc_nonconv.channels == spec.out_channels
+
+    def test_scales_chain(self, small_qmodel):
+        # layer l+1's input params must be layer l's output params
+        for prev, cur in zip(small_qmodel.layers, small_qmodel.layers[1:]):
+            assert cur.input_params.scale == prev.output_params.scale
+
+    def test_wrong_model_structure_rejected(self, small_specs, small_dataset):
+        with pytest.raises(ShapeError):
+            quantize_mobilenet(
+                Sequential([]), small_specs, small_dataset.images[:4]
+            )
+
+    def test_unknown_strategy_rejected(self, small_float_model, small_specs,
+                                       small_dataset):
+        with pytest.raises(QuantizationError):
+            quantize_mobilenet(
+                small_float_model, small_specs, small_dataset.images[:4],
+                strategy="median",
+            )
+
+
+class TestLayerForward:
+    def test_int8_in_int8_out(self, small_qmodel, small_dataset):
+        x_q = small_qmodel.layer_input(small_dataset.images[:2], 0)
+        mid, out = small_qmodel.layers[0].forward(x_q)
+        assert mid.dtype == np.int8 and out.dtype == np.int8
+
+    def test_rejects_non_int8(self, small_qmodel):
+        with pytest.raises(QuantizationError):
+            small_qmodel.layers[0].forward(np.zeros((1, 8, 32, 32)))
+
+    def test_relu_means_nonnegative_activations(self, small_qmodel,
+                                                small_dataset):
+        x_q = small_qmodel.layer_input(small_dataset.images[:2], 0)
+        mid, out = small_qmodel.layers[0].forward(x_q)
+        assert mid.min() >= 0
+        assert out.min() >= 0
+
+    def test_spatial_downsampling_at_stride2(self, small_qmodel,
+                                             small_dataset, small_specs):
+        x_q = small_qmodel.layer_input(small_dataset.images[:1], 1)
+        _, out = small_qmodel.layers[1].forward(x_q)
+        assert small_specs[1].stride == 2
+        assert out.shape[-1] == x_q.shape[-1] // 2
+
+    def test_layer_input_bounds(self, small_qmodel, small_dataset):
+        with pytest.raises(ShapeError):
+            small_qmodel.layer_input(small_dataset.images[:1], 13)
+
+
+class TestNetworkForward:
+    def test_logits_shape(self, small_qmodel, small_dataset):
+        logits = small_qmodel.forward(small_dataset.images[:4])
+        assert logits.shape == (4, 10)
+
+    def test_deterministic(self, small_qmodel, small_dataset):
+        a = small_qmodel.forward(small_dataset.images[:2])
+        b = small_qmodel.forward(small_dataset.images[:2])
+        np.testing.assert_array_equal(a, b)
+
+    def test_quantized_tracks_float_predictions(self, small_float_model,
+                                                small_qmodel, small_dataset):
+        """int8 inference should agree with float on most samples."""
+        images = small_dataset.images[:24]
+        small_float_model.eval()
+        float_pred = small_float_model.forward(images).argmax(axis=1)
+        quant_pred = small_qmodel.forward(images).argmax(axis=1)
+        agreement = float(np.mean(float_pred == quant_pred))
+        assert agreement >= 0.5  # quantization noise, but same model
+
+    def test_activations_returned(self, small_qmodel, small_dataset):
+        _, acts = small_qmodel.forward(
+            small_dataset.images[:1], return_activations=True
+        )
+        assert len(acts) == 13
+        for mid, out in acts:
+            assert mid.dtype == np.int8 and out.dtype == np.int8
+
+
+class TestZeroFractions:
+    def test_keys_and_ranges(self, small_qmodel, small_dataset):
+        stats = small_qmodel.zero_fractions(small_dataset.images[:2])
+        assert len(stats) == 13
+        for entry in stats:
+            for key in ("dwc_input", "pwc_input", "pwc_output"):
+                assert 0.0 <= entry[key] <= 1.0
+
+    def test_relu_produces_substantial_sparsity(self, small_qmodel,
+                                                small_dataset):
+        stats = small_qmodel.zero_fractions(small_dataset.images[:2])
+        mean_sparsity = np.mean([e["pwc_input"] for e in stats])
+        assert mean_sparsity > 0.2  # ReLU + quantization zero out plenty

@@ -1,0 +1,128 @@
+"""Quantization scheme and calibration observers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import QuantizationError
+from repro.quant import (
+    MinMaxObserver,
+    PercentileObserver,
+    QuantParams,
+    dequantize,
+    quantization_error,
+    quantize,
+)
+
+
+class TestQuantParams:
+    def test_signed_range(self):
+        p = QuantParams(scale=0.1, signed=True)
+        assert (p.qmin, p.qmax) == (-128, 127)
+
+    def test_unsigned_range(self):
+        p = QuantParams(scale=0.1, signed=False)
+        assert (p.qmin, p.qmax) == (0, 127)
+
+    def test_invalid_scale(self):
+        with pytest.raises(QuantizationError):
+            QuantParams(scale=0.0)
+        with pytest.raises(QuantizationError):
+            QuantParams(scale=float("nan"))
+
+    def test_max_representable(self):
+        p = QuantParams(scale=0.5)
+        assert p.max_representable == 63.5
+
+
+class TestQuantizeDequantize:
+    def test_roundtrip_on_grid(self):
+        p = QuantParams(scale=0.25)
+        x = np.array([0.0, 0.25, -0.5, 1.75])
+        np.testing.assert_array_equal(dequantize(quantize(x, p), p), x)
+
+    def test_clipping(self):
+        p = QuantParams(scale=0.1)
+        q = quantize(np.array([100.0, -100.0]), p)
+        assert q.tolist() == [127, -128]
+
+    def test_unsigned_clips_negatives(self):
+        p = QuantParams(scale=0.1, signed=False)
+        q = quantize(np.array([-5.0]), p)
+        assert q.tolist() == [0]
+
+    def test_dtype_is_int8(self):
+        p = QuantParams(scale=1.0)
+        assert quantize(np.array([1.0]), p).dtype == np.int8
+
+    @given(st.floats(min_value=0.001, max_value=10.0),
+           st.lists(st.floats(min_value=-100, max_value=100), min_size=1,
+                    max_size=64))
+    def test_error_bounded_by_half_step_inside_range(self, scale, values):
+        p = QuantParams(scale=scale)
+        x = np.array(values)
+        inside = np.abs(x) <= p.max_representable
+        rec = dequantize(quantize(x, p), p)
+        if inside.any():
+            assert np.max(np.abs((rec - x)[inside])) <= scale / 2 + 1e-9
+
+    def test_quantization_error_metric(self):
+        p = QuantParams(scale=0.1)
+        assert quantization_error(np.array([0.0, 0.1]), p) == pytest.approx(0)
+        assert quantization_error(np.array([0.05]), p) > 0
+
+
+class TestMinMaxObserver:
+    def test_scale_from_abs_max(self):
+        obs = MinMaxObserver()
+        obs.observe(np.array([-3.0, 2.0]))
+        params = obs.compute_params()
+        assert params.scale == pytest.approx(3.0 / 127)
+
+    def test_accumulates_over_batches(self):
+        obs = MinMaxObserver()
+        obs.observe(np.array([1.0]))
+        obs.observe(np.array([-5.0]))
+        assert obs.compute_params().scale == pytest.approx(5.0 / 127)
+
+    def test_empty_observation_raises(self):
+        with pytest.raises(QuantizationError):
+            MinMaxObserver().observe(np.array([]))
+
+    def test_unobserved_raises(self):
+        with pytest.raises(QuantizationError):
+            MinMaxObserver().compute_params()
+
+    def test_all_zero_data_gets_valid_scale(self):
+        obs = MinMaxObserver()
+        obs.observe(np.zeros(10))
+        assert obs.compute_params().scale > 0
+
+    def test_signed_flag_propagates(self):
+        obs = MinMaxObserver(signed=False)
+        obs.observe(np.array([1.0]))
+        assert not obs.compute_params().signed
+
+
+class TestPercentileObserver:
+    def test_clips_outliers(self):
+        data = np.concatenate([np.ones(999), [1000.0]])
+        minmax = MinMaxObserver()
+        minmax.observe(data)
+        pct = PercentileObserver(percentile=99.0)
+        pct.observe(data)
+        assert pct.compute_params().scale < minmax.compute_params().scale
+
+    def test_validation(self):
+        with pytest.raises(QuantizationError):
+            PercentileObserver(percentile=40.0)
+        with pytest.raises(QuantizationError):
+            PercentileObserver().compute_params()
+        with pytest.raises(QuantizationError):
+            PercentileObserver().observe(np.array([]))
+
+    def test_100th_percentile_equals_minmax(self):
+        data = np.array([-4.0, 1.0, 3.0])
+        pct = PercentileObserver(percentile=100.0)
+        pct.observe(data)
+        assert pct.compute_params().scale == pytest.approx(4.0 / 127)

@@ -1,0 +1,80 @@
+"""Quantized-model serialization roundtrip."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.quant import load_quantized_model, save_quantized_model
+from repro.sim import AcceleratorRunner
+
+
+@pytest.fixture()
+def saved_path(small_qmodel, tmp_path):
+    path = str(tmp_path / "model.npz")
+    save_quantized_model(small_qmodel, path)
+    return path
+
+
+class TestRoundtrip:
+    def test_layer_tensors_identical(self, small_qmodel, saved_path):
+        loaded = load_quantized_model(saved_path)
+        assert len(loaded.layers) == len(small_qmodel.layers)
+        for a, b in zip(small_qmodel.layers, loaded.layers):
+            np.testing.assert_array_equal(a.dwc_weight, b.dwc_weight)
+            np.testing.assert_array_equal(a.pwc_weight, b.pwc_weight)
+            np.testing.assert_array_equal(
+                np.asarray(a.dwc_nonconv.k_raw), np.asarray(b.dwc_nonconv.k_raw)
+            )
+            np.testing.assert_array_equal(
+                np.asarray(a.pwc_nonconv.b_raw), np.asarray(b.pwc_nonconv.b_raw)
+            )
+            assert a.spec == b.spec
+
+    def test_scales_preserved(self, small_qmodel, saved_path):
+        loaded = load_quantized_model(saved_path)
+        assert loaded.input_params.scale == small_qmodel.input_params.scale
+        for a, b in zip(small_qmodel.layers, loaded.layers):
+            assert a.output_params.scale == pytest.approx(
+                b.output_params.scale
+            )
+
+    def test_inference_bit_identical(self, small_qmodel, saved_path,
+                                     small_dataset):
+        loaded = load_quantized_model(saved_path)
+        images = small_dataset.images[:4]
+        np.testing.assert_allclose(
+            small_qmodel.forward(images), loaded.forward(images)
+        )
+
+    def test_int8_activations_identical(self, small_qmodel, saved_path,
+                                        small_dataset):
+        loaded = load_quantized_model(saved_path)
+        image = small_dataset.images[:1]
+        a = small_qmodel.layer_input(image, 5)
+        b = loaded.layer_input(image, 5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_loaded_model_runs_on_accelerator(self, saved_path,
+                                              small_dataset):
+        loaded = load_quantized_model(saved_path)
+        runner = AcceleratorRunner(loaded, verify=True)
+        x_q = loaded.layer_input(small_dataset.images[:1], 0)[0]
+        runner.run_layer(0, x_q)  # verify=True raises on mismatch
+
+
+class TestErrors:
+    def test_version_mismatch_detected(self, saved_path, tmp_path):
+        data = dict(np.load(saved_path))
+        data["format_version"] = np.array(999)
+        bad = str(tmp_path / "bad.npz")
+        np.savez(bad, **data)
+        with pytest.raises(QuantizationError):
+            load_quantized_model(bad)
+
+    def test_missing_layer_detected(self, saved_path, tmp_path):
+        data = dict(np.load(saved_path))
+        data["num_layers"] = np.array(int(data["num_layers"]) + 1)
+        bad = str(tmp_path / "bad2.npz")
+        np.savez(bad, **data)
+        with pytest.raises(QuantizationError):
+            load_quantized_model(bad)

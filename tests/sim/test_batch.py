@@ -1,0 +1,62 @@
+"""Batch streaming execution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sim import BatchResult, run_batch
+
+
+@pytest.fixture(scope="module")
+def batch_result(small_workload):
+    return run_batch(small_workload.qmodel, small_workload.images[:3])
+
+
+class TestRunBatch:
+    def test_one_stats_per_image(self, batch_result):
+        assert batch_result.images == 3
+        assert batch_result.logits.shape == (3, 10)
+
+    def test_cycles_identical_across_images(self, batch_result):
+        """Latency is data-independent: the schedule is fixed by the
+        geometry, so every image costs exactly the same cycles."""
+        cycles = {stats.total_cycles for stats in batch_result.per_image}
+        assert len(cycles) == 1
+
+    def test_total_cycles_sum(self, batch_result):
+        assert batch_result.total_cycles == sum(
+            s.total_cycles for s in batch_result.per_image
+        )
+
+    def test_fps_consistent_with_latency(self, batch_result):
+        fps = batch_result.frames_per_second
+        per_image_s = batch_result.total_latency_seconds / 3
+        assert fps == pytest.approx(1.0 / per_image_s)
+
+    def test_throughput_in_physical_range(self, batch_result):
+        assert 0 < batch_result.throughput_gops <= 1600
+
+    def test_logits_match_reference_model(self, small_workload,
+                                          batch_result):
+        ref = small_workload.qmodel.forward(small_workload.images[:3])
+        np.testing.assert_allclose(batch_result.logits, ref)
+
+    def test_predictions(self, batch_result):
+        preds = batch_result.predictions()
+        assert preds.shape == (3,)
+        assert np.all((preds >= 0) & (preds < 10))
+
+    def test_rejects_single_image_without_batch_dim(self, small_workload):
+        with pytest.raises(ShapeError):
+            run_batch(small_workload.qmodel, small_workload.images[0])
+
+    def test_verify_mode(self, small_workload):
+        result = run_batch(
+            small_workload.qmodel, small_workload.images[:1], verify=True
+        )
+        assert result.images == 1
+
+    def test_empty_result_defaults(self):
+        result = BatchResult(logits=np.zeros((0, 10)))
+        assert result.frames_per_second == 0.0
+        assert result.throughput_gops == 0.0

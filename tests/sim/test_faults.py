@@ -1,0 +1,140 @@
+"""Fault injection into the quantized datapath."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim import FaultSpec, inject_weight_fault, measure_impact
+
+
+@pytest.fixture()
+def layer_and_input(small_workload):
+    layer = small_workload.qmodel.layers[0]
+    x_q = small_workload.qmodel.layer_input(small_workload.images[:1], 0)[0]
+    return layer, x_q
+
+
+class TestFaultSpec:
+    def test_valid_targets(self):
+        for target in FaultSpec.VALID_TARGETS:
+            FaultSpec(target=target, flat_index=0, bit=0)
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(target="psum", flat_index=0, bit=0)
+
+    def test_weight_bit_range(self):
+        FaultSpec(target="dwc_weight", flat_index=0, bit=7)
+        with pytest.raises(ConfigError):
+            FaultSpec(target="dwc_weight", flat_index=0, bit=8)
+
+    def test_constant_bit_range(self):
+        FaultSpec(target="dwc_k", flat_index=0, bit=23)
+        with pytest.raises(ConfigError):
+            FaultSpec(target="dwc_k", flat_index=0, bit=24)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(target="dwc_weight", flat_index=-1, bit=0)
+
+
+class TestInjection:
+    def test_flips_exactly_one_weight(self, layer_and_input):
+        layer, _ = layer_and_input
+        fault = FaultSpec(target="dwc_weight", flat_index=5, bit=3)
+        faulty = inject_weight_fault(layer, fault)
+        diff = faulty.dwc_weight.astype(np.int16) - layer.dwc_weight.astype(
+            np.int16
+        )
+        assert np.count_nonzero(diff) == 1
+        assert abs(int(diff.reshape(-1)[5])) == 8  # 2^3
+
+    def test_original_layer_untouched(self, layer_and_input):
+        layer, _ = layer_and_input
+        before = layer.dwc_weight.copy()
+        inject_weight_fault(
+            layer, FaultSpec(target="dwc_weight", flat_index=0, bit=7)
+        )
+        np.testing.assert_array_equal(layer.dwc_weight, before)
+
+    def test_flip_is_involution(self, layer_and_input):
+        layer, _ = layer_and_input
+        fault = FaultSpec(target="pwc_weight", flat_index=17, bit=6)
+        twice = inject_weight_fault(inject_weight_fault(layer, fault), fault)
+        np.testing.assert_array_equal(twice.pwc_weight, layer.pwc_weight)
+
+    def test_sign_bit_flip(self, layer_and_input):
+        layer, _ = layer_and_input
+        fault = FaultSpec(target="dwc_weight", flat_index=0, bit=7)
+        faulty = inject_weight_fault(layer, fault)
+        a = int(layer.dwc_weight.reshape(-1)[0])
+        b = int(faulty.dwc_weight.reshape(-1)[0])
+        assert (a & 0xFF) ^ (b & 0xFF) == 0x80
+
+    def test_nonconv_constant_flip(self, layer_and_input):
+        layer, _ = layer_and_input
+        fault = FaultSpec(target="dwc_k", flat_index=2, bit=10)
+        faulty = inject_weight_fault(layer, fault)
+        diff = np.asarray(faulty.dwc_nonconv.k_raw) - np.asarray(
+            layer.dwc_nonconv.k_raw
+        )
+        assert np.count_nonzero(diff) == 1
+
+    def test_out_of_range_index_rejected(self, layer_and_input):
+        layer, _ = layer_and_input
+        fault = FaultSpec(target="dwc_weight", flat_index=10**9, bit=0)
+        with pytest.raises(ConfigError):
+            inject_weight_fault(layer, fault)
+
+
+class TestImpact:
+    def test_high_bit_hurts_more_than_low_bit(self, layer_and_input):
+        layer, x_q = layer_and_input
+        low = measure_impact(
+            layer, FaultSpec("dwc_weight", flat_index=0, bit=0), x_q
+        )
+        high = measure_impact(
+            layer, FaultSpec("dwc_weight", flat_index=0, bit=6), x_q
+        )
+        assert high.mean_abs_error >= low.mean_abs_error
+
+    def test_dwc_fault_confined_to_one_channel_spatially(self,
+                                                         layer_and_input):
+        """A depthwise weight only feeds one channel of the intermediate;
+        the PWC then spreads it across output channels, but the spatial
+        footprint stays bounded by the conv window."""
+        layer, x_q = layer_and_input
+        impact = measure_impact(
+            layer, FaultSpec("dwc_weight", flat_index=0, bit=6), x_q
+        )
+        assert impact.changed_fraction < 1.0
+
+    def test_metrics_consistent(self, layer_and_input):
+        layer, x_q = layer_and_input
+        impact = measure_impact(
+            layer, FaultSpec("pwc_weight", flat_index=3, bit=5), x_q
+        )
+        assert 0 <= impact.changed_elements <= impact.total_elements
+        assert impact.mean_abs_error <= impact.max_abs_error
+        if impact.changed_elements == 0:
+            assert impact.silent
+
+    def test_verification_catches_injected_fault(self, small_workload):
+        """The runner's bit-exact check must flag a corrupted accelerator
+        run — faults cannot pass silently."""
+        from repro.arch import DSCAccelerator
+        from repro.errors import SimulationError
+
+        layer = small_workload.qmodel.layers[0]
+        x_q = small_workload.qmodel.layer_input(
+            small_workload.images[:1], 0
+        )[0]
+        fault = FaultSpec("dwc_weight", flat_index=1, bit=6)
+        faulty_layer = inject_weight_fault(layer, fault)
+        impact = measure_impact(layer, fault, x_q)
+        if impact.silent:
+            pytest.skip("fault masked by requantization for this input")
+        accel = DSCAccelerator()
+        out, _ = accel.run_layer(faulty_layer, x_q)
+        _, ref = layer.forward(x_q[np.newaxis])
+        assert not np.array_equal(out, ref[0])

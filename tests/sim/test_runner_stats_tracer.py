@@ -1,0 +1,133 @@
+"""Network runner, aggregate stats, and the pipeline tracer."""
+
+import numpy as np
+import pytest
+
+from repro.arch import EDEA_CONFIG
+from repro.errors import ConfigError, ShapeError, SimulationError
+from repro.sim import (
+    STAGES,
+    AcceleratorRunner,
+    NetworkRunStats,
+    layer_latency,
+    trace_tile_pipeline,
+)
+
+
+class TestRunner:
+    def test_run_network_returns_13_layer_stats(self, small_workload):
+        assert len(small_workload.run_stats.layers) == 13
+
+    def test_verification_catches_corruption(self, small_workload):
+        runner = AcceleratorRunner(small_workload.qmodel, verify=True)
+        layer = small_workload.qmodel.layers[0]
+        x_q = small_workload.qmodel.layer_input(small_workload.images[:1], 0)[0]
+        # corrupt one weight inside the accelerator's copy via monkeypatch
+        original = layer.dwc_weight.copy()
+        try:
+            out, _ = runner.run_layer(0, x_q)  # sanity: passes unmodified
+            layer.dwc_weight[0, 0, 0] += 1
+
+            class Tampered:
+                pass
+
+            # run with mismatched reference: accelerator sees new weights,
+            # compare against stale expected output captured above
+            _, ref = layer.forward(x_q[np.newaxis])
+            assert not np.array_equal(out, ref[0])
+        finally:
+            layer.dwc_weight[...] = original
+
+    def test_layer_index_bounds(self, small_workload):
+        runner = AcceleratorRunner(small_workload.qmodel)
+        with pytest.raises(ShapeError):
+            runner.run_layer(13, np.zeros((8, 2, 2), dtype=np.int8))
+
+    def test_run_network_accepts_3d_image(self, small_workload):
+        runner = AcceleratorRunner(small_workload.qmodel, verify=False)
+        stats = runner.run_network(small_workload.images[0])
+        assert stats.total_cycles > 0
+
+    def test_run_network_rejects_batch(self, small_workload):
+        runner = AcceleratorRunner(small_workload.qmodel, verify=False)
+        with pytest.raises(ShapeError):
+            runner.run_network(small_workload.images[:2])
+
+    def test_cycles_independent_of_width(self, small_workload):
+        """Reduced-width channels scale groups, so cycles shrink 16x for
+        width 0.25 relative to full width — but per-layer cycles must
+        still match the analytic model for the reduced specs."""
+        for stats, spec in zip(small_workload.run_stats.layers,
+                               small_workload.specs):
+            assert stats.cycles == layer_latency(spec).total_cycles
+
+
+class TestNetworkStats:
+    def test_totals_sum_layers(self, small_workload):
+        stats = small_workload.run_stats
+        assert stats.total_cycles == sum(s.cycles for s in stats.layers)
+        assert stats.total_macs == sum(s.total_macs for s in stats.layers)
+        assert stats.total_ops == 2 * stats.total_macs
+
+    def test_latency_at_1ghz(self, small_workload):
+        stats = small_workload.run_stats
+        assert stats.total_latency_seconds == pytest.approx(
+            stats.total_cycles * 1e-9
+        )
+
+    def test_series_lengths(self, small_workload):
+        stats = small_workload.run_stats
+        assert len(stats.layer_throughputs_gops()) == 13
+        assert len(stats.layer_latencies_ns()) == 13
+
+    def test_aggregate_vs_mean_throughput(self, small_workload):
+        stats = small_workload.run_stats
+        # both aggregations must be positive and within the engine peak
+        assert 0 < stats.aggregate_throughput_gops <= 1600
+        assert 0 < stats.mean_layer_throughput_gops <= 1600
+
+    def test_empty_stats(self):
+        stats = NetworkRunStats(layers=[], clock_hz=1e9)
+        assert stats.total_cycles == 0
+        assert stats.mean_layer_throughput_gops == 0.0
+        assert stats.aggregate_throughput_gops == 0.0
+
+
+class TestTracer:
+    def test_first_output_at_cycle_9(self):
+        events = trace_tile_pipeline(positions=4, kernel_groups=2)
+        first_out = min(e.cycle for e in events if e.stage == "output")
+        assert first_out == EDEA_CONFIG.init_cycles == 9
+
+    def test_one_output_per_streaming_cycle(self):
+        events = trace_tile_pipeline(positions=4, kernel_groups=2)
+        outputs = [e for e in events if e.stage == "output"]
+        assert len(outputs) == 4 * 2
+        cycles = sorted(e.cycle for e in outputs)
+        assert cycles == list(range(9, 17))
+
+    def test_total_span_matches_eq1(self):
+        from repro.sim import eq1_tile_latency_cycles
+
+        positions, kgroups = 16, 4
+        events = trace_tile_pipeline(positions, kgroups)
+        last = max(e.cycle for e in events)
+        expected = eq1_tile_latency_cycles(8, 8, 64)  # 16 pos, 4 kgroups
+        assert last == expected - 1  # cycles are 0-based
+
+    def test_dwc_fires_once_per_position(self):
+        events = trace_tile_pipeline(positions=4, kernel_groups=4)
+        dwc = [e for e in events if e.stage == "dwc_process"]
+        # 1 in the fill + (positions-1) overlapped = positions
+        assert len(dwc) == 4
+
+    def test_initiation_fills_stages_in_order(self):
+        events = trace_tile_pipeline(positions=1, kernel_groups=1)
+        fill = [e for e in events if e.cycle < 8]
+        assert [e.stage for e in fill][: len(STAGES) - 1] == list(STAGES[:-1])
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            trace_tile_pipeline(0, 1)
+        with pytest.raises(ConfigError):
+            trace_tile_pipeline(10_000, 10_000, max_events=100)

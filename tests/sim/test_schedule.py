@@ -1,0 +1,110 @@
+"""The explicit tile schedule (controller operation stream)."""
+
+import pytest
+
+from repro.arch import ArchConfig, EDEA_CONFIG
+from repro.errors import ConfigError
+from repro.nn import MOBILENET_V1_CIFAR10_SPECS, DSCLayerSpec
+from repro.sim import (
+    OpKind,
+    generate_layer_schedule,
+    layer_latency,
+    schedule_summary,
+)
+
+
+class TestScheduleCounts:
+    @pytest.mark.parametrize("index", [0, 1, 6, 12])
+    def test_pwc_passes_equal_streaming_cycles(self, index):
+        spec = MOBILENET_V1_CIFAR10_SPECS[index]
+        summary = schedule_summary(spec)
+        breakdown = layer_latency(spec)
+        assert summary["pwc_pass"] == breakdown.streaming_cycles
+
+    @pytest.mark.parametrize("index", [0, 5, 12])
+    def test_ifmap_loads_equal_tiles_times_groups(self, index):
+        spec = MOBILENET_V1_CIFAR10_SPECS[index]
+        summary = schedule_summary(spec)
+        breakdown = layer_latency(spec)
+        assert summary["load_ifmap_tile"] == (
+            breakdown.spatial_tiles * breakdown.channel_groups
+        )
+
+    def test_weight_loads_once_per_channel_group(self):
+        spec = MOBILENET_V1_CIFAR10_SPECS[6]
+        summary = schedule_summary(spec)
+        groups = spec.in_channels // EDEA_CONFIG.td
+        assert summary["load_dwc_weights"] == groups
+        assert summary["load_pwc_weights"] == groups
+        assert summary["load_offline"] == groups
+
+    def test_dwc_and_nonconv_pass_counts_match(self):
+        spec = MOBILENET_V1_CIFAR10_SPECS[3]
+        summary = schedule_summary(spec)
+        assert summary["dwc_pass"] == summary["nonconv_pass"]
+
+    def test_dwc_passes_equal_positions_times_groups(self):
+        spec = MOBILENET_V1_CIFAR10_SPECS[6]
+        summary = schedule_summary(spec)
+        positions = (spec.out_size // 2) ** 2
+        groups = spec.in_channels // EDEA_CONFIG.td
+        assert summary["dwc_pass"] == positions * groups
+
+    def test_output_stores_once_per_kernel_group(self):
+        spec = MOBILENET_V1_CIFAR10_SPECS[12]
+        summary = schedule_summary(spec)
+        assert summary["store_output"] == spec.out_channels // EDEA_CONFIG.tk
+
+
+class TestScheduleOrdering:
+    def test_loads_precede_first_pass_in_each_group(self):
+        spec = DSCLayerSpec(0, 4, 1, 16, 16)
+        ops = list(generate_layer_schedule(spec))
+        seen_group_loads = set()
+        for op in ops:
+            if op.kind is OpKind.DWC_PASS:
+                assert op.channel_group in seen_group_loads
+            if op.kind is OpKind.LOAD_DWC_WEIGHTS:
+                seen_group_loads.add(op.channel_group)
+
+    def test_nonconv_follows_dwc_for_same_position(self):
+        spec = DSCLayerSpec(0, 4, 1, 8, 16)
+        ops = list(generate_layer_schedule(spec))
+        for i, op in enumerate(ops):
+            if op.kind is OpKind.NONCONV_PASS:
+                prev = ops[i - 1]
+                assert prev.kind is OpKind.DWC_PASS
+                assert prev.position == op.position
+
+    def test_pwc_iterates_kernel_groups_after_nonconv(self):
+        spec = DSCLayerSpec(0, 2, 1, 8, 32)
+        ops = list(generate_layer_schedule(spec))
+        kinds = [op.kind for op in ops]
+        first_nc = kinds.index(OpKind.NONCONV_PASS)
+        assert kinds[first_nc + 1] is OpKind.PWC_PASS
+        assert kinds[first_nc + 2] is OpKind.PWC_PASS  # K/Tk = 2 groups
+
+    def test_channel_group_is_outermost(self):
+        spec = DSCLayerSpec(0, 16, 1, 16, 16)
+        ops = [op for op in generate_layer_schedule(spec)
+               if op.channel_group >= 0]
+        groups = [op.channel_group for op in ops]
+        assert groups == sorted(groups)  # never goes back
+
+
+class TestScheduleValidation:
+    def test_indivisible_channels_rejected(self):
+        spec = DSCLayerSpec(0, 4, 1, 12, 16)
+        with pytest.raises(ConfigError):
+            list(generate_layer_schedule(spec))
+
+    def test_indivisible_kernels_rejected(self):
+        spec = DSCLayerSpec(0, 4, 1, 8, 24)
+        with pytest.raises(ConfigError):
+            list(generate_layer_schedule(spec))
+
+    def test_scaled_config(self):
+        spec = DSCLayerSpec(0, 4, 1, 32, 32)
+        summary = schedule_summary(spec, ArchConfig(td=16, tk=32))
+        assert summary["load_dwc_weights"] == 2  # 32/16 groups
+        assert summary["store_output"] == 1

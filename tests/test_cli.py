@@ -1,0 +1,76 @@
+"""Command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestList:
+    def test_lists_all_experiments(self):
+        code, text = run_cli("list")
+        assert code == 0
+        for eid in ("fig13", "table3", "fig2a"):
+            assert eid in text
+
+
+class TestInfo:
+    def test_prints_headline(self):
+        code, text = run_cli("info")
+        assert code == 0
+        assert "13.43" in text
+        assert "peak_ee_tops_w" in text
+
+
+class TestRun:
+    def test_run_analytic_experiment(self):
+        code, text = run_cli("run", "fig13")
+        assert code == 0
+        assert "973.55" in text
+
+    def test_run_multiple(self):
+        code, text = run_cli("run", "table1", "fig10")
+        assert code == 0
+        assert "Td" in text and "Latency" in text
+
+    def test_unknown_experiment_fails_cleanly(self):
+        code, _ = run_cli("run", "fig99")
+        assert code == 1
+
+    def test_measured_experiment_with_small_width(self):
+        # exercises the workload path at demo size (memoized if cached)
+        code, text = run_cli("run", "fig12", "--width", "0.25")
+        assert code == 0
+        assert "energy efficiency" in text.lower()
+
+
+class TestReport:
+    def test_analytic_report_passes(self):
+        code, text = run_cli("report")
+        assert code == 0
+        assert "claims hold" in text
+        assert "FAIL" not in text
+
+    def test_report_lists_exact_reproductions(self):
+        _, text = run_cli("report")
+        assert "288" in text and "512" in text and "800" in text
+
+
+class TestParser:
+    def test_no_command_shows_help(self):
+        code, text = run_cli()
+        assert code == 2
+        assert "usage" in text.lower()
+
+    def test_version_flag(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit) as excinfo:
+            parser.parse_args(["--version"])
+        assert excinfo.value.code == 0

@@ -1,0 +1,173 @@
+"""Cross-feature integration: combinations of the extension modules.
+
+Each test exercises a pairing of subsystems that no unit test covers on
+its own (QAT + serialization, batch + scaled configs, faults on the
+accelerator, zoo + full pipelines, figures registry data contracts).
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import ArchConfig, DSCAccelerator
+from repro.eval import run_experiment
+from repro.quant import load_quantized_model, save_quantized_model
+from repro.sim import FaultSpec, inject_weight_fault, run_batch
+
+
+class TestQATPlusSerialization:
+    def test_qat_converted_model_roundtrips(self, tmp_path, small_dataset):
+        from repro.nn import SGD, Trainer, build_mobilenet_v1, mobilenet_v1_specs
+        from repro.quant import convert_qat_mobilenet, prepare_qat_mobilenet
+
+        specs = mobilenet_v1_specs(width_multiplier=0.25)
+        model = build_mobilenet_v1(width_multiplier=0.25, seed=51)
+        qat = prepare_qat_mobilenet(model, num_blocks=13)
+        Trainer(qat, SGD(list(qat.parameters()), lr=0.01),
+                batch_size=16, seed=52).fit(
+            small_dataset.images, small_dataset.labels, epochs=1
+        )
+        int8_model = convert_qat_mobilenet(qat, specs)
+        path = str(tmp_path / "qat.npz")
+        save_quantized_model(int8_model, path)
+        loaded = load_quantized_model(path)
+        images = small_dataset.images[:4]
+        np.testing.assert_allclose(
+            int8_model.forward(images), loaded.forward(images)
+        )
+
+
+class TestBatchWithScaledConfig:
+    def test_scaled_accelerator_streams_correctly(self, small_workload):
+        # the width-0.25 fixture has 8-channel layers, so scale the ifmap
+        # buffer (fewer tile initiations) rather than the channel tiles
+        config = ArchConfig(max_output_tile=16)
+        result = run_batch(
+            small_workload.qmodel,
+            small_workload.images[:2],
+            config=config,
+            verify=True,
+        )
+        base = run_batch(small_workload.qmodel, small_workload.images[:2])
+        # identical logits, fewer cycles
+        np.testing.assert_allclose(result.logits, base.logits)
+        assert result.total_cycles < base.total_cycles
+
+
+class TestFaultsOnAccelerator:
+    def test_faulty_layer_still_runs_cycle_identical(self, small_workload):
+        """Faults change values, never timing: the schedule is static."""
+        layer = small_workload.qmodel.layers[2]
+        x_q = small_workload.qmodel.layer_input(
+            small_workload.images[:1], 2
+        )[0]
+        accel = DSCAccelerator()
+        _, clean_stats = accel.run_layer(layer, x_q)
+        faulty = inject_weight_fault(
+            layer, FaultSpec("pwc_weight", flat_index=0, bit=7)
+        )
+        _, fault_stats = DSCAccelerator().run_layer(faulty, x_q)
+        assert fault_stats.cycles == clean_stats.cycles
+        assert fault_stats.total_macs == clean_stats.total_macs
+
+
+class TestZooEndToEnd:
+    def test_custom_network_runs_on_accelerator(self):
+        """A non-MobileNet DSC stack executes bit-exactly end to end."""
+        from repro.nn import custom_dsc_specs
+        from tests.test_properties import random_quantized_layer
+
+        specs = custom_dsc_specs(8, [(1, 8, 16), (2, 16, 32), (1, 32, 16)])
+        rng = np.random.default_rng(0)
+        x_q = rng.integers(0, 100, size=(8, 8, 8)).astype(np.int8)
+        accel = DSCAccelerator()
+        for i, spec in enumerate(specs):
+            layer = random_quantized_layer(spec, seed=60 + i)
+            out, stats = accel.run_layer(layer, x_q)
+            _, ref = layer.forward(x_q[np.newaxis])
+            np.testing.assert_array_equal(out, ref[0])
+            assert stats.cycles > 0
+            x_q = out
+
+    def test_imagenet_geometry_dse_consistent(self):
+        from repro.dse import best_point, explore
+        from repro.nn import mobilenet_v1_imagenet_specs
+
+        best = best_point(explore(mobilenet_v1_imagenet_specs()))
+        # the paper's design point remains optimal at ImageNet scale
+        assert best.case == 6 and best.tiling.tn == 2
+
+
+class TestFiguresDataContracts:
+    """The experiment registry's data dicts feed downstream tooling;
+    pin their shapes."""
+
+    def test_fig10_data(self):
+        data = run_experiment("fig10").data
+        assert len(data["latency_ns"]) == 13
+        assert len(data["macs"]) == 13
+
+    def test_fig13_data(self):
+        data = run_experiment("fig13").data
+        assert len(data["throughput_gops"]) == 13
+
+    def test_fig2b_data(self):
+        data = run_experiment("fig2b").data
+        assert len(data["rows"]) == 24
+        assert data["best_case"] == 6
+
+    def test_fig3_data(self):
+        data = run_experiment("fig3").data
+        assert set(data) == {"min", "max", "total"}
+
+    def test_table3_data(self):
+        data = run_experiment("table3").data
+        assert len(data["rows"]) == 6
+        assert len(data["speedups"]) == 5
+
+    def test_fig8_data_totals(self):
+        data = run_experiment("fig8").data
+        assert data["total"] == pytest.approx(
+            sum(data["areas"].values())
+        )
+
+    def test_fig11_fig12_with_small_workload(self, small_workload):
+        fig11 = run_experiment("fig11", small_workload).data
+        fig12 = run_experiment("fig12", small_workload).data
+        assert len(fig11["measured_power_w"]) == 13
+        assert len(fig12["profile_ee"]) == 13
+        # the efficiency figures derive from the same power model: the
+        # per-layer EE must equal TP / P for the measured series
+        measured_power = fig11["measured_power_w"]
+        measured_ee = fig12["measured_ee"]
+        for stats, p, ee in zip(
+            small_workload.layer_stats, measured_power, measured_ee
+        ):
+            tp = stats.throughput_ops_per_second(1e9)
+            assert ee == pytest.approx(tp / p / 1e12, rel=1e-9)
+
+
+class TestWorkloadVariants:
+    def test_width_050_workload(self):
+        from repro.eval import prepare_workload
+
+        workload = prepare_workload(
+            width_multiplier=0.5, num_samples=16, train_epochs=1,
+            batch_size=8, seed=77,
+        )
+        assert workload.specs[0].in_channels == 16
+        assert len(workload.layer_stats) == 13
+        # verified run: all layers bit-exact by construction
+        assert workload.run_stats.total_cycles > 0
+
+    def test_percentile_strategy_pipeline(self, small_float_model,
+                                          small_specs, small_dataset):
+        from repro.quant import quantize_mobilenet
+        from repro.sim import AcceleratorRunner
+
+        qm = quantize_mobilenet(
+            small_float_model, small_specs, small_dataset.images[:8],
+            strategy="percentile",
+        )
+        runner = AcceleratorRunner(qm, verify=True)
+        x_q = qm.layer_input(small_dataset.images[:1], 0)[0]
+        runner.run_layer(0, x_q)

@@ -1,0 +1,33 @@
+"""Exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in (
+        "ConfigError",
+        "ShapeError",
+        "QuantizationError",
+        "FixedPointError",
+        "SimulationError",
+        "BufferError_",
+        "EvaluationError",
+    ):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_repro_error_is_an_exception():
+    assert issubclass(errors.ReproError, Exception)
+
+
+def test_catching_base_catches_subclass():
+    with pytest.raises(errors.ReproError):
+        raise errors.ConfigError("bad config")
+
+
+def test_errors_carry_messages():
+    err = errors.ShapeError("shape mismatch: a vs b")
+    assert "shape mismatch" in str(err)

@@ -1,0 +1,188 @@
+"""Cross-module property-based tests (hypothesis).
+
+These generate random layer geometries, weights and quantization
+constants, and assert the library's central invariants:
+
+* the accelerator is bit-exact against the int8 reference for *any*
+  valid geometry, not just MobileNet's;
+* its cycle count always equals the closed-form Eqs. 1-2 model;
+* the schedule stream, the timing model and the simulator agree on
+  operation counts;
+* throughput never exceeds the engine's physical peak.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import ArchConfig, DSCAccelerator
+from repro.fixedpoint import Q8_16
+from repro.nn import DSCLayerSpec
+from repro.quant import NonConvParams, QuantParams
+from repro.quant.qmodel import QuantizedDSCLayer
+from repro.sim import layer_latency, schedule_summary
+
+
+def random_quantized_layer(spec: DSCLayerSpec, seed: int) -> QuantizedDSCLayer:
+    """A random but valid int8 DSC layer for the given geometry."""
+    rng = np.random.default_rng(seed)
+    d, k = spec.in_channels, spec.out_channels
+
+    def nonconv(channels):
+        return NonConvParams(
+            k_raw=np.asarray(
+                Q8_16.to_fixed(rng.uniform(0.001, 0.05, size=channels))
+            ),
+            b_raw=np.asarray(
+                Q8_16.to_fixed(rng.uniform(-2.0, 2.0, size=channels))
+            ),
+            relu=True,
+        )
+
+    params = QuantParams(scale=0.05, signed=False)
+    return QuantizedDSCLayer(
+        spec=spec,
+        dwc_weight=rng.integers(-128, 128, size=(d, 3, 3)).astype(np.int8),
+        pwc_weight=rng.integers(-128, 128, size=(k, d)).astype(np.int8),
+        dwc_nonconv=nonconv(d),
+        pwc_nonconv=nonconv(k),
+        input_params=params,
+        mid_params=params,
+        output_params=params,
+    )
+
+
+geometry = st.builds(
+    DSCLayerSpec,
+    index=st.just(0),
+    in_size=st.sampled_from([2, 4, 6, 8, 10]),
+    stride=st.sampled_from([1, 2]),
+    in_channels=st.sampled_from([8, 16, 24]),
+    out_channels=st.sampled_from([16, 32, 48]),
+)
+
+
+class TestAcceleratorBitExactness:
+    @settings(max_examples=20, deadline=None)
+    @given(spec=geometry, seed=st.integers(0, 2**16))
+    def test_any_geometry_matches_reference(self, spec, seed):
+        layer = random_quantized_layer(spec, seed)
+        rng = np.random.default_rng(seed + 1)
+        x_q = rng.integers(
+            0, 128, size=(spec.in_channels, spec.in_size, spec.in_size)
+        ).astype(np.int8)
+        accel = DSCAccelerator()
+        out, _ = accel.run_layer(layer, x_q)
+        _, ref = layer.forward(x_q[np.newaxis])
+        np.testing.assert_array_equal(out, ref[0])
+
+    @settings(max_examples=10, deadline=None)
+    @given(spec=geometry, seed=st.integers(0, 2**16))
+    def test_signed_inputs_also_exact(self, spec, seed):
+        # the DWC input may be signed in other deployments
+        layer = random_quantized_layer(spec, seed)
+        rng = np.random.default_rng(seed + 2)
+        x_q = rng.integers(
+            -128, 128, size=(spec.in_channels, spec.in_size, spec.in_size)
+        ).astype(np.int8)
+        accel = DSCAccelerator()
+        out, _ = accel.run_layer(layer, x_q)
+        _, ref = layer.forward(x_q[np.newaxis])
+        np.testing.assert_array_equal(out, ref[0])
+
+
+class TestTimingInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(spec=geometry, seed=st.integers(0, 2**16))
+    def test_simulated_cycles_equal_closed_form(self, spec, seed):
+        layer = random_quantized_layer(spec, seed)
+        x_q = np.zeros(
+            (spec.in_channels, spec.in_size, spec.in_size), dtype=np.int8
+        )
+        accel = DSCAccelerator()
+        _, stats = accel.run_layer(layer, x_q)
+        assert stats.cycles == layer_latency(spec).total_cycles
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec=geometry)
+    def test_schedule_agrees_with_timing_model(self, spec):
+        summary = schedule_summary(spec)
+        breakdown = layer_latency(spec)
+        assert summary["pwc_pass"] == breakdown.streaming_cycles
+        assert summary["load_ifmap_tile"] == (
+            breakdown.spatial_tiles * breakdown.channel_groups
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec=geometry)
+    def test_throughput_never_exceeds_peak(self, spec):
+        cycles = layer_latency(spec).total_cycles
+        config = ArchConfig()
+        ops_per_cycle = spec.total_ops / cycles
+        assert ops_per_cycle <= 2 * config.total_macs_per_cycle
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        spec=geometry,
+        tile=st.sampled_from([2, 4, 8, 16]),
+    )
+    def test_more_buffer_never_slower(self, spec, tile):
+        small = layer_latency(spec, ArchConfig(max_output_tile=tile))
+        large = layer_latency(spec, ArchConfig(max_output_tile=2 * tile))
+        assert large.total_cycles <= small.total_cycles
+
+
+class TestSpecInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(spec=geometry)
+    def test_mac_decomposition(self, spec):
+        assert spec.total_macs == spec.dwc_macs + spec.pwc_macs
+        assert spec.dwc_macs == spec.out_size**2 * spec.in_channels * 9
+        assert spec.pwc_macs == (
+            spec.out_size**2 * spec.in_channels * spec.out_channels
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(spec=geometry)
+    def test_stride2_quarters_outputs(self, spec):
+        if spec.stride == 2:
+            assert spec.out_size == (spec.in_size + 1) // 2
+
+
+class TestNonConvInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        channels=st.sampled_from([1, 4, 8]),
+    )
+    def test_output_always_in_int8_range(self, seed, channels):
+        rng = np.random.default_rng(seed)
+        params = NonConvParams(
+            k_raw=np.asarray(
+                Q8_16.to_fixed(rng.uniform(-10, 10, size=channels))
+            ),
+            b_raw=np.asarray(
+                Q8_16.to_fixed(rng.uniform(-100, 100, size=channels))
+            ),
+            relu=bool(rng.integers(0, 2)),
+        )
+        acc = rng.integers(-(1 << 24), 1 << 24, size=(channels, 3, 3))
+        out = params.apply(acc)
+        assert out.dtype == np.int8
+        if params.relu:
+            assert out.min() >= 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_monotone_in_accumulator(self, seed):
+        """With positive k, the Non-Conv output is non-decreasing in the
+        accumulator value — saturation and rounding never invert order."""
+        rng = np.random.default_rng(seed)
+        params = NonConvParams(
+            k_raw=np.asarray([Q8_16.to_fixed(rng.uniform(0.001, 1.0))]),
+            b_raw=np.asarray([Q8_16.to_fixed(rng.uniform(-5, 5))]),
+            relu=True,
+        )
+        acc = np.sort(rng.integers(-(1 << 20), 1 << 20, size=64))
+        out = params.apply(acc.reshape(1, -1)).ravel()
+        assert np.all(np.diff(out.astype(np.int64)) >= 0)
