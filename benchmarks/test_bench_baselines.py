@@ -7,8 +7,6 @@ implemented as executable timing models over the same functional
 substrate; this bench measures the whole-network comparison.
 """
 
-import pytest
-
 from repro.arch import (
     SerialDualEngineModel,
     UnifiedEngineModel,
@@ -76,7 +74,8 @@ def test_bench_baselines_overlap_contribution(benchmark):
         return total
 
     hidden = benchmark(hidden_cycles)
+    dual_total = dual_vs_baselines(MOBILENET_V1_CIFAR10_SPECS)["dual"]
     print(f"\nDWC cycles hidden by the overlap: {hidden:,} "
-          f"({100 * hidden / dual_vs_baselines(MOBILENET_V1_CIFAR10_SPECS)['dual']:.1f}% "
+          f"({100 * hidden / dual_total:.1f}% "
           "of the dual design's runtime)")
     assert hidden > 0

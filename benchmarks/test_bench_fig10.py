@@ -1,8 +1,6 @@
 """Fig. 10: per-layer MAC operations and latency."""
 
 import numpy as np
-import pytest
-
 from repro.eval import run_experiment
 
 #: Per-layer cycle counts implied by the paper's Eqs. 1-2 (at 1 GHz these

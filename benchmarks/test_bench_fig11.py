@@ -37,7 +37,7 @@ def test_bench_fig11_power_falls_with_sparsity(benchmark, full_workload):
     # paper: "the power reduces as the zero percentage increases" — among
     # the untiled stride-1 layers 6..10 (identical geometry, rising
     # sparsity), power must decrease monotonically
-    powers = {l.index: l.power_w for l in report.layers}
+    powers = {x.index: x.power_w for x in report.layers}
     for idx in range(6, 10):
         assert powers[idx + 1] < powers[idx]
 

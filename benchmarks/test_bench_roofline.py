@@ -7,8 +7,6 @@ per-layer arithmetic intensity and bandwidth demand with and without the
 direct DWC->PWC transfer.
 """
 
-import pytest
-
 from repro.eval import render_table, roofline_analysis
 from repro.nn import mobilenet_v1_imagenet_specs, mobilenet_v2_dsc_specs
 
@@ -17,14 +15,14 @@ def test_bench_roofline_cifar(benchmark):
     profile = benchmark(roofline_analysis)
     rows = [
         [
-            l.index,
-            l.macs,
-            l.external_bytes,
-            round(l.arithmetic_intensity, 1),
-            round(l.intensity_baseline, 1),
-            round(l.required_bandwidth_gbs, 1),
+            x.index,
+            x.macs,
+            x.external_bytes,
+            round(x.arithmetic_intensity, 1),
+            round(x.intensity_baseline, 1),
+            round(x.required_bandwidth_gbs, 1),
         ]
-        for l in profile
+        for x in profile
     ]
     print()
     print(render_table(
@@ -37,7 +35,7 @@ def test_bench_roofline_cifar(benchmark):
     for layer in profile:
         assert layer.arithmetic_intensity > layer.intensity_baseline
     # late layers are the bandwidth-hungry ones (weight-dominated)
-    demand = [l.required_bandwidth_gbs for l in profile]
+    demand = [x.required_bandwidth_gbs for x in profile]
     assert max(demand[-2:]) > 2 * min(demand[:5])
 
 
@@ -50,9 +48,9 @@ def test_bench_roofline_other_networks(benchmark):
 
     imagenet, mnv2 = benchmark(analyze)
     print(f"\nImageNet MobileNetV1: {len(imagenet)} layers, peak BW "
-          f"{max(l.required_bandwidth_gbs for l in imagenet):.1f} GB/s")
+          f"{max(x.required_bandwidth_gbs for x in imagenet):.1f} GB/s")
     print(f"MobileNetV2 (DSC view): {len(mnv2)} layers, peak BW "
-          f"{max(l.required_bandwidth_gbs for l in mnv2):.1f} GB/s")
+          f"{max(x.required_bandwidth_gbs for x in mnv2):.1f} GB/s")
     # large spatial maps on ImageNet -> much better reuse than CIFAR
     cifar = roofline_analysis()
     assert imagenet[0].arithmetic_intensity > cifar[0].arithmetic_intensity

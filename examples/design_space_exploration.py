@@ -55,8 +55,8 @@ def main() -> None:
     print()
     report = intermediate_access_report()
     rows = [
-        [l.index, l.baseline, l.optimized, round(l.reduction_percent, 1)]
-        for l in report.layers
+        [x.index, x.baseline, x.optimized, round(x.reduction_percent, 1)]
+        for x in report.layers
     ]
     print(
         render_table(

@@ -42,7 +42,7 @@ def main() -> None:
         ops = sum(s.total_ops for s in specs)
         gops = ops / (cycles / EDEA_CONFIG.clock_hz) / 1e9
         profile = roofline_analysis(specs)
-        peak_bw = max(l.required_bandwidth_gbs for l in profile)
+        peak_bw = max(x.required_bandwidth_gbs for x in profile)
         rows.append(
             [name, len(specs), f"{ops / 1e6:.0f}M", cycles,
              round(gops, 1), round(peak_bw, 1)]

@@ -10,8 +10,6 @@ Demonstrates the core loop of the library:
 4. check bit-exactness against the int8 reference and inspect the stats.
 """
 
-import numpy as np
-
 from repro.datasets import make_cifar10_like
 from repro.nn import SGD, Trainer, build_mobilenet_v1, mobilenet_v1_specs
 from repro.quant import quantize_mobilenet

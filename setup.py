@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517`` on toolchains too old to build
+PEP 660 editable wheels (setuptools < 70.1 without ``wheel``).
+"""
+
+from setuptools import setup
+
+setup()

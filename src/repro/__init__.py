@@ -12,7 +12,9 @@ evaluation depends on:
 * :mod:`repro.arch` / :mod:`repro.sim` — the dual-engine accelerator and
   its cycle-accurate pipeline model,
 * :mod:`repro.power` — calibrated power/area/technology-scaling models,
-* :mod:`repro.eval` — one reproducible experiment per paper figure/table.
+* :mod:`repro.eval` — one reproducible experiment per paper figure/table,
+* :mod:`repro.parallel` — process fan-out and persistent result caching
+  for sweeps, DSE candidates, and experiments.
 
 Quickstart::
 
@@ -46,11 +48,17 @@ from .nn import (
     build_mobilenet_v1,
     mobilenet_v1_specs,
 )
+from .parallel import (
+    DesignPointResult,
+    ParallelExecutor,
+    ResultCache,
+    design_point_sweep,
+)
 from .power import AreaModel, PowerModel, ScalingModel
 from .quant import QuantizedMobileNet, quantize_mobilenet
 from .sim import AcceleratorRunner, layer_latency
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -83,6 +91,11 @@ __all__ = [
     "LayerRunStats",
     "AcceleratorRunner",
     "layer_latency",
+    # parallel execution & caching
+    "ParallelExecutor",
+    "ResultCache",
+    "DesignPointResult",
+    "design_point_sweep",
     # power
     "PowerModel",
     "AreaModel",

@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``repro <command>`` / ``python -m repro``.
 
 Commands:
 
@@ -6,14 +6,29 @@ Commands:
 * ``run <id> [...]`` — regenerate one or more experiments and print them.
 * ``all`` — regenerate everything (the measured experiments prepare a
   full-width workload once, ~15 s).
+* ``sweep`` — width/resolution scaling sweep through the parallel
+  executor.
 * ``info`` — print the library's headline reproduction summary.
+* ``report`` — check every reproduced claim against the paper.
+
+Performance flags (each registered only where it has an effect):
+
+* ``--jobs N`` (``run``/``all``/``sweep``) — fan independent work out
+  across N worker processes (0 = one per CPU; default 1 = serial).
+* ``--cache-dir PATH`` (``run``/``all``/``report``/``sweep``) —
+  persist simulation results (sweep points, measured workloads) so
+  repeated runs with identical configurations are served from disk.
+* ``--fast`` (``run``/``all``/``report``) — analytic fast-latency
+  mode for measured workloads (aggregate latency/energy only; skips
+  event-driven tracing).
 
 Examples::
 
-    python -m repro list
-    python -m repro run fig13 table3
-    python -m repro run fig12 --width 0.25     # fast, reduced-width
-    python -m repro all
+    repro list
+    repro run fig13 table3
+    repro run fig12 --width 0.25 --fast      # fast, reduced-width
+    repro all --jobs 4 --cache-dir ~/.cache/repro
+    repro sweep --widths 0.5,1.0 --resolutions 32,64 --jobs 4
 """
 
 from __future__ import annotations
@@ -25,11 +40,38 @@ from . import __version__
 from .errors import ReproError
 from .eval import list_experiments, prepare_workload, run_experiment
 from .eval.paper_data import PAPER_HEADLINE
+from .eval.report import render_table
+from .eval.sweep import width_resolution_sweep
+from .parallel import ParallelExecutor, ResultCache
 
 __all__ = ["main", "build_parser"]
 
 #: Experiments that need the trained/simulated workload.
 MEASURED_EXPERIMENTS = ("fig11", "fig12")
+
+
+def _add_performance_flags(
+    parser: argparse.ArgumentParser,
+    jobs: bool = True,
+    fast: bool = True,
+) -> None:
+    if jobs:
+        parser.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes for independent work "
+                 "(default 1 = serial; 0 = one per CPU)",
+        )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="persist simulation results under PATH and reuse them "
+             "across runs",
+    )
+    if fast:
+        parser.add_argument(
+            "--fast", action="store_true",
+            help="analytic fast-latency mode for measured workloads "
+                 "(aggregate latency/energy only)",
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the measured (power/efficiency) claims on a "
              "workload of this width (e.g. 1.0; omitted = analytic only)",
     )
+    _add_performance_flags(report_parser, jobs=False)
 
     run_parser = sub.add_parser("run", help="run one or more experiments")
     run_parser.add_argument(
@@ -65,26 +108,99 @@ def build_parser() -> argparse.ArgumentParser:
         help="MobileNet width multiplier for measured experiments "
              "(default 1.0; use 0.25 for a fast demo)",
     )
+    _add_performance_flags(run_parser)
 
     all_parser = sub.add_parser("all", help="run every experiment")
     all_parser.add_argument("--width", type=float, default=1.0)
+    _add_performance_flags(all_parser)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="width/resolution scaling sweep"
+    )
+    sweep_parser.add_argument(
+        "--widths", default="0.25,0.5,0.75,1.0", metavar="W,W,...",
+        help="comma-separated MobileNet width multipliers",
+    )
+    sweep_parser.add_argument(
+        "--resolutions", default="32,64,128,224", metavar="R,R,...",
+        help="comma-separated input resolutions",
+    )
+    _add_performance_flags(sweep_parser, fast=False)
     return parser
 
 
-def _workload_if_needed(experiment_ids, width: float):
+def _cache_from(args) -> ResultCache | None:
+    if getattr(args, "cache_dir", None) is None:
+        return None
+    return ResultCache(args.cache_dir)
+
+
+def _workload_if_needed(experiment_ids, args):
     if any(eid in MEASURED_EXPERIMENTS for eid in experiment_ids):
-        return prepare_workload(width_multiplier=width)
+        return prepare_workload(
+            width_multiplier=args.width,
+            fast=getattr(args, "fast", False),
+            cache=_cache_from(args),
+        )
     return None
 
 
-def _run(experiment_ids, width: float, out) -> None:
-    workload = _workload_if_needed(experiment_ids, width)
+def _run(experiment_ids, args, out) -> None:
+    workload = _workload_if_needed(experiment_ids, args)
+    analytic = [e for e in experiment_ids if e not in MEASURED_EXPERIMENTS]
+    results = {}
+    if args.jobs != 1 and len(analytic) > 1:
+        executor = ParallelExecutor(jobs=args.jobs)
+        for eid, result in zip(
+            analytic,
+            executor.map(run_experiment, [(eid,) for eid in analytic]),
+        ):
+            results[eid] = result
     for eid in experiment_ids:
-        result = run_experiment(
-            eid, workload if eid in MEASURED_EXPERIMENTS else None
-        )
-        print(result.text, file=out)
+        if eid not in results:
+            results[eid] = run_experiment(
+                eid, workload if eid in MEASURED_EXPERIMENTS else None
+            )
+        print(results[eid].text, file=out)
         print(file=out)
+
+
+def _parse_grid(text: str, kind: type):
+    try:
+        values = tuple(kind(part) for part in text.split(",") if part)
+    except ValueError:
+        raise ReproError(
+            f"cannot parse {text!r} as {kind.__name__} list"
+        ) from None
+    return values
+
+
+def _sweep(args, out) -> None:
+    points = width_resolution_sweep(
+        widths=_parse_grid(args.widths, float),
+        resolutions=_parse_grid(args.resolutions, int),
+        jobs=args.jobs,
+        cache=_cache_from(args),
+    )
+    rows = [
+        [
+            p.width,
+            p.resolution,
+            p.total_macs,
+            p.total_cycles,
+            round(p.latency_us, 2),
+            round(p.throughput_gops, 2),
+            round(100 * p.init_fraction, 2),
+        ]
+        for p in points
+    ]
+    text = render_table(
+        f"Width/resolution sweep ({len(points)} points, "
+        f"jobs={args.jobs})",
+        ["Width", "Res", "MACs", "Cycles", "Latency us", "GOPS", "Init %"],
+        rows,
+    )
+    print(text, file=out)
 
 
 def _info(out) -> None:
@@ -112,14 +228,20 @@ def main(argv: list[str] | None = None, out=None) -> int:
         elif args.command == "info":
             _info(out)
         elif args.command == "run":
-            _run(args.experiments, args.width, out)
+            _run(args.experiments, args, out)
         elif args.command == "all":
-            _run(list_experiments(), args.width, out)
+            _run(list_experiments(), args, out)
+        elif args.command == "sweep":
+            _sweep(args, out)
         elif args.command == "report":
             from .eval import render_report, reproduction_report
 
             workload = (
-                prepare_workload(width_multiplier=args.width)
+                prepare_workload(
+                    width_multiplier=args.width,
+                    fast=args.fast,
+                    cache=_cache_from(args),
+                )
                 if args.width is not None
                 else None
             )

@@ -14,7 +14,13 @@ from .access_model import (
     table2_pwc_activation_access,
     table2_pwc_weight_access,
 )
-from .explorer import DSEPoint, DSEResult, best_point, explore
+from .explorer import (
+    DSEPoint,
+    DSEResult,
+    best_point,
+    evaluate_dse_point,
+    explore,
+)
 from .intermediate import IntermediateAccessReport, intermediate_access_report
 from .loops import LoopLevel, LoopOrder
 from .pe_model import PEArraySize, pe_array_size
@@ -40,6 +46,7 @@ __all__ = [
     "table2_pwc_weight_access",
     "DSEPoint",
     "DSEResult",
+    "evaluate_dse_point",
     "explore",
     "best_point",
     "IntermediateAccessReport",

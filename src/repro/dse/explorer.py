@@ -3,7 +3,10 @@
 Sweeps the four groups (loop order La/Lb x output tile Tn=Tm=1 or 2) over
 the six Table I (Td, Tk) cases, evaluating for each point the PE array size
 (Fig. 2a) and the activation/weight access counts summed over all thirteen
-DSC layers of MobileNetV1 (Fig. 2b).
+DSC layers of MobileNetV1 (Fig. 2b).  Candidates are independent, so the
+sweep fans out through the
+:class:`~repro.parallel.executor.ParallelExecutor` (serial by default)
+with optional persistent caching per candidate.
 """
 
 from __future__ import annotations
@@ -11,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..nn.mobilenet import MOBILENET_V1_CIFAR10_SPECS, DSCLayerSpec
+from ..parallel.cache import ResultCache
+from ..parallel.executor import ParallelExecutor
 from .access_model import (
     DEFAULT_ACCESS_CONFIG,
     AccessCounts,
@@ -21,7 +26,13 @@ from .loops import LoopOrder
 from .pe_model import pe_array_size
 from .tiling import TABLE1_CASES, TilingConfig, table1_case
 
-__all__ = ["DSEPoint", "DSEResult", "explore", "best_point"]
+__all__ = [
+    "DSEPoint",
+    "DSEResult",
+    "evaluate_dse_point",
+    "explore",
+    "best_point",
+]
 
 
 @dataclass(frozen=True)
@@ -73,10 +84,36 @@ class DSEResult:
         return [p for p in self.points if p.case == case]
 
 
+def evaluate_dse_point(
+    order: LoopOrder,
+    tn: int,
+    case: int,
+    specs: tuple[DSCLayerSpec, ...],
+    config: AccessModelConfig = DEFAULT_ACCESS_CONFIG,
+) -> DSEPoint:
+    """Evaluate one DSE candidate (module-level, hence pool-picklable)."""
+    tiling = table1_case(case, tn=tn)
+    pe = pe_array_size(tiling)
+    total = AccessCounts(0, 0, 0, 0)
+    for spec in specs:
+        total = total + layer_access(spec, tiling, order, config)
+    return DSEPoint(
+        order=order,
+        case=case,
+        tiling=tiling,
+        pe_dwc=pe.dwc,
+        pe_pwc=pe.pwc,
+        activation_access=total.activation,
+        weight_access=total.weight_reads,
+    )
+
+
 def explore(
     specs: list[DSCLayerSpec] | None = None,
     tn_values: tuple[int, ...] = (1, 2),
     config: AccessModelConfig = DEFAULT_ACCESS_CONFIG,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> DSEResult:
     """Run the full Fig. 2 sweep.
 
@@ -84,31 +121,22 @@ def explore(
         specs: Layer geometry (defaults to MobileNetV1-CIFAR10).
         tn_values: Output tile sizes to explore (paper: 1 and 2).
         config: Access-counting conventions.
+        jobs: Worker processes (1 = serial; None/0 = all CPUs).
+        cache: Optional persistent result cache keyed per candidate.
 
     Returns:
-        :class:`DSEResult` with ``len(tn_values) * 2 * 6`` points.
+        :class:`DSEResult` with ``len(tn_values) * 2 * 6`` points, in the
+        same order for serial and parallel runs.
     """
     specs = specs if specs is not None else MOBILENET_V1_CIFAR10_SPECS
-    points = []
-    for order in LoopOrder:
-        for tn in tn_values:
-            for case in sorted(TABLE1_CASES):
-                tiling = table1_case(case, tn=tn)
-                pe = pe_array_size(tiling)
-                total = AccessCounts(0, 0, 0, 0)
-                for spec in specs:
-                    total = total + layer_access(spec, tiling, order, config)
-                points.append(
-                    DSEPoint(
-                        order=order,
-                        case=case,
-                        tiling=tiling,
-                        pe_dwc=pe.dwc,
-                        pe_pwc=pe.pwc,
-                        activation_access=total.activation,
-                        weight_access=total.weight_reads,
-                    )
-                )
+    candidates = [
+        (order, tn, case, tuple(specs), config)
+        for order in LoopOrder
+        for tn in tn_values
+        for case in sorted(TABLE1_CASES)
+    ]
+    executor = ParallelExecutor(jobs=jobs, cache=cache)
+    points = executor.map_cached("dse_point", evaluate_dse_point, candidates)
     return DSEResult(points=points, specs=list(specs))
 
 

@@ -47,7 +47,7 @@ def bar_chart(
     if width < 1:
         raise EvaluationError(f"width must be >= 1 (got {width})")
     vmax = max(values)
-    label_width = max(len(str(l)) for l in labels)
+    label_width = max(len(str(label)) for label in labels)
     lines = [title, "=" * len(title)]
     for label, value in zip(labels, values):
         bar = _FULL * _scaled(value, vmax, width)
@@ -82,7 +82,7 @@ def grouped_bar_chart(
         if any(v < 0 for v in values):
             raise EvaluationError("bar values must be non-negative")
     vmax = max(max(values) for values in series.values())
-    label_width = max(len(str(l)) for l in labels)
+    label_width = max(len(str(label)) for label in labels)
     name_width = max(len(name) for name in series)
     lines = [title, "=" * len(title)]
     for i, label in enumerate(labels):

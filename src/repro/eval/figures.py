@@ -23,7 +23,6 @@ from ..dse import (
     table2_pwc_activation_access,
     table2_pwc_weight_access,
 )
-from ..arch.params import EDEA_CONFIG
 from ..errors import EvaluationError
 from ..nn.mobilenet import MOBILENET_V1_CIFAR10_SPECS
 from ..power import AreaModel, PAPER_AREA_SHARES, PAPER_POWER_SHARES
@@ -135,8 +134,8 @@ def experiment_fig3(workload=None) -> ExperimentResult:
     """Fig. 3: activation access with/without intermediate elimination."""
     report = intermediate_access_report()
     rows = [
-        [l.index, l.baseline, l.optimized, round(l.reduction_percent, 1)]
-        for l in report.layers
+        [x.index, x.baseline, x.optimized, round(x.reduction_percent, 1)]
+        for x in report.layers
     ]
     rows.append(
         [

@@ -12,7 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..arch import dual_vs_baselines
-from ..dse import best_point, explore, intermediate_access_report, pe_array_size, table1_case
+from ..dse import (
+    best_point,
+    explore,
+    intermediate_access_report,
+    pe_array_size,
+    table1_case,
+)
 from ..nn.mobilenet import MOBILENET_V1_CIFAR10_SPECS
 from ..power.area_model import AreaModel
 from .comparison import build_comparison, edea_speedups

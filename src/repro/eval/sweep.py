@@ -4,8 +4,10 @@ MobileNets are designed around two scaling knobs — the width multiplier
 and the input resolution — and an accelerator evaluation should show how
 the design behaves across them, not just at one point.  This sweep runs
 the analytic pipeline (geometry → Eqs. 1-2 → throughput/utilization)
-across both knobs; it is pure arithmetic, so the full grid evaluates in
-milliseconds.
+across both knobs.  Each grid point is independent, so the sweep routes
+through the :class:`~repro.parallel.executor.ParallelExecutor`: serial
+by default (deterministic, and a single point is pure arithmetic), with
+optional process fan-out and persistent result caching for large grids.
 """
 
 from __future__ import annotations
@@ -15,9 +17,11 @@ from dataclasses import dataclass
 from ..arch.params import EDEA_CONFIG, ArchConfig
 from ..errors import ConfigError
 from ..nn.mobilenet import mobilenet_v1_specs
+from ..parallel.cache import ResultCache
+from ..parallel.executor import ParallelExecutor
 from ..sim.pipeline import layer_latency
 
-__all__ = ["SweepPoint", "width_resolution_sweep"]
+__all__ = ["SweepPoint", "evaluate_sweep_point", "width_resolution_sweep"]
 
 
 @dataclass(frozen=True)
@@ -46,10 +50,35 @@ class SweepPoint:
         return self.total_cycles / 1000.0
 
 
+def evaluate_sweep_point(
+    width: float, resolution: int, config: ArchConfig = EDEA_CONFIG
+) -> SweepPoint:
+    """Evaluate one grid point (module-level, hence pool-picklable)."""
+    specs = mobilenet_v1_specs(input_size=resolution, width_multiplier=width)
+    init = streaming = 0
+    macs = 0
+    for spec in specs:
+        breakdown = layer_latency(spec, config)
+        init += breakdown.init_cycles
+        streaming += breakdown.streaming_cycles
+        macs += spec.total_macs
+    cycles = init + streaming
+    return SweepPoint(
+        width=width,
+        resolution=resolution,
+        total_macs=macs,
+        total_cycles=cycles,
+        throughput_gops=2.0 * macs * config.clock_hz / cycles / 1e9,
+        init_fraction=init / cycles,
+    )
+
+
 def width_resolution_sweep(
     widths: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0),
     resolutions: tuple[int, ...] = (32, 64, 128, 224),
     config: ArchConfig = EDEA_CONFIG,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> list[SweepPoint]:
     """Evaluate the timing model over a width x resolution grid.
 
@@ -58,36 +87,21 @@ def width_resolution_sweep(
         resolutions: Input sizes (the CIFAR setup uses a stride-1 stem,
             so the first DSC layer sees the full resolution).
         config: Architecture parameters.
+        jobs: Worker processes (1 = serial; None/0 = all CPUs).
+        cache: Optional persistent result cache keyed per grid point.
 
     Returns:
-        One :class:`SweepPoint` per grid entry, row-major by width.
+        One :class:`SweepPoint` per grid entry, row-major by width —
+        identical ordering and values for serial and parallel runs.
     """
     if not widths or not resolutions:
         raise ConfigError("sweep needs at least one width and resolution")
-    points = []
-    for width in widths:
-        for resolution in resolutions:
-            specs = mobilenet_v1_specs(
-                input_size=resolution, width_multiplier=width
-            )
-            init = streaming = 0
-            macs = 0
-            for spec in specs:
-                breakdown = layer_latency(spec, config)
-                init += breakdown.init_cycles
-                streaming += breakdown.streaming_cycles
-                macs += spec.total_macs
-            cycles = init + streaming
-            points.append(
-                SweepPoint(
-                    width=width,
-                    resolution=resolution,
-                    total_macs=macs,
-                    total_cycles=cycles,
-                    throughput_gops=(
-                        2.0 * macs * config.clock_hz / cycles / 1e9
-                    ),
-                    init_fraction=init / cycles,
-                )
-            )
-    return points
+    grid = [
+        (width, resolution, config)
+        for width in widths
+        for resolution in resolutions
+    ]
+    executor = ParallelExecutor(jobs=jobs, cache=cache)
+    return executor.map_cached(
+        "width_resolution_sweep", evaluate_sweep_point, grid
+    )

@@ -3,7 +3,10 @@
 Building the measured experiments (Figs. 11/12) needs a trained, quantized
 network and one full accelerator run.  That preparation is deterministic
 and moderately expensive, so this module memoizes it per configuration —
-the benchmarks and examples all pull from the same cache within a process.
+the benchmarks and examples all pull from the same cache within a process,
+and an optional :class:`~repro.parallel.cache.ResultCache` persists
+prepared workloads across processes and sessions (CLI runs, benchmark
+invocations, CI shards).
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from ..arch.params import EDEA_CONFIG, ArchConfig
 from ..datasets import make_cifar10_like
 from ..nn import SGD, Trainer, build_mobilenet_v1, mobilenet_v1_specs
 from ..nn.mobilenet import DSCLayerSpec
+from ..parallel.cache import ResultCache, make_key
 from ..quant import QuantizedMobileNet, quantize_mobilenet
 from ..sim import AcceleratorRunner, NetworkRunStats
 
@@ -62,11 +66,14 @@ def prepare_workload(
     seed: int = 7,
     config: ArchConfig = EDEA_CONFIG,
     verify: bool = True,
+    fast: bool = False,
+    cache: ResultCache | None = None,
 ) -> ExperimentWorkload:
     """Train briefly, quantize, and run the accelerator once.
 
     All steps are seeded, so a given parameter tuple always produces the
-    same workload; results are memoized per tuple.
+    same workload; results are memoized per tuple, and persisted via
+    ``cache`` when one is supplied.
 
     Args:
         width_multiplier: MobileNet width (1.0 = the paper's model).
@@ -77,6 +84,9 @@ def prepare_workload(
         seed: Master seed for data and weights.
         config: Accelerator configuration.
         verify: Bit-exact verification of every accelerator layer.
+        fast: Use the analytic fast-latency accelerator mode (aggregate
+            latency/energy only — skips event-driven tracing).
+        cache: Optional persistent result cache for the whole workload.
     """
     key = (
         width_multiplier,
@@ -87,9 +97,33 @@ def prepare_workload(
         seed,
         config,
         verify,
+        fast,
+    )
+    disk_key = (
+        make_key(
+            "workload",
+            width_multiplier=width_multiplier,
+            num_samples=num_samples,
+            train_epochs=train_epochs,
+            batch_size=batch_size,
+            learning_rate=learning_rate,
+            seed=seed,
+            config=config,
+            verify=verify,
+            fast=fast,
+        )
+        if cache is not None
+        else None
     )
     if key in _CACHE:
-        return _CACHE[key]
+        workload = _CACHE[key]
+        if cache is not None and not cache.contains(disk_key):
+            cache.put(disk_key, workload)
+        return workload
+    if cache is not None and cache.contains(disk_key):
+        workload = cache.lookup(disk_key)
+        _CACHE[key] = workload
+        return workload
 
     specs = mobilenet_v1_specs(width_multiplier=width_multiplier)
     model = build_mobilenet_v1(width_multiplier=width_multiplier, seed=seed)
@@ -104,7 +138,9 @@ def prepare_workload(
 
     calib = dataset.images[: min(16, num_samples)]
     qmodel = quantize_mobilenet(model, specs, calib)
-    runner = AcceleratorRunner(qmodel, config=config, verify=verify)
+    runner = AcceleratorRunner(
+        qmodel, config=config, verify=verify, fast=fast
+    )
     run_stats = runner.run_network(dataset.images[0])
 
     workload = ExperimentWorkload(
@@ -114,4 +150,6 @@ def prepare_workload(
         images=dataset.images,
     )
     _CACHE[key] = workload
+    if cache is not None:
+        cache.put(disk_key, workload)
     return workload

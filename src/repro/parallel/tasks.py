@@ -1,0 +1,218 @@
+"""Parallel design-point evaluation: the architecture-level DSE executor.
+
+Where :mod:`repro.dse.explorer` sweeps tiling/dataflow choices with the
+analytic access model, this module sweeps *complete architecture
+configurations* (:class:`~repro.arch.params.ArchConfig` candidates)
+through the full simulation stack — build a quantized MobileNet, run it
+on the accelerator, summarize latency/throughput/energy — with
+hardware-constraint pruning up front (the CHARM-style CDSE idiom:
+reject candidates that break tiling divisibility or exceed PE/buffer
+budgets before spending any simulation time).
+
+The worker functions live at module level so the
+:class:`~repro.parallel.executor.ParallelExecutor` can pickle them into
+worker processes; the quantized workload each worker needs is built once
+per process and memoized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..arch.params import ArchConfig
+from ..datasets.synthetic import SyntheticImageDataset
+from ..errors import ConfigError
+from ..nn.mobilenet import (
+    DSCLayerSpec,
+    build_mobilenet_v1,
+    mobilenet_v1_specs,
+)
+from ..power.energy_model import PowerModel
+from ..quant.qmodel import quantize_mobilenet
+from ..sim.runner import AcceleratorRunner
+from .cache import ResultCache
+from .executor import ParallelExecutor
+
+__all__ = [
+    "DesignPointResult",
+    "design_point_sweep",
+    "is_feasible",
+    "simulate_design_point",
+]
+
+
+@dataclass(frozen=True)
+class DesignPointResult:
+    """Summary of one simulated architecture candidate.
+
+    Attributes:
+        config: The evaluated architecture.
+        width_multiplier: MobileNet width of the driving workload.
+        resolution: Input spatial size of the driving workload.
+        total_cycles: Network DSC latency in cycles.
+        total_macs: Useful MACs over the network.
+        throughput_gops: Sustained ops rate at the configured clock.
+        mean_power_w: Mean per-layer power (default power model).
+        energy_joules: Network energy for one inference.
+    """
+
+    config: ArchConfig
+    width_multiplier: float
+    resolution: int
+    total_cycles: int
+    total_macs: int
+    throughput_gops: float
+    mean_power_w: float
+    energy_joules: float
+
+    @property
+    def latency_us(self) -> float:
+        """Inference latency in microseconds."""
+        return 1e6 * self.total_cycles / self.config.clock_hz
+
+    @property
+    def ee_tops_w(self) -> float:
+        """Network-level energy efficiency (total ops / total energy)."""
+        if self.energy_joules == 0:
+            return 0.0
+        return 2.0 * self.total_macs / self.energy_joules / 1e12
+
+
+def is_feasible(
+    config: ArchConfig,
+    specs: list[DSCLayerSpec],
+    max_total_pes: int | None = None,
+    max_buffer_entries: int | None = None,
+) -> bool:
+    """Hardware-constraint check for one candidate.
+
+    A candidate is feasible when every layer's channel counts tile
+    exactly (the engines have no partial-group mode) and the PE count /
+    on-chip buffer capacity stay within the optional budgets.
+    """
+    for spec in specs:
+        if spec.in_channels % config.td or spec.out_channels % config.tk:
+            return False
+    if (
+        max_total_pes is not None
+        and config.total_macs_per_cycle > max_total_pes
+    ):
+        return False
+    if max_buffer_entries is not None:
+        onchip = (
+            config.dwc_ifmap_buffer_entries
+            + config.dwc_weight_buffer_entries
+            + config.offline_buffer_entries
+            + config.intermediate_buffer_entries
+            + config.pwc_weight_buffer_entries
+        )
+        if onchip > max_buffer_entries:
+            return False
+    return True
+
+
+@lru_cache(maxsize=4)
+def _prepare_qmodel(width_multiplier: float, resolution: int, seed: int):
+    """Build and quantize the driving workload (memoized per process)."""
+    specs = mobilenet_v1_specs(
+        input_size=resolution, width_multiplier=width_multiplier
+    )
+    model = build_mobilenet_v1(
+        input_size=resolution, width_multiplier=width_multiplier, seed=seed
+    )
+    dataset = SyntheticImageDataset(
+        num_samples=8, size=resolution, num_classes=10, seed=seed + 1
+    )
+    qmodel = quantize_mobilenet(model, specs, dataset.images)
+    return qmodel, dataset.images
+
+
+def simulate_design_point(
+    config: ArchConfig,
+    width_multiplier: float = 0.25,
+    resolution: int = 32,
+    seed: int = 7,
+    fast: bool = False,
+) -> DesignPointResult:
+    """Simulate one architecture candidate end to end.
+
+    Runs a seeded quantized MobileNet through the accelerator under
+    ``config`` and condenses the per-layer statistics into a
+    :class:`DesignPointResult`.  Deterministic for a given argument
+    tuple, hence safe to cache and to fan out.
+    """
+    qmodel, images = _prepare_qmodel(width_multiplier, resolution, seed)
+    runner = AcceleratorRunner(
+        qmodel, config=config, verify=False, fast=fast
+    )
+    run = runner.run_network(images[0])
+    model = PowerModel()
+    powers = [model.layer_power(s).total_watts for s in run.layers]
+    energy = sum(
+        p * s.cycles / config.clock_hz
+        for p, s in zip(powers, run.layers)
+    )
+    total_cycles = run.total_cycles
+    total_macs = sum(s.total_macs for s in run.layers)
+    throughput = (
+        2.0 * total_macs * config.clock_hz / total_cycles / 1e9
+        if total_cycles
+        else 0.0
+    )
+    return DesignPointResult(
+        config=config,
+        width_multiplier=width_multiplier,
+        resolution=resolution,
+        total_cycles=total_cycles,
+        total_macs=total_macs,
+        throughput_gops=throughput,
+        mean_power_w=sum(powers) / len(powers),
+        energy_joules=energy,
+    )
+
+
+def design_point_sweep(
+    configs: list[ArchConfig],
+    width_multiplier: float = 0.25,
+    resolution: int = 32,
+    seed: int = 7,
+    fast: bool = False,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+    max_total_pes: int | None = None,
+    max_buffer_entries: int | None = None,
+) -> list[DesignPointResult]:
+    """Evaluate many architecture candidates, pruned then fanned out.
+
+    Args:
+        configs: Candidate architectures.
+        width_multiplier / resolution / seed: Driving workload.
+        fast: Use the analytic fast-latency mode per candidate.
+        jobs: Worker processes (1 = serial, None/0 = all CPUs).
+        cache: Persistent result cache; identical (config, workload)
+            requests are computed once across runs.
+        max_total_pes / max_buffer_entries: Optional hardware budgets for
+            :func:`is_feasible` pruning.
+
+    Returns:
+        One result per *feasible* candidate, in input order.
+    """
+    if not configs:
+        raise ConfigError("design_point_sweep needs at least one candidate")
+    specs = mobilenet_v1_specs(
+        input_size=resolution, width_multiplier=width_multiplier
+    )
+    feasible = [
+        config
+        for config in configs
+        if is_feasible(config, specs, max_total_pes, max_buffer_entries)
+    ]
+    executor = ParallelExecutor(jobs=jobs, cache=cache)
+    argtuples = [
+        (config, width_multiplier, resolution, seed, fast)
+        for config in feasible
+    ]
+    return executor.map_cached(
+        "design_point", simulate_design_point, argtuples
+    )

@@ -2,6 +2,7 @@
 with bit-exact verification, run statistics, and pipeline tracing."""
 
 from .batch import BatchResult, run_batch
+from .fastpath import analytic_layer_stats
 from .faults import (
     FaultImpact,
     FaultSpec,
@@ -20,6 +21,7 @@ from .stats import NetworkRunStats
 from .tracer import STAGES, PipelineEvent, trace_tile_pipeline
 
 __all__ = [
+    "analytic_layer_stats",
     "LatencyBreakdown",
     "eq1_tile_latency_cycles",
     "layer_latency",

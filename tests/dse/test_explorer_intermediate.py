@@ -7,7 +7,6 @@ from repro.dse import (
     best_point,
     explore,
     intermediate_access_report,
-    table1_case,
 )
 from repro.errors import ConfigError
 from repro.nn import MOBILENET_V1_CIFAR10_SPECS, mobilenet_v1_specs
@@ -111,7 +110,7 @@ class TestIntermediateReport:
         # the Fig. 3 sawtooth: stride-2 layers (1, 3, 5, 11) have the
         # smallest reductions because their input dominates
         report = intermediate_access_report()
-        by_index = {l.index: l.reduction_percent for l in report.layers}
+        by_index = {x.index: x.reduction_percent for x in report.layers}
         low = min(by_index.values())
         for idx in (1, 3, 5, 11):
             assert by_index[idx] == pytest.approx(low)

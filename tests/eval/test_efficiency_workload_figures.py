@@ -41,7 +41,7 @@ class TestEfficiencyReport:
         report = build_efficiency_report(
             small_workload.layer_stats, clock_hz=1e9, mode="paper_profile"
         )
-        ee = {l.index: l.ee_tops_w for l in report.layers}
+        ee = {x.index: x.ee_tops_w for x in report.layers}
         assert report.peak_ee_layer in (10, 12)
         assert min(ee, key=ee.get) in (0, 1, 2)
         assert ee[10] > ee[1]

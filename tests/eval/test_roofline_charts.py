@@ -23,19 +23,19 @@ class TestRoofline:
         """Deep layers move mostly weights (D*K bytes for N*M*D*K MACs),
         so intensity collapses to ~N*M — the data-reuse limitation the
         paper's introduction describes."""
-        profile = {l.index: l for l in roofline_analysis()}
+        profile = {x.index: x for x in roofline_analysis()}
         assert profile[12].arithmetic_intensity < 8  # 2x2 maps
         assert profile[0].arithmetic_intensity > 15  # 32x32 maps
 
     def test_bandwidth_demand_peaks_at_late_layers(self):
         profile = roofline_analysis()
-        demand = [l.required_bandwidth_gbs for l in profile]
+        demand = [x.required_bandwidth_gbs for x in profile]
         assert max(demand) == pytest.approx(demand[11], rel=0.05)
 
     def test_compute_bound_classification(self):
         profile = roofline_analysis()
-        generous = all(l.is_compute_bound(1000.0) for l in profile)
-        starved = any(not l.is_compute_bound(1.0) for l in profile)
+        generous = all(x.is_compute_bound(1000.0) for x in profile)
+        starved = any(not x.is_compute_bound(1.0) for x in profile)
         assert generous and starved
 
     def test_invalid_bandwidth_rejected(self):
@@ -46,7 +46,7 @@ class TestRoofline:
     def test_other_networks(self):
         profile = roofline_analysis(mobilenet_v2_dsc_specs())
         assert len(profile) == 17
-        assert all(l.external_bytes > 0 for l in profile)
+        assert all(x.external_bytes > 0 for x in profile)
 
     def test_macs_match_specs(self):
         for layer, spec in zip(roofline_analysis(),

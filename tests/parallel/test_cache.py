@@ -1,0 +1,124 @@
+"""Result-cache keying, tiers, and invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.arch.params import EDEA_CONFIG, ArchConfig
+from repro.dse import LoopOrder
+from repro.errors import ConfigError
+from repro.parallel import ResultCache, canonical, make_key
+
+
+class TestMakeKey:
+    def test_stable_across_calls(self):
+        a = make_key("sim", config=EDEA_CONFIG, width=0.25)
+        b = make_key("sim", config=ArchConfig(), width=0.25)
+        assert a == b
+
+    def test_config_field_change_changes_key(self):
+        base = make_key("sim", config=ArchConfig())
+        for variant in (
+            ArchConfig(td=4),
+            ArchConfig(tk=8),
+            ArchConfig(max_output_tile=4),
+            ArchConfig(clock_hz=0.5e9),
+        ):
+            assert make_key("sim", config=variant) != base
+
+    def test_kind_separates_namespaces(self):
+        assert make_key("sweep", x=1) != make_key("dse", x=1)
+
+    def test_parameter_value_sensitivity(self):
+        assert make_key("k", width=0.25) != make_key("k", width=0.5)
+        assert make_key("k", seed=1) != make_key("k", seed=2)
+
+    def test_ndarray_keyed_by_content(self):
+        x = np.arange(12, dtype=np.int8).reshape(3, 4)
+        same = make_key("k", data=x.copy())
+        assert make_key("k", data=x) == same
+        y = x.copy()
+        y[0, 0] += 1
+        assert make_key("k", data=y) != same
+
+    def test_enum_and_nested_structures(self):
+        a = make_key("k", v=[LoopOrder.LA, {"n": (1, 2)}])
+        b = make_key("k", v=[LoopOrder.LB, {"n": (1, 2)}])
+        assert a != b
+
+    def test_unkeyable_object_rejected(self):
+        with pytest.raises(TypeError):
+            canonical(object())
+
+
+class TestResultCache:
+    def test_memory_hit_and_miss_counters(self):
+        cache = ResultCache()
+        key = make_key("k", x=1)
+        assert cache.lookup(key) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.put(key, 42)
+        assert cache.lookup(key) == 42
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_peek_does_not_touch_counters(self):
+        cache = ResultCache()
+        key = make_key("k", x=1)
+        assert cache.peek(key, default="absent") == "absent"
+        cache.put(key, 7)
+        assert cache.peek(key) == 7
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_disk_persistence_across_instances(self, tmp_path):
+        key = make_key("k", x="persist")
+        writer = ResultCache(tmp_path)
+        writer.put(key, {"value": [1, 2, 3]})
+        reader = ResultCache(tmp_path)
+        assert reader.lookup(key) == {"value": [1, 2, 3]}
+        assert reader.hits == 1
+
+    def test_config_change_misses_on_disk_too(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(make_key("sim", config=ArchConfig()), "default")
+        fresh = ResultCache(tmp_path)
+        assert not fresh.contains(make_key("sim", config=ArchConfig(td=4)))
+        assert fresh.contains(make_key("sim", config=ArchConfig()))
+
+    def test_get_or_compute_computes_once(self):
+        cache = ResultCache()
+        calls = []
+        key = make_key("k", x=1)
+
+        def compute():
+            calls.append(1)
+            return "result"
+
+        assert cache.get_or_compute(key, compute) == "result"
+        assert cache.get_or_compute(key, compute) == "result"
+        assert len(calls) == 1
+
+    def test_invalidate_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = make_key("k", x=1)
+        second = make_key("k", x=2)
+        cache.put(first, "a")
+        cache.put(second, "b")
+        cache.invalidate(first)
+        assert not ResultCache(tmp_path).contains(first)
+        assert ResultCache(tmp_path).contains(second)
+        cache.clear()
+        assert not ResultCache(tmp_path).contains(second)
+        assert len(cache) == 0
+
+    def test_unwritable_cache_dir_raises_config_error(self, tmp_path):
+        blocker = tmp_path / "notadir"
+        blocker.write_text("plain file")
+        cache = ResultCache(blocker)
+        with pytest.raises(ConfigError):
+            cache.put(make_key("k", x=1), "value")
+
+    def test_stored_none_distinguishable_via_contains(self):
+        cache = ResultCache()
+        key = make_key("k", x=None)
+        cache.put(key, None)
+        assert cache.contains(key)
+        assert cache.lookup(key) is None

@@ -1,0 +1,79 @@
+"""Design-point sweep: pruning, caching, and fast/accurate agreement."""
+
+import pytest
+
+from repro.arch.params import EDEA_CONFIG, ArchConfig
+from repro.errors import ConfigError
+from repro.eval.sweep import evaluate_sweep_point
+from repro.nn import mobilenet_v1_specs
+from repro.parallel import (
+    ResultCache,
+    design_point_sweep,
+    is_feasible,
+    simulate_design_point,
+)
+
+SPECS = mobilenet_v1_specs(width_multiplier=0.25)
+
+
+class TestFeasibility:
+    def test_paper_config_is_feasible(self):
+        assert is_feasible(EDEA_CONFIG, SPECS)
+
+    def test_indivisible_tiling_pruned(self):
+        assert not is_feasible(ArchConfig(td=3), SPECS)
+        assert not is_feasible(ArchConfig(tk=7), SPECS)
+
+    def test_pe_budget_pruned(self):
+        assert not is_feasible(EDEA_CONFIG, SPECS, max_total_pes=799)
+        assert is_feasible(EDEA_CONFIG, SPECS, max_total_pes=800)
+
+    def test_buffer_budget_pruned(self):
+        assert not is_feasible(EDEA_CONFIG, SPECS, max_buffer_entries=100)
+
+
+class TestDesignPointSweep:
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ConfigError):
+            design_point_sweep([])
+
+    def test_infeasible_candidates_dropped(self):
+        results = design_point_sweep(
+            [EDEA_CONFIG, ArchConfig(td=3)], fast=True
+        )
+        assert len(results) == 1
+        assert results[0].config == EDEA_CONFIG
+
+    def test_matches_analytic_sweep_point(self):
+        result = simulate_design_point(
+            EDEA_CONFIG, width_multiplier=0.25, resolution=32, fast=True
+        )
+        analytic = evaluate_sweep_point(0.25, 32, EDEA_CONFIG)
+        assert result.total_cycles == analytic.total_cycles
+        assert result.latency_us == pytest.approx(analytic.latency_us)
+        assert result.throughput_gops == pytest.approx(
+            analytic.throughput_gops
+        )
+
+    def test_summary_fields_sane(self):
+        result = simulate_design_point(EDEA_CONFIG, fast=True)
+        assert result.total_macs > 0
+        assert result.mean_power_w > 0
+        assert result.energy_joules > 0
+        assert result.ee_tops_w > 0
+
+    def test_cached_rerun_identical(self, tmp_path):
+        configs = [EDEA_CONFIG, ArchConfig(td=4, tk=8)]
+        first = design_point_sweep(
+            configs, fast=True, cache=ResultCache(tmp_path)
+        )
+        warm = ResultCache(tmp_path)
+        second = design_point_sweep(configs, fast=True, cache=warm)
+        assert first == second
+        assert warm.misses == 0
+
+    def test_fast_and_accurate_latency_agree(self):
+        fast = simulate_design_point(ArchConfig(td=4, tk=16), fast=True)
+        accurate = simulate_design_point(ArchConfig(td=4, tk=16), fast=False)
+        assert fast.total_cycles == accurate.total_cycles
+        assert fast.total_macs == accurate.total_macs

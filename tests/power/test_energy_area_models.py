@@ -1,8 +1,5 @@
 """Calibrated power and area models."""
 
-import dataclasses
-
-import numpy as np
 import pytest
 
 from repro.arch import ArchConfig, EDEA_CONFIG, LayerRunStats

@@ -19,7 +19,7 @@ from repro.quant import (
     nonconv_op_counts,
     prepare_qat_mobilenet,
 )
-from repro.quant.qat import QATDepthwiseConv2d, QATPointwiseConv2d
+from repro.quant.qat import QATDepthwiseConv2d
 
 
 class TestOpCounts:

@@ -4,10 +4,8 @@ import numpy as np
 import pytest
 
 from repro.errors import QuantizationError, ShapeError
-from repro.nn import Sequential, build_mobilenet_v1, mobilenet_v1_specs
-from repro.nn.loss import accuracy
+from repro.nn import Sequential
 from repro.quant import quantize_mobilenet
-from repro.quant.qmodel import QuantizedDSCLayer
 
 
 class TestStructure:

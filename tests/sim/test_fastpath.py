@@ -1,0 +1,111 @@
+"""Analytic fast-latency mode vs the event-driven accelerator."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.arch.params import ArchConfig
+from repro.errors import SimulationError
+from repro.sim import AcceleratorRunner, analytic_layer_stats
+
+
+class TestFastStatsEquivalence:
+    def test_stats_bit_for_bit_on_mobilenet(self, small_workload):
+        """On grid-aligned geometry every LayerRunStats field matches."""
+        accurate = AcceleratorRunner(small_workload.qmodel, verify=False)
+        fast = AcceleratorRunner(
+            small_workload.qmodel, verify=False, fast=True
+        )
+        image = small_workload.images[0]
+        event = accurate.run_network(image)
+        analytic = fast.run_network(image)
+        for a, f in zip(event.layers, analytic.layers):
+            assert dataclasses.asdict(a) == dataclasses.asdict(f)
+
+    def test_stats_match_without_direct_transfer(self, small_workload):
+        accurate = AcceleratorRunner(
+            small_workload.qmodel, verify=False, direct_transfer=False
+        )
+        fast = AcceleratorRunner(
+            small_workload.qmodel,
+            verify=False,
+            direct_transfer=False,
+            fast=True,
+        )
+        image = small_workload.images[0]
+        event = accurate.run_network(image).layers[0]
+        analytic = fast.run_network(image).layers[0]
+        assert event.external == analytic.external
+        assert event.buffer_accesses == analytic.buffer_accesses
+
+    def test_outputs_bit_exact(self, small_workload):
+        """Fast-mode outputs are the int8 reference itself."""
+        accurate = AcceleratorRunner(small_workload.qmodel, verify=True)
+        fast = AcceleratorRunner(
+            small_workload.qmodel, verify=False, fast=True
+        )
+        x_q = small_workload.qmodel.layer_input(
+            small_workload.images[:1], 0
+        )[0]
+        out_accurate, _ = accurate.run_layer(0, x_q)
+        out_fast, _ = fast.run_layer(0, x_q)
+        assert np.array_equal(out_accurate, out_fast)
+
+    def test_nondefault_config_cycles_match(self, small_workload):
+        config = ArchConfig(td=4, tk=8, max_output_tile=4)
+        accurate = AcceleratorRunner(
+            small_workload.qmodel, config=config, verify=False
+        )
+        fast = AcceleratorRunner(
+            small_workload.qmodel, config=config, verify=False, fast=True
+        )
+        image = small_workload.images[0]
+        assert (
+            accurate.run_network(image).total_cycles
+            == fast.run_network(image).total_cycles
+        )
+
+    def test_indivisible_channels_rejected(self, small_workload):
+        layer = small_workload.qmodel.layers[0]
+        x_q = small_workload.qmodel.layer_input(
+            small_workload.images[:1], 0
+        )[0]
+        mid = np.zeros(
+            (layer.spec.in_channels, layer.spec.out_size, layer.spec.out_size),
+            dtype=np.int8,
+        )
+        with pytest.raises(SimulationError):
+            analytic_layer_stats(layer, x_q, mid, config=ArchConfig(td=3))
+
+
+class TestVerifyDiagnostics:
+    def test_mismatch_names_layer_and_element(
+        self, small_workload, monkeypatch
+    ):
+        """Regression: SimulationError must localize the first mismatch."""
+        from repro.arch.accelerator import DSCAccelerator
+
+        runner = AcceleratorRunner(small_workload.qmodel, verify=True)
+        x_q = small_workload.qmodel.layer_input(
+            small_workload.images[:1], 2
+        )[0]
+        original = DSCAccelerator.run_layer
+
+        def corrupted(self, layer, x):
+            out, stats = original(self, layer, x)
+            out = out.copy()
+            out[3, 1, 0] += 1  # flip exactly one element
+            return out, stats
+
+        monkeypatch.setattr(DSCAccelerator, "run_layer", corrupted)
+        with pytest.raises(SimulationError) as excinfo:
+            runner.run_layer(2, x_q)
+        message = str(excinfo.value)
+        assert "layer 2" in message
+        assert "1 element;" in message
+        assert "channel 3" in message
+        assert "row 1" in message
+        assert "col 0" in message
+        assert "accelerator produced" in message
+        assert "reference expects" in message

@@ -123,7 +123,6 @@ class TestImpact:
         """The runner's bit-exact check must flag a corrupted accelerator
         run — faults cannot pass silently."""
         from repro.arch import DSCAccelerator
-        from repro.errors import SimulationError
 
         layer = small_workload.qmodel.layers[0]
         x_q = small_workload.qmodel.layer_input(

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.arch import ArchConfig, EDEA_CONFIG
+from repro.arch import ArchConfig
 from repro.errors import ConfigError
 from repro.nn import MOBILENET_V1_CIFAR10_SPECS
 from repro.sim import eq1_tile_latency_cycles, layer_latency

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.arch import EDEA_CONFIG
-from repro.errors import ConfigError, ShapeError, SimulationError
+from repro.errors import ConfigError, ShapeError
 from repro.sim import (
     STAGES,
     AcceleratorRunner,

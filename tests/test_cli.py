@@ -63,6 +63,68 @@ class TestReport:
         assert "288" in text and "512" in text and "800" in text
 
 
+class TestSweepCommand:
+    def test_sweep_prints_grid(self):
+        code, text = run_cli(
+            "sweep", "--widths", "0.5,1.0", "--resolutions", "32,64"
+        )
+        assert code == 0
+        assert "4 points" in text
+        assert "92,784" in text  # the paper point (width 1.0, res 32)
+
+    def test_sweep_parallel_matches_serial(self):
+        code_serial, serial = run_cli(
+            "sweep", "--widths", "0.25,0.5", "--resolutions", "32"
+        )
+        code_parallel, parallel = run_cli(
+            "sweep", "--widths", "0.25,0.5", "--resolutions", "32",
+            "--jobs", "2",
+        )
+        assert code_serial == code_parallel == 0
+        # identical numbers; only the jobs note in the title differs
+        assert serial.splitlines()[2:] == parallel.splitlines()[2:]
+
+    def test_sweep_bad_grid_fails_cleanly(self):
+        code, _ = run_cli("sweep", "--widths", "fast,1.0")
+        assert code == 1
+
+    def test_sweep_uses_cache_dir(self, tmp_path):
+        cache_dir = str(tmp_path / "sweep-cache")
+        code, text = run_cli("sweep", "--cache-dir", cache_dir)
+        assert code == 0
+        cached = list((tmp_path / "sweep-cache").rglob("*.pkl"))
+        assert len(cached) == 16  # one entry per grid point
+        code2, text2 = run_cli("sweep", "--cache-dir", cache_dir)
+        assert code2 == 0
+        assert text2 == text
+
+
+class TestPerformanceFlags:
+    def test_run_parallel_analytic_experiments(self):
+        code_serial, serial = run_cli("run", "table1", "fig10", "fig13")
+        code_parallel, parallel = run_cli(
+            "run", "table1", "fig10", "fig13", "--jobs", "2"
+        )
+        assert code_serial == code_parallel == 0
+        assert serial == parallel
+
+    def test_run_measured_fast_mode(self):
+        code, text = run_cli(
+            "run", "fig12", "--width", "0.25", "--fast"
+        )
+        assert code == 0
+        assert "energy efficiency" in text.lower()
+
+    def test_measured_workload_cached_on_disk(self, tmp_path):
+        cache_dir = str(tmp_path / "wl-cache")
+        code, text = run_cli(
+            "run", "fig11", "--width", "0.25", "--fast",
+            "--cache-dir", cache_dir,
+        )
+        assert code == 0
+        assert list((tmp_path / "wl-cache").rglob("*.pkl"))
+
+
 class TestParser:
     def test_no_command_shows_help(self):
         code, text = run_cli()

@@ -120,7 +120,7 @@ class TestPowerPipeline:
         )
         # energy of the whole network should be microjoule-scale:
         # ~100 mW x ~10 us
-        total_energy = sum(l.energy_joules for l in report.layers)
+        total_energy = sum(x.energy_joules for x in report.layers)
         assert 1e-8 < total_energy < 1e-4
 
 

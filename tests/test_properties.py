@@ -12,7 +12,6 @@ constants, and assert the library's central invariants:
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.arch import ArchConfig, DSCAccelerator
