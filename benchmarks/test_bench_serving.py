@@ -1,0 +1,58 @@
+"""Serving performance trajectory: QPS vs tail latency.
+
+Records the throughput-latency frontier of a four-instance fleet under
+the mixed scenario so future PRs inherit a serving-performance baseline:
+the ``extra_info`` block carries sustained QPS and p99 per offered-load
+point, and the benchmark itself times a full 10k-request simulation
+(the acceptance bar is well under 30 s; the simulator does it in well
+under one).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.eval import render_throughput_latency
+from repro.serve import (
+    ServingScenario,
+    simulate,
+    throughput_latency_curve,
+)
+
+BASE = ServingScenario(requests=10_000, instances=4, seed=42)
+
+#: Offered-load ladder as fractions of the ~8.2k QPS mixed-fleet capacity.
+CURVE_QPS = (2_000.0, 4_000.0, 6_000.0, 7_500.0)
+
+
+@pytest.mark.benchmark(group="serving")
+def test_bench_10k_request_simulation(benchmark):
+    """Wall-clock of one 10k-request Poisson run (least-loaded, 4 inst)."""
+    report = benchmark(simulate, BASE)
+    assert report.requests == 10_000
+    assert all(0.0 < u <= 1.0 for u in report.utilization)
+    benchmark.extra_info["sustained_qps"] = round(report.sustained_qps, 1)
+    benchmark.extra_info["latency_p99_ms"] = round(
+        1e3 * report.latency_p99_s, 3
+    )
+    benchmark.extra_info["mean_utilization"] = round(
+        report.mean_utilization, 4
+    )
+
+
+@pytest.mark.benchmark(group="serving")
+def test_bench_qps_vs_p99_trajectory(benchmark):
+    """The throughput-latency frontier, recorded for future comparison."""
+    base = dataclasses.replace(BASE, requests=4_000)
+
+    def run_curve():
+        return throughput_latency_curve(base, CURVE_QPS)
+
+    reports = benchmark(run_curve)
+    p99s = [r.latency_p99_s for r in reports]
+    assert all(a <= b for a, b in zip(p99s, p99s[1:]))
+    for report in reports:
+        key = f"p99_ms_at_{int(report.offered_qps)}qps"
+        benchmark.extra_info[key] = round(1e3 * report.latency_p99_s, 3)
+    print()
+    print(render_throughput_latency(reports))

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Serving a heterogeneous traffic mix on a fleet of EDEA accelerators.
+
+Plays three serving stories end to end:
+
+1. one 10k-request Poisson run on a four-instance fleet (full report:
+   tail latencies, sustained QPS, per-instance utilization),
+2. a scheduling-policy x fleet-size sweep through the parallel
+   executor (rerun this script with a cache dir and the sweep is
+   served from disk),
+3. a throughput-latency curve, the figure every serving system is
+   judged by.
+
+Usage::
+
+    python examples/serving_simulation.py [jobs] [cache_dir]
+"""
+
+import sys
+
+from repro.eval import (
+    render_serving_report,
+    render_serving_sweep,
+    render_throughput_latency,
+)
+from repro.parallel import ResultCache
+from repro.serve import (
+    ServingScenario,
+    policy_fleet_sweep,
+    simulate,
+    throughput_latency_curve,
+)
+
+
+def main() -> None:
+    jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 1
+    cache = ResultCache(sys.argv[2]) if len(sys.argv) > 2 else None
+
+    base = ServingScenario(
+        mix="mixed", instances=4, policy="least-loaded", requests=10_000
+    )
+
+    print(render_serving_report(simulate(base)))
+    print()
+
+    reports = policy_fleet_sweep(
+        base,
+        policies=["round-robin", "least-loaded", "affinity"],
+        instance_counts=[1, 2, 4, 8],
+        jobs=jobs,
+        cache=cache,
+    )
+    print(render_serving_sweep(reports))
+    print()
+
+    curve = throughput_latency_curve(
+        base,
+        qps_values=[1_000, 2_000, 4_000, 6_000, 7_500],
+        jobs=jobs,
+        cache=cache,
+    )
+    print(render_throughput_latency(curve))
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,10 @@ Commands:
   full-width workload once, ~15 s).
 * ``sweep`` — width/resolution scaling sweep through the parallel
   executor.
+* ``serve`` — request-level serving simulation over an accelerator
+  fleet (arrival process, scheduling policy, batching; reports
+  p50/p95/p99 latency, sustained QPS, per-instance utilization; can
+  sweep policies x fleet sizes or sample a throughput-latency curve).
 * ``info`` — print the library's headline reproduction summary.
 * ``report`` — check every reproduced claim against the paper.
 
@@ -29,6 +33,11 @@ Examples::
     repro run fig12 --width 0.25 --fast      # fast, reduced-width
     repro all --jobs 4 --cache-dir ~/.cache/repro
     repro sweep --widths 0.5,1.0 --resolutions 32,64 --jobs 4
+    repro serve --instances 4 --policy least-loaded
+    repro serve --arrival bursty --qps 4000 --mix mixed
+    repro serve --sweep-policies round-robin,least-loaded,affinity \
+        --sweep-instances 1,2,4 --jobs 4 --cache-dir /tmp/repro-cache
+    repro serve --curve-qps 1000,2000,4000,6000,8000
 """
 
 from __future__ import annotations
@@ -41,8 +50,21 @@ from .errors import ReproError
 from .eval import list_experiments, prepare_workload, run_experiment
 from .eval.paper_data import PAPER_HEADLINE
 from .eval.report import render_table
+from .eval.serving import (
+    render_serving_report,
+    render_serving_sweep,
+    render_throughput_latency,
+)
 from .eval.sweep import width_resolution_sweep
 from .parallel import ParallelExecutor, ResultCache
+from .serve import (
+    POLICIES,
+    SCENARIO_MIXES,
+    ServingScenario,
+    policy_fleet_sweep,
+    simulate,
+    throughput_latency_curve,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -126,6 +148,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated input resolutions",
     )
     _add_performance_flags(sweep_parser, fast=False)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="request-level serving simulation over an accelerator fleet",
+    )
+    serve_parser.add_argument(
+        "--mix", default="mixed", choices=sorted(SCENARIO_MIXES),
+        help="traffic scenario mix (default: mixed)",
+    )
+    serve_parser.add_argument(
+        "--arrival", default="poisson",
+        choices=["poisson", "bursty", "trace"],
+        help="arrival process (default: poisson)",
+    )
+    serve_parser.add_argument(
+        "--qps", type=float, default=None,
+        help="offered rate; omitted = 70%% of fleet capacity",
+    )
+    serve_parser.add_argument(
+        "--requests", type=int, default=10_000,
+        help="requests to simulate (default: 10000)",
+    )
+    serve_parser.add_argument(
+        "--instances", type=int, default=4,
+        help="fleet size (default: 4)",
+    )
+    serve_parser.add_argument(
+        "--policy", default="least-loaded", choices=sorted(POLICIES),
+        help="scheduling policy (default: least-loaded)",
+    )
+    serve_parser.add_argument(
+        "--max-batch", type=int, default=8,
+        help="largest same-model batch per launch (default: 8)",
+    )
+    serve_parser.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="longest a queue head waits to fill its batch (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--burst-factor", type=float, default=4.0,
+        help="burst-state rate multiplier for --arrival bursty",
+    )
+    serve_parser.add_argument(
+        "--trace-file", default=None, metavar="PATH",
+        help="arrival timestamps (seconds, one per line) for "
+             "--arrival trace",
+    )
+    serve_parser.add_argument(
+        "--seed", type=int, default=0, help="simulation seed",
+    )
+    serve_parser.add_argument(
+        "--sweep-policies", default=None, metavar="P,P,...",
+        help="sweep these policies (with --sweep-instances) through "
+             "the parallel executor",
+    )
+    serve_parser.add_argument(
+        "--sweep-instances", default=None, metavar="N,N,...",
+        help="sweep these fleet sizes (with --sweep-policies)",
+    )
+    serve_parser.add_argument(
+        "--curve-qps", default=None, metavar="Q,Q,...",
+        help="sample the throughput-latency curve at these offered "
+             "rates",
+    )
+    _add_performance_flags(serve_parser, fast=False)
     return parser
 
 
@@ -203,6 +290,74 @@ def _sweep(args, out) -> None:
     print(text, file=out)
 
 
+def _read_trace(path: str) -> tuple[float, ...]:
+    try:
+        with open(path) as handle:
+            return tuple(
+                float(line) for line in handle if line.strip()
+            )
+    except OSError as exc:
+        raise ReproError(f"cannot read trace file {path}: {exc}") from exc
+    except ValueError:
+        raise ReproError(
+            f"trace file {path} must contain one timestamp per line"
+        ) from None
+
+
+def _serve(args, out) -> None:
+    trace = (
+        _read_trace(args.trace_file)
+        if args.trace_file is not None
+        else None
+    )
+    if args.arrival == "trace" and trace is None:
+        raise ReproError("--arrival trace requires --trace-file")
+    scenario = ServingScenario(
+        mix=args.mix,
+        arrival=args.arrival,
+        qps=args.qps,
+        burst_factor=args.burst_factor,
+        trace=trace,
+        requests=args.requests,
+        instances=args.instances,
+        policy=args.policy,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        seed=args.seed,
+    )
+    cache = _cache_from(args)
+    if args.curve_qps and (args.sweep_policies or args.sweep_instances):
+        raise ReproError(
+            "--curve-qps cannot be combined with --sweep-policies/"
+            "--sweep-instances; run them separately"
+        )
+    if args.sweep_policies or args.sweep_instances:
+        policies = (
+            [p for p in args.sweep_policies.split(",") if p]
+            if args.sweep_policies
+            else [args.policy]
+        )
+        counts = (
+            list(_parse_grid(args.sweep_instances, int))
+            if args.sweep_instances
+            else [args.instances]
+        )
+        reports = policy_fleet_sweep(
+            scenario, policies, counts, jobs=args.jobs, cache=cache
+        )
+        print(render_serving_sweep(reports), file=out)
+    elif args.curve_qps:
+        reports = throughput_latency_curve(
+            scenario,
+            _parse_grid(args.curve_qps, float),
+            jobs=args.jobs,
+            cache=cache,
+        )
+        print(render_throughput_latency(reports), file=out)
+    else:
+        print(render_serving_report(simulate(scenario)), file=out)
+
+
 def _info(out) -> None:
     print("EDEA reproduction - headline numbers (paper values)", file=out)
     for key, value in sorted(PAPER_HEADLINE.items()):
@@ -233,6 +388,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
             _run(list_experiments(), args, out)
         elif args.command == "sweep":
             _sweep(args, out)
+        elif args.command == "serve":
+            _serve(args, out)
         elif args.command == "report":
             from .eval import render_report, reproduction_report
 

@@ -28,6 +28,11 @@ from .paper_data import (
 )
 from .report import render_series, render_table
 from .roofline import LayerRoofline, roofline_analysis
+from .serving import (
+    render_serving_report,
+    render_serving_sweep,
+    render_throughput_latency,
+)
 from .summary import ClaimCheck, render_report, reproduction_report
 from .sweep import SweepPoint, width_resolution_sweep
 from .workloads import ExperimentWorkload, clear_workload_cache, prepare_workload
@@ -50,6 +55,9 @@ __all__ = [
     "build_comparison",
     "edea_speedups",
     "render_table",
+    "render_serving_report",
+    "render_serving_sweep",
+    "render_throughput_latency",
     "render_series",
     "SotaWork",
     "SOTA_WORKS",

@@ -1,0 +1,124 @@
+"""Plain-text reports and charts for serving simulations.
+
+Follows the evaluation harness idiom: :func:`render_table` for numbers,
+the ASCII chart helpers for shape, everything printable from the CLI
+and examples without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import EvaluationError
+from ..serve.simulator import ServingReport
+from .charts import bar_chart
+from .report import render_table
+
+__all__ = [
+    "render_serving_report",
+    "render_serving_sweep",
+    "render_throughput_latency",
+]
+
+
+def _ms(seconds: float) -> float:
+    return round(1e3 * seconds, 3)
+
+
+def render_serving_report(report: ServingReport) -> str:
+    """One serving run: headline numbers plus per-instance utilization."""
+    headline = render_table(
+        f"Serving report — mix={report.mix} arrival={report.arrival} "
+        f"policy={report.policy} instances={report.instances}",
+        ["Metric", "Value"],
+        [
+            ["requests", report.requests],
+            ["offered QPS", round(report.offered_qps, 1)],
+            ["fleet capacity QPS", round(report.capacity_qps, 1)],
+            ["offered load", round(report.offered_load, 3)],
+            ["sustained QPS", round(report.sustained_qps, 1)],
+            ["latency mean (ms)", _ms(report.latency_mean_s)],
+            ["latency p50 (ms)", _ms(report.latency_p50_s)],
+            ["latency p95 (ms)", _ms(report.latency_p95_s)],
+            ["latency p99 (ms)", _ms(report.latency_p99_s)],
+            ["latency max (ms)", _ms(report.latency_max_s)],
+            ["mean queue wait (ms)", _ms(report.mean_wait_s)],
+            ["mean batch size", round(report.mean_batch_size, 2)],
+            ["model switches", report.setups],
+        ],
+    )
+    utilization = bar_chart(
+        "Per-instance utilization",
+        [f"inst {i}" for i in range(report.instances)],
+        [100.0 * u for u in report.utilization],
+        unit="%",
+    )
+    traffic = render_table(
+        "Traffic mix",
+        ["Model", "Requests"],
+        [[name, count] for name, count in report.per_model_counts],
+    )
+    return "\n\n".join([headline, utilization, traffic])
+
+
+def render_serving_sweep(reports: Sequence[ServingReport]) -> str:
+    """Policy/fleet grid: one row per simulated scenario."""
+    if not reports:
+        raise EvaluationError("sweep rendering needs at least one report")
+    rows = [
+        [
+            r.policy,
+            r.instances,
+            round(r.offered_qps, 1),
+            round(r.sustained_qps, 1),
+            _ms(r.latency_p50_s),
+            _ms(r.latency_p99_s),
+            round(100 * r.mean_utilization, 1),
+            r.setups,
+        ]
+        for r in reports
+    ]
+    return render_table(
+        f"Serving sweep ({len(reports)} scenarios, mix={reports[0].mix})",
+        [
+            "Policy",
+            "Inst",
+            "Offered QPS",
+            "QPS",
+            "p50 ms",
+            "p99 ms",
+            "Util %",
+            "Switches",
+        ],
+        rows,
+    )
+
+
+def render_throughput_latency(reports: Sequence[ServingReport]) -> str:
+    """Offered-load ladder: the throughput-latency curve as text."""
+    if not reports:
+        raise EvaluationError("curve rendering needs at least one report")
+    ordered = sorted(reports, key=lambda r: r.offered_qps)
+    table = render_table(
+        f"Throughput-latency curve (instances={ordered[0].instances}, "
+        f"policy={ordered[0].policy})",
+        ["Offered QPS", "Load", "QPS", "p50 ms", "p95 ms", "p99 ms"],
+        [
+            [
+                round(r.offered_qps, 1),
+                round(r.offered_load, 3),
+                round(r.sustained_qps, 1),
+                _ms(r.latency_p50_s),
+                _ms(r.latency_p95_s),
+                _ms(r.latency_p99_s),
+            ]
+            for r in ordered
+        ],
+    )
+    chart = bar_chart(
+        "p99 latency vs offered QPS",
+        [round(r.offered_qps, 1) for r in ordered],
+        [1e3 * r.latency_p99_s for r in ordered],
+        unit=" ms",
+    )
+    return "\n\n".join([table, chart])

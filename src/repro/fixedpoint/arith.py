@@ -83,16 +83,18 @@ def requantize_to_int8(
     apply_relu: bool,
     lo: int = -128,
     hi: int = 127,
+    relu_floor: int = 0,
 ) -> np.ndarray:
     """Round off ``fraction_bits``, optionally ReLU, saturate to int8.
 
     This is the tail of the Non-Conv unit: round the fixed-point result to
-    an integer, clamp negatives to zero when ReLU is enabled, and saturate
-    into the int8 activation range.
+    an integer, clamp at the code of real zero when ReLU is enabled, and
+    saturate into the int8 activation range.  ``relu_floor`` is that code —
+    0 for the symmetric scheme, the output zero-point for affine outputs.
     """
     if not -128 <= lo <= hi <= 127:
         raise FixedPointError(f"invalid int8 clip range [{lo}, {hi}]")
     rounded = rounding_right_shift(values, fraction_bits)
     if apply_relu:
-        rounded = np.maximum(rounded, 0)
+        rounded = np.maximum(rounded, relu_floor)
     return np.clip(rounded, lo, hi).astype(np.int8)

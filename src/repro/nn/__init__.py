@@ -30,9 +30,11 @@ from .mobilenet import (
 from .model import Sequential
 from .optim import SGD
 from .zoo import (
+    ZOO_MODELS,
     custom_dsc_specs,
     mobilenet_v1_imagenet_specs,
     mobilenet_v2_dsc_specs,
+    zoo_specs,
 )
 from .trainer import Trainer, TrainResult
 
@@ -64,4 +66,6 @@ __all__ = [
     "mobilenet_v1_imagenet_specs",
     "mobilenet_v2_dsc_specs",
     "custom_dsc_specs",
+    "ZOO_MODELS",
+    "zoo_specs",
 ]

@@ -21,13 +21,17 @@ Every factory returns :class:`~repro.nn.mobilenet.DSCLayerSpec` lists, so
 
 from __future__ import annotations
 
+from typing import Callable
+
 from ..errors import ConfigError
-from .mobilenet import DSCLayerSpec
+from .mobilenet import DSCLayerSpec, mobilenet_v1_specs
 
 __all__ = [
     "mobilenet_v1_imagenet_specs",
     "mobilenet_v2_dsc_specs",
     "custom_dsc_specs",
+    "ZOO_MODELS",
+    "zoo_specs",
 ]
 
 
@@ -135,3 +139,37 @@ def custom_dsc_specs(
         specs.append(spec)
         size = spec.out_size
     return specs
+
+
+def _edge_tiny_specs() -> list[DSCLayerSpec]:
+    """A four-layer 56x56 stack: a light edge/IoT-style workload that
+    keeps mixed-traffic serving scenarios heterogeneous in service time."""
+    return custom_dsc_specs(
+        56, [(2, 8, 16), (1, 16, 32), (2, 32, 64), (1, 64, 64)]
+    )
+
+
+#: Named spec factories: every DSC workload the accelerator can serve.
+#: Keys are the model names used by serving mixes and the CLI.
+ZOO_MODELS: dict[str, Callable[[], list[DSCLayerSpec]]] = {
+    "mobilenet-v1-224": mobilenet_v1_imagenet_specs,
+    "mobilenet-v1-32": mobilenet_v1_specs,
+    "mobilenet-v2-dsc": mobilenet_v2_dsc_specs,
+    "edge-tiny": _edge_tiny_specs,
+}
+
+
+def zoo_specs(name: str) -> list[DSCLayerSpec]:
+    """Resolve a zoo model name to its layer specs.
+
+    Raises:
+        ConfigError: On an unknown name (the message lists valid ones).
+    """
+    try:
+        factory = ZOO_MODELS[name]
+    except KeyError:
+        known = ", ".join(sorted(ZOO_MODELS))
+        raise ConfigError(
+            f"unknown zoo model {name!r} (known: {known})"
+        ) from None
+    return factory()

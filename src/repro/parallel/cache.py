@@ -137,10 +137,18 @@ class ResultCache:
             try:
                 with open(path, "rb") as handle:
                     value = pickle.load(handle)
+            except FileNotFoundError:
+                return _MISSING
             except Exception:
                 # Any unreadable entry — truncated file, or a stale
                 # pickle referencing since-renamed classes — is a miss
-                # to recompute, never a crash.
+                # to recompute, never a crash.  Drop the bad file so the
+                # recompute's atomic write repairs the entry for every
+                # later reader.
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
                 return _MISSING
             self._memory[key] = value
             return value
@@ -206,7 +214,12 @@ class ResultCache:
                 pass
 
     def clear(self) -> None:
-        """Drop every entry from both tiers."""
+        """Drop every entry from both tiers.
+
+        Also sweeps ``.tmp-*`` droppings a killed writer may have left
+        behind (the atomic-rename path removes its temp file on every
+        normal exit, but nothing survives ``SIGKILL``).
+        """
         self._memory.clear()
         if self.cache_dir is not None and self.cache_dir.is_dir():
             for bucket in self.cache_dir.iterdir():
@@ -214,6 +227,11 @@ class ResultCache:
                     for entry in bucket.glob("*.pkl"):
                         try:
                             os.unlink(entry)
+                        except OSError:
+                            pass
+                    for stale in bucket.glob(".tmp-*"):
+                        try:
+                            os.unlink(stale)
                         except OSError:
                             pass
 

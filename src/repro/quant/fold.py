@@ -72,14 +72,19 @@ class NonConvParams:
     Attributes:
         k_raw: Per-channel multiplier as raw Q8.16 integers.
         b_raw: Per-channel offset as raw Q8.16 integers.
-        relu: Apply ReLU (clamp at zero) before requantization.
+        relu: Apply ReLU (clamp at the code of real zero) before
+            requantization.
         fmt: The fixed-point format of ``k_raw``/``b_raw`` (Q8.16 in EDEA).
+        relu_floor: Integer code that represents real zero in the output
+            domain — 0 for the symmetric scheme, the output zero-point
+            for affine outputs (the ReLU clamp lands there).
     """
 
     k_raw: np.ndarray
     b_raw: np.ndarray
     relu: bool = True
     fmt: QFormat = field(default=Q8_16)
+    relu_floor: int = 0
 
     def __post_init__(self) -> None:
         if np.shape(self.k_raw) != np.shape(self.b_raw):
@@ -126,7 +131,10 @@ class NonConvParams:
         # followed by the rounding/ReLU/saturation output stage.
         wide = acc.astype(np.int64) * k + b
         return requantize_to_int8(
-            wide, self.fmt.fraction_bits, apply_relu=self.relu
+            wide,
+            self.fmt.fraction_bits,
+            apply_relu=self.relu,
+            relu_floor=self.relu_floor,
         )
 
     def apply_scalar(self, acc: int, channel: int) -> int:
@@ -138,7 +146,10 @@ class NonConvParams:
             self.fmt,
         )
         out = requantize_to_int8(
-            wide, self.fmt.fraction_bits, apply_relu=self.relu
+            wide,
+            self.fmt.fraction_bits,
+            apply_relu=self.relu,
+            relu_floor=self.relu_floor,
         )
         return int(out[0])
 
@@ -154,7 +165,7 @@ class NonConvParams:
         b = self.b_float().reshape(shape)
         val = acc.astype(np.float64) * k + b
         if self.relu:
-            val = np.maximum(val, 0.0)
+            val = np.maximum(val, float(self.relu_floor))
         return np.clip(np.round(val), -128, 127)
 
 
@@ -189,6 +200,21 @@ def derive_nonconv_params(
         QuantizationError: If a folded constant saturates the fixed-point
             format and ``saturate`` is False.
     """
+    # Only *output* zero-points fold into the mul-add (they shift b).
+    # An affine conv input would leave an uncorrected z_in * sum(w_q)
+    # term in every accumulator (and zero-padding would inject code 0
+    # where real zero is code z_in), so the integer path rejects it
+    # rather than produce silently wrong codes.
+    if input_params.zero_point != 0:
+        raise QuantizationError(
+            "affine (nonzero zero-point) convolution inputs are not "
+            "supported by the folded integer path; only output "
+            "zero-points fold into the Non-Conv constants"
+        )
+    if weight_params.zero_point != 0:
+        raise QuantizationError(
+            "weights must be symmetrically quantized (zero_point == 0)"
+        )
     inv_std = bn.inv_std()
     k = (
         input_params.scale
@@ -197,10 +223,12 @@ def derive_nonconv_params(
         * inv_std
         / output_params.scale
     )
+    # The output zero-point folds into the additive constant: the stage
+    # produces codes q = round(real / s_out) + z_out in one mul-add.
     b = (
         np.asarray(bn.beta)
         - np.asarray(bn.gamma) * np.asarray(bn.mean) * inv_std
-    ) / output_params.scale
+    ) / output_params.scale + output_params.zero_point
     if not saturate:
         for name, values in (("k", k), ("b", b)):
             if np.any(values < fmt.min_value) or np.any(
@@ -215,4 +243,5 @@ def derive_nonconv_params(
         b_raw=np.asarray(fmt.to_fixed(b), dtype=np.int64),
         relu=relu,
         fmt=fmt,
+        relu_floor=output_params.zero_point,
     )

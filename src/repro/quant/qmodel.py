@@ -29,7 +29,7 @@ from ..nn.mobilenet import DSCLayerSpec
 from ..nn.model import Sequential
 from .fold import BNParams, NonConvParams, derive_nonconv_params
 from .observer import MinMaxObserver, PercentileObserver
-from .scheme import QuantParams, quantize
+from .scheme import QuantParams, dequantize, quantize
 
 __all__ = ["QuantizedDSCLayer", "QuantizedMobileNet", "quantize_mobilenet"]
 
@@ -146,7 +146,7 @@ class QuantizedMobileNet:
             mid_q, x_q = layer.forward(x_q)
             if return_activations:
                 activations.append((mid_q, x_q))
-        x = x_q.astype(np.float64) * self.layers[-1].output_params.scale
+        x = dequantize(x_q, self.layers[-1].output_params)
         pooled = self.head_pool.forward(x)
         logits = self.head_linear.forward(pooled)
         if return_activations:

@@ -1,9 +1,12 @@
-"""Symmetric int8 quantization scheme.
+"""Uniform int8 quantization scheme (symmetric by default, affine capable).
 
 EDEA uses 8-bit weights and activations (quantized with LSQ in the paper).
-We model symmetric uniform quantization: ``x_q = clip(round(x / s), lo, hi)``
-with a per-tensor real scale ``s`` and zero zero-point.  Activations after
-ReLU are non-negative, so their effective range is ``[0, 127]``.
+We model uniform quantization ``x_q = clip(round(x / s) + z, lo, hi)`` with
+a per-tensor real scale ``s`` and an integer zero-point ``z``.  The paper's
+scheme is symmetric (``z = 0``, the default); activations after ReLU are
+non-negative, so their effective range is ``[0, 127]``.  A nonzero
+zero-point models asymmetric deployments, and every consumer must then
+apply the full affine dequantization ``(x_q - z) * s``.
 """
 
 from __future__ import annotations
@@ -22,21 +25,34 @@ INT8_MAX = 127
 
 @dataclass(frozen=True)
 class QuantParams:
-    """Per-tensor symmetric quantization parameters.
+    """Per-tensor uniform quantization parameters.
 
     Attributes:
         scale: Real value of one integer step; must be positive.
         signed: When False the integer range is ``[0, 127]`` (post-ReLU
             activations); when True it is ``[-128, 127]``.
+        zero_point: Integer code that represents real zero.  The paper's
+            symmetric scheme uses 0 (the default); asymmetric tensors use
+            a nonzero value inside the integer range.
     """
 
     scale: float
     signed: bool = True
+    zero_point: int = 0
 
     def __post_init__(self) -> None:
         if not np.isfinite(self.scale) or self.scale <= 0:
             raise QuantizationError(
                 f"scale must be a positive finite number (got {self.scale})"
+            )
+        if not isinstance(self.zero_point, (int, np.integer)):
+            raise QuantizationError(
+                f"zero_point must be an integer (got {self.zero_point!r})"
+            )
+        if not self.qmin <= self.zero_point <= self.qmax:
+            raise QuantizationError(
+                f"zero_point {self.zero_point} outside the integer range "
+                f"[{self.qmin}, {self.qmax}]"
             )
 
     @property
@@ -58,12 +74,15 @@ class QuantParams:
 def quantize(x: np.ndarray, params: QuantParams) -> np.ndarray:
     """Quantize a real array to int8 under ``params``."""
     q = np.round(np.asarray(x, dtype=np.float64) / params.scale)
+    q = q + params.zero_point
     return np.clip(q, params.qmin, params.qmax).astype(np.int8)
 
 
 def dequantize(q: np.ndarray, params: QuantParams) -> np.ndarray:
-    """Map int8 codes back to real values."""
-    return np.asarray(q, dtype=np.float64) * params.scale
+    """Map int8 codes back to real values (full affine: ``(q - z) * s``)."""
+    return (
+        np.asarray(q, dtype=np.float64) - params.zero_point
+    ) * params.scale
 
 
 def quantization_error(x: np.ndarray, params: QuantParams) -> float:

@@ -71,6 +71,10 @@ def save_quantized_model(model: QuantizedMobileNet, path: str) -> None:
             [layer.input_params.scale, layer.mid_params.scale,
              layer.output_params.scale]
         )
+        arrays[p + "zero_points"] = np.array(
+            [layer.input_params.zero_point, layer.mid_params.zero_point,
+             layer.output_params.zero_point]
+        )
     np.savez_compressed(path, **arrays)
 
 
@@ -116,6 +120,12 @@ def load_quantized_model(path: str) -> QuantizedMobileNet:
             idx, in_size, stride, d, kk = (int(v) for v in data[p + "spec"])
             spec = DSCLayerSpec(idx, in_size, stride, d, kk)
             scales = data[p + "scales"]
+            # Archives written before affine support carry no zero-points;
+            # those models are symmetric, so default to 0.
+            if p + "zero_points" in data:
+                zps = [int(v) for v in data[p + "zero_points"]]
+            else:
+                zps = [0, 0, 0]
             layers.append(
                 QuantizedDSCLayer(
                     spec=spec,
@@ -125,15 +135,23 @@ def load_quantized_model(path: str) -> QuantizedMobileNet:
                         k_raw=data[p + "dwc_k"].copy(),
                         b_raw=data[p + "dwc_b"].copy(),
                         relu=True,
+                        relu_floor=zps[1],
                     ),
                     pwc_nonconv=NonConvParams(
                         k_raw=data[p + "pwc_k"].copy(),
                         b_raw=data[p + "pwc_b"].copy(),
                         relu=True,
+                        relu_floor=zps[2],
                     ),
-                    input_params=QuantParams(float(scales[0]), signed=False),
-                    mid_params=QuantParams(float(scales[1]), signed=False),
-                    output_params=QuantParams(float(scales[2]), signed=False),
+                    input_params=QuantParams(
+                        float(scales[0]), signed=False, zero_point=zps[0]
+                    ),
+                    mid_params=QuantParams(
+                        float(scales[1]), signed=False, zero_point=zps[1]
+                    ),
+                    output_params=QuantParams(
+                        float(scales[2]), signed=False, zero_point=zps[2]
+                    ),
                 )
             )
 

@@ -1,0 +1,75 @@
+"""Request-level serving simulation over a fleet of EDEA accelerators.
+
+The paper measures single-inference latency; this package asks the
+deployment question: what p50/p95/p99 latency, sustained QPS, and
+utilization does a *fleet* of these accelerators deliver under real
+traffic?  It composes the repository's existing layers — fastpath
+analytic latencies as service times, :mod:`repro.nn.zoo` geometries as
+heterogeneous workloads, :mod:`repro.parallel` for sweeps — into a
+discrete-event simulator with pluggable arrival processes, scheduling
+policies, and per-instance batching.
+
+Quick start::
+
+    from repro.serve import ServingScenario, simulate
+
+    report = simulate(ServingScenario(instances=4, policy="affinity"))
+    print(report.latency_p99_s, report.sustained_qps)
+"""
+
+from .arrival import (
+    BurstyArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    make_arrivals,
+)
+from .fleet import Batch, Fleet, Instance, Request
+from .policies import (
+    POLICIES,
+    AffinityPolicy,
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    SchedulingPolicy,
+    make_policy,
+)
+from .profile import (
+    SCENARIO_MIXES,
+    ScenarioMix,
+    ServiceProfile,
+    build_mix,
+    service_profile,
+)
+from .simulator import ServingReport, ServingScenario, simulate
+from .sweep import (
+    policy_fleet_sweep,
+    serving_sweep,
+    throughput_latency_curve,
+)
+
+__all__ = [
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "TraceArrivals",
+    "make_arrivals",
+    "Request",
+    "Batch",
+    "Instance",
+    "Fleet",
+    "SchedulingPolicy",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "AffinityPolicy",
+    "POLICIES",
+    "make_policy",
+    "ServiceProfile",
+    "service_profile",
+    "ScenarioMix",
+    "SCENARIO_MIXES",
+    "build_mix",
+    "ServingScenario",
+    "ServingReport",
+    "simulate",
+    "serving_sweep",
+    "policy_fleet_sweep",
+    "throughput_latency_curve",
+]

@@ -1,0 +1,199 @@
+"""Request arrival processes for the serving simulator.
+
+Three traffic shapes cover the deployment stories the ROADMAP cares
+about: steady user traffic (Poisson), flash-crowd / diurnal burstiness
+(a two-state Markov-modulated Poisson process), and replayed production
+traces.  Every process is a frozen dataclass of primitives so arrival
+configurations participate in the persistent result-cache key
+(:func:`repro.parallel.cache.canonical`), and every draw goes through
+the caller's seeded generator, keeping simulations bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = [
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "TraceArrivals",
+    "make_arrivals",
+]
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Memoryless arrivals at a constant offered rate.
+
+    Attributes:
+        rate_qps: Mean arrival rate (requests per second).
+    """
+
+    rate_qps: float
+
+    def __post_init__(self) -> None:
+        if self.rate_qps <= 0:
+            raise ConfigError(
+                f"rate_qps must be positive ({self.rate_qps})"
+            )
+
+    @property
+    def mean_rate_qps(self) -> float:
+        return self.rate_qps
+
+    def times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """``n`` arrival timestamps starting at t=0 (exclusive)."""
+        if n < 1:
+            raise ConfigError(f"need at least one arrival ({n})")
+        return np.cumsum(rng.exponential(1.0 / self.rate_qps, n))
+
+
+@dataclass(frozen=True)
+class BurstyArrivals:
+    """Two-state Markov-modulated Poisson process (MMPP-2).
+
+    The process alternates between a *base* state and a *burst* state
+    with exponentially distributed dwell times; within each state
+    arrivals are Poisson at that state's rate.  The mean rate is the
+    dwell-weighted average, so a ``burst_factor`` of 4 with equal dwell
+    shares keeps the same offered load as Poisson while concentrating
+    it into bursts (higher inter-arrival CV, fatter latency tails).
+
+    Attributes:
+        rate_qps: Dwell-weighted mean rate.
+        burst_factor: Burst-state rate multiplier over the base state.
+        burst_share: Fraction of time spent in the burst state.
+        mean_dwell_s: Mean length of one burst period.
+    """
+
+    rate_qps: float
+    burst_factor: float = 4.0
+    burst_share: float = 0.2
+    mean_dwell_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.rate_qps <= 0:
+            raise ConfigError(f"rate_qps must be positive ({self.rate_qps})")
+        if self.burst_factor < 1:
+            raise ConfigError(
+                f"burst_factor must be >= 1 ({self.burst_factor})"
+            )
+        if not 0 < self.burst_share < 1:
+            raise ConfigError(
+                f"burst_share must be in (0, 1) ({self.burst_share})"
+            )
+        if self.mean_dwell_s <= 0:
+            raise ConfigError(
+                f"mean_dwell_s must be positive ({self.mean_dwell_s})"
+            )
+
+    @property
+    def mean_rate_qps(self) -> float:
+        return self.rate_qps
+
+    def _state_rates(self) -> tuple[float, float]:
+        """(base_rate, burst_rate) preserving the requested mean."""
+        # mean = base*(1-share) + base*factor*share
+        base = self.rate_qps / (
+            (1 - self.burst_share) + self.burst_factor * self.burst_share
+        )
+        return base, base * self.burst_factor
+
+    def times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n < 1:
+            raise ConfigError(f"need at least one arrival ({n})")
+        base_rate, burst_rate = self._state_rates()
+        base_dwell = (
+            self.mean_dwell_s * (1 - self.burst_share) / self.burst_share
+        )
+        out = np.empty(n)
+        t = 0.0
+        in_burst = rng.random() < self.burst_share
+        state_end = t + rng.exponential(
+            self.mean_dwell_s if in_burst else base_dwell
+        )
+        produced = 0
+        while produced < n:
+            rate = burst_rate if in_burst else base_rate
+            dt = rng.exponential(1.0 / rate)
+            if t + dt <= state_end:
+                # Poisson is memoryless: the draw is valid inside the
+                # current state's remaining dwell.
+                t += dt
+                out[produced] = t
+                produced += 1
+            else:
+                t = state_end
+                in_burst = not in_burst
+                state_end = t + rng.exponential(
+                    self.mean_dwell_s if in_burst else base_dwell
+                )
+        return out
+
+
+@dataclass(frozen=True)
+class TraceArrivals:
+    """Replay of an explicit timestamp trace.
+
+    Attributes:
+        timestamps_s: Arrival times in seconds, non-decreasing from 0.
+    """
+
+    timestamps_s: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.timestamps_s:
+            raise ConfigError("trace must contain at least one timestamp")
+        arr = np.asarray(self.timestamps_s, dtype=np.float64)
+        if np.any(arr < 0) or np.any(np.diff(arr) < 0):
+            raise ConfigError(
+                "trace timestamps must be non-negative and sorted"
+            )
+
+    @property
+    def mean_rate_qps(self) -> float:
+        span = self.timestamps_s[-1]
+        if span <= 0:
+            return float(len(self.timestamps_s))
+        return len(self.timestamps_s) / span
+
+    def times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """The first ``n`` trace entries (the trace bounds ``n``)."""
+        if not 1 <= n <= len(self.timestamps_s):
+            raise ConfigError(
+                f"trace has {len(self.timestamps_s)} arrivals, "
+                f"requested {n}"
+            )
+        return np.asarray(self.timestamps_s[:n], dtype=np.float64)
+
+
+def make_arrivals(
+    kind: str,
+    rate_qps: float,
+    burst_factor: float = 4.0,
+    trace: tuple[float, ...] | None = None,
+):
+    """Arrival-process factory keyed by CLI name.
+
+    Args:
+        kind: ``"poisson"``, ``"bursty"``, or ``"trace"``.
+        rate_qps: Offered rate (ignored for traces).
+        burst_factor: Burst multiplier for the bursty process.
+        trace: Timestamps for ``kind="trace"``.
+    """
+    if kind == "poisson":
+        return PoissonArrivals(rate_qps)
+    if kind == "bursty":
+        return BurstyArrivals(rate_qps, burst_factor=burst_factor)
+    if kind == "trace":
+        if trace is None:
+            raise ConfigError("trace arrivals need timestamps")
+        return TraceArrivals(tuple(float(t) for t in trace))
+    raise ConfigError(
+        f"unknown arrival process {kind!r} "
+        "(known: poisson, bursty, trace)"
+    )

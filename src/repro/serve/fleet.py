@@ -1,0 +1,180 @@
+"""Requests, accelerator instances, and the fleet they form.
+
+Each instance models one EDEA accelerator behind its own FIFO batching
+queue: requests wait until a batch launches (full, or the head request
+has waited the configured maximum), then stream through the accelerator
+back to back — the design has no inter-image parallelism, so a batch's
+benefit is amortizing the model-switch weight load, not parallel
+compute.  The fleet is just the indexed collection a scheduling policy
+chooses from.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from .profile import ServiceProfile
+
+__all__ = ["Request", "Batch", "Instance", "Fleet"]
+
+
+@dataclass
+class Request:
+    """One inference request travelling through the serving system.
+
+    Attributes:
+        index: Submission order (also the tiebreaker in event ordering).
+        model: Zoo model name.
+        profile: Service profile of that model.
+        arrival: Arrival timestamp in seconds.
+        start: Service start (batch launch), -1 until served.
+        finish: Completion timestamp, -1 until served.
+    """
+
+    index: int
+    model: str
+    profile: ServiceProfile
+    arrival: float
+    start: float = -1.0
+    finish: float = -1.0
+
+    @property
+    def latency(self) -> float:
+        """Arrival-to-completion latency."""
+        return self.finish - self.arrival
+
+    @property
+    def queue_wait(self) -> float:
+        """Arrival-to-launch wait."""
+        return self.start - self.arrival
+
+
+@dataclass(frozen=True)
+class Batch:
+    """A same-model run of requests launched together."""
+
+    requests: tuple[Request, ...]
+
+    @property
+    def model(self) -> str:
+        return self.requests[0].model
+
+    @property
+    def profile(self) -> ServiceProfile:
+        return self.requests[0].profile
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+@dataclass
+class Instance:
+    """One accelerator instance with its FIFO batching queue.
+
+    Attributes:
+        index: Position in the fleet.
+        busy_until: Completion time of the in-flight batch (<= now when
+            idle).
+        loaded_model: Model whose weights are resident (None when cold).
+        queue: Waiting requests in arrival order.
+        busy_seconds: Accumulated service time (utilization numerator).
+        served: Completed request count.
+        batches: Launched batch count.
+        setups: Model switches paid (weight reloads).
+        queued_seconds: Running sum of the queued requests' per-image
+            service times (kept incrementally so scheduling decisions
+            stay O(1) even when a queue grows long under overload).
+    """
+
+    index: int
+    busy_until: float = 0.0
+    loaded_model: str | None = None
+    queue: deque = field(default_factory=deque)
+    busy_seconds: float = 0.0
+    served: int = 0
+    batches: int = 0
+    setups: int = 0
+    queued_seconds: float = 0.0
+
+    def enqueue(self, request: Request) -> None:
+        self.queue.append(request)
+        self.queued_seconds += request.profile.per_image_seconds
+
+    def is_idle(self, now: float) -> bool:
+        return self.busy_until <= now
+
+    def queue_depth(self) -> int:
+        return len(self.queue)
+
+    def pending_seconds(self, now: float) -> float:
+        """Work the instance still owes: in-flight remainder + queued
+        service time (model-switch costs excluded — they depend on the
+        batching outcome, and the estimate only ranks instances)."""
+        return max(0.0, self.busy_until - now) + max(
+            0.0, self.queued_seconds
+        )
+
+    def next_batch(self, max_batch: int) -> Batch:
+        """The batch that would launch now: the longest same-model run
+        at the queue head, capped at ``max_batch`` (FIFO order is never
+        violated — a different model behind the head waits its turn)."""
+        if not self.queue:
+            raise ConfigError("no queued requests to batch")
+        head_model = self.queue[0].model
+        members = []
+        for request in self.queue:
+            if request.model != head_model or len(members) == max_batch:
+                break
+            members.append(request)
+        return Batch(requests=tuple(members))
+
+    def launch(self, batch: Batch, now: float) -> float:
+        """Start serving ``batch``; returns its completion time.
+
+        Images stream sequentially, so the i-th request of the batch
+        finishes after ``setup + (i+1) * per_image`` — completion times
+        inside a batch are staggered, not simultaneous.
+        """
+        for _ in batch.requests:
+            popped = self.queue.popleft()
+            self.queued_seconds -= popped.profile.per_image_seconds
+        if not self.queue:
+            self.queued_seconds = 0.0  # shed float residue when empty
+        cold = self.loaded_model != batch.model
+        profile = batch.profile
+        setup = profile.setup_seconds if cold else 0.0
+        per_image = profile.per_image_seconds
+        for i, request in enumerate(batch.requests):
+            request.start = now
+            request.finish = now + setup + (i + 1) * per_image
+        service = batch.profile.batch_seconds(len(batch), cold)
+        self.busy_until = now + service
+        self.busy_seconds += service
+        self.served += len(batch)
+        self.batches += 1
+        if cold:
+            self.setups += 1
+        self.loaded_model = batch.model
+        return self.busy_until
+
+
+class Fleet:
+    """An indexed collection of :class:`Instance` objects."""
+
+    def __init__(self, instances: int) -> None:
+        if instances < 1:
+            raise ConfigError(
+                f"fleet needs at least one instance ({instances})"
+            )
+        self.instances = [Instance(index=i) for i in range(instances)]
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def __iter__(self):
+        return iter(self.instances)
+
+    def __getitem__(self, index: int) -> Instance:
+        return self.instances[index]

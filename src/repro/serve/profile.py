@@ -1,0 +1,223 @@
+"""Per-model service-time profiles for the serving simulator.
+
+A serving request's service time on one accelerator instance is the
+fastpath network latency: the closed-form per-layer cycle counts of
+:func:`repro.sim.pipeline.layer_latency` (validated cycle-for-cycle
+against the event-driven model) summed over the model's DSC stack.
+Profiles are pure geometry — no training, calibration, or tensors — so
+any :mod:`repro.nn.zoo` entry can join a traffic mix instantly.
+
+Model switches are not free: an instance that last served a different
+network must stream that model's weights and Non-Conv constants from
+external memory before the first image of the batch.  The profile
+carries the weight footprint and converts it to a setup latency at a
+configurable external bandwidth, which is what makes network-affinity
+scheduling worth having in mixed-model traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.params import EDEA_CONFIG, ArchConfig
+from ..errors import ConfigError
+from ..nn.mobilenet import DSCLayerSpec
+from ..nn.zoo import zoo_specs
+from ..sim.pipeline import layer_latency
+
+__all__ = [
+    "ServiceProfile",
+    "service_profile",
+    "ScenarioMix",
+    "SCENARIO_MIXES",
+    "build_mix",
+]
+
+#: Q8.16 Non-Conv constants are 24-bit values, two (k, b) per channel.
+_NONCONV_BYTES_PER_CHANNEL = 2 * 3
+
+#: Default external-memory bandwidth for weight streaming (bytes/s).
+DEFAULT_WEIGHT_BANDWIDTH = 8e9
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """Deterministic service-time model of one network on one instance.
+
+    Attributes:
+        name: Zoo model name.
+        layer_cycles: Per-layer fastpath latency in cycles.
+        weight_bytes: int8 weights + Q8.16 constants the instance must
+            stream on a model switch.
+        clock_hz: Accelerator clock for cycle-to-seconds conversion.
+        weight_bandwidth: External bandwidth for the switch transfer.
+    """
+
+    name: str
+    layer_cycles: tuple[int, ...]
+    weight_bytes: int
+    clock_hz: float = EDEA_CONFIG.clock_hz
+    weight_bandwidth: float = DEFAULT_WEIGHT_BANDWIDTH
+
+    @property
+    def total_cycles(self) -> int:
+        """Network latency of one image in cycles."""
+        return sum(self.layer_cycles)
+
+    @property
+    def per_image_seconds(self) -> float:
+        """Service time of one image (fastpath latency)."""
+        return self.total_cycles / self.clock_hz
+
+    @property
+    def setup_seconds(self) -> float:
+        """Weight-streaming latency paid on a model switch."""
+        return self.weight_bytes / self.weight_bandwidth
+
+    def batch_seconds(self, batch_size: int, cold: bool) -> float:
+        """Service time of a batch (no inter-image parallelism: the EDEA
+        design runs one DSC layer across both engines, so images stream
+        back to back; ``cold`` adds the model-switch setup)."""
+        if batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1 ({batch_size})")
+        setup = self.setup_seconds if cold else 0.0
+        return setup + batch_size * self.per_image_seconds
+
+
+def service_profile(
+    name: str,
+    specs: list[DSCLayerSpec] | None = None,
+    config: ArchConfig = EDEA_CONFIG,
+    weight_bandwidth: float = DEFAULT_WEIGHT_BANDWIDTH,
+) -> ServiceProfile:
+    """Build the :class:`ServiceProfile` of a zoo model (or explicit specs).
+
+    Args:
+        name: Zoo model name (resolved via
+            :func:`repro.nn.zoo.zoo_specs` when ``specs`` is omitted).
+        specs: Optional explicit layer geometry.
+        config: Architecture parameters (clock, tiling).
+        weight_bandwidth: External bandwidth for model-switch transfers.
+    """
+    if weight_bandwidth <= 0:
+        raise ConfigError(
+            f"weight_bandwidth must be positive ({weight_bandwidth})"
+        )
+    if specs is None:
+        specs = zoo_specs(name)
+    cycles = tuple(
+        layer_latency(spec, config).total_cycles for spec in specs
+    )
+    k2 = config.kernel_size**2
+    weight_bytes = sum(
+        spec.in_channels * k2  # int8 depthwise kernels
+        + spec.out_channels * spec.in_channels  # int8 pointwise kernels
+        + _NONCONV_BYTES_PER_CHANNEL
+        * (spec.in_channels + spec.out_channels)  # folded (k, b) pairs
+        for spec in specs
+    )
+    return ServiceProfile(
+        name=name,
+        layer_cycles=cycles,
+        weight_bytes=weight_bytes,
+        clock_hz=config.clock_hz,
+        weight_bandwidth=weight_bandwidth,
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioMix:
+    """A weighted set of models sharing one serving fleet.
+
+    Attributes:
+        name: Mix name (CLI handle).
+        profiles: One :class:`ServiceProfile` per model.
+        weights: Sampling weight per model, normalized to sum 1.
+    """
+
+    name: str
+    profiles: tuple[ServiceProfile, ...]
+    weights: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.profiles) != len(self.weights) or not self.profiles:
+            raise ConfigError("mix needs matching, non-empty profiles")
+        if any(w <= 0 for w in self.weights):
+            raise ConfigError("mix weights must be positive")
+
+    @property
+    def model_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.profiles)
+
+    def profile(self, name: str) -> ServiceProfile:
+        for p in self.profiles:
+            if p.name == name:
+                return p
+        raise ConfigError(f"model {name!r} not in mix {self.name!r}")
+
+    def mean_service_seconds(self) -> float:
+        """Traffic-weighted mean per-image service time."""
+        total = sum(self.weights)
+        return (
+            sum(
+                w * p.per_image_seconds
+                for w, p in zip(self.weights, self.profiles)
+            )
+            / total
+        )
+
+    def sample(self, rng) -> str:
+        """Draw a model name with the mix's weights."""
+        total = sum(self.weights)
+        u = rng.random() * total
+        acc = 0.0
+        for w, p in zip(self.weights, self.profiles):
+            acc += w
+            if u < acc:
+                return p.name
+        return self.profiles[-1].name
+
+
+#: Named scenario mixes: model name -> sampling weight.
+SCENARIO_MIXES: dict[str, dict[str, float]] = {
+    "v1-224": {"mobilenet-v1-224": 1.0},
+    "v2-dsc": {"mobilenet-v2-dsc": 1.0},
+    "edge": {"edge-tiny": 1.0},
+    # Heterogeneous traffic: heavyweight classification, mid-size V2
+    # blocks, and a light edge model with a ~50x service-time spread.
+    "mixed": {
+        "mobilenet-v1-224": 0.4,
+        "mobilenet-v2-dsc": 0.3,
+        "edge-tiny": 0.3,
+    },
+}
+
+
+def build_mix(
+    name: str,
+    config: ArchConfig = EDEA_CONFIG,
+    weight_bandwidth: float = DEFAULT_WEIGHT_BANDWIDTH,
+) -> ScenarioMix:
+    """Materialize a named mix into profiles under ``config``.
+
+    Raises:
+        ConfigError: On an unknown mix name.
+    """
+    try:
+        weighting = SCENARIO_MIXES[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIO_MIXES))
+        raise ConfigError(
+            f"unknown scenario mix {name!r} (known: {known})"
+        ) from None
+    models = sorted(weighting)
+    return ScenarioMix(
+        name=name,
+        profiles=tuple(
+            service_profile(
+                m, config=config, weight_bandwidth=weight_bandwidth
+            )
+            for m in models
+        ),
+        weights=tuple(weighting[m] for m in models),
+    )

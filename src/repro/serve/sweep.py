@@ -1,0 +1,85 @@
+"""Serving sweeps through the parallel executor and result cache.
+
+Scenario grids — scheduling policies x fleet sizes, or offered-load
+ladders for throughput-latency curves — fan out through
+:class:`repro.parallel.ParallelExecutor`.  Each
+:class:`~repro.serve.simulator.ServingScenario` is a frozen dataclass
+of primitives, so it canonicalizes into a stable content key and warm
+reruns of a sweep are served entirely from the persistent cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from ..errors import ConfigError
+from ..parallel.cache import ResultCache
+from ..parallel.executor import ParallelExecutor
+from .simulator import ServingReport, ServingScenario, simulate
+
+__all__ = [
+    "serving_sweep",
+    "policy_fleet_sweep",
+    "throughput_latency_curve",
+]
+
+
+def serving_sweep(
+    scenarios: Sequence[ServingScenario],
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+) -> list[ServingReport]:
+    """Simulate many scenarios, fanned out and cached.
+
+    Args:
+        scenarios: The scenario grid, in output order.
+        jobs: Worker processes (1 = serial, None/0 = all CPUs).
+        cache: Persistent result cache; identical scenarios are
+            simulated once across runs.
+    """
+    if not scenarios:
+        raise ConfigError("serving_sweep needs at least one scenario")
+    executor = ParallelExecutor(jobs=jobs, cache=cache)
+    return executor.map_cached(
+        "serving_point", simulate, [(s,) for s in scenarios]
+    )
+
+
+def policy_fleet_sweep(
+    base: ServingScenario,
+    policies: Sequence[str],
+    instance_counts: Sequence[int],
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+) -> list[ServingReport]:
+    """Cross every policy with every fleet size (row-major order).
+
+    The offered rate is whatever ``base`` specifies: an explicit QPS
+    holds the workload constant across fleet sizes (how much does
+    adding instances help at this traffic?), while ``qps=None`` scales
+    it with capacity (how does each policy behave at constant load?).
+    """
+    if not policies or not instance_counts:
+        raise ConfigError("sweep needs policies and instance counts")
+    grid = [
+        dataclasses.replace(base, policy=policy, instances=count)
+        for policy in policies
+        for count in instance_counts
+    ]
+    return serving_sweep(grid, jobs=jobs, cache=cache)
+
+
+def throughput_latency_curve(
+    base: ServingScenario,
+    qps_values: Sequence[float],
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+) -> list[ServingReport]:
+    """Sample the throughput-latency curve at explicit offered rates."""
+    if not qps_values:
+        raise ConfigError("curve needs at least one offered rate")
+    grid = [
+        dataclasses.replace(base, qps=float(qps)) for qps in qps_values
+    ]
+    return serving_sweep(grid, jobs=jobs, cache=cache)

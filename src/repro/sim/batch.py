@@ -16,6 +16,7 @@ import numpy as np
 from ..arch.params import EDEA_CONFIG, ArchConfig
 from ..errors import ShapeError
 from ..quant.qmodel import QuantizedMobileNet
+from ..quant.scheme import dequantize
 from .runner import AcceleratorRunner
 from .stats import NetworkRunStats
 
@@ -103,9 +104,9 @@ def run_batch(
         per_image.append(
             NetworkRunStats(layers=layer_stats, clock_hz=config.clock_hz)
         )
-        x = x_q[np.newaxis].astype(np.float64) * (
-            qmodel.layers[-1].output_params.scale
-        )
+        # Full affine dequantization: scale-only would shift every logit
+        # for asymmetric output quantization (nonzero zero-point).
+        x = dequantize(x_q[np.newaxis], qmodel.layers[-1].output_params)
         pooled = qmodel.head_pool.forward(x)
         all_logits.append(qmodel.head_linear.forward(pooled)[0])
     return BatchResult(

@@ -9,14 +9,17 @@ asserts this).  This module rebuilds a :class:`LayerRunStats` from the
 closed-form model plus vectorized tensor statistics, roughly 40x faster
 per network than the event-driven run.
 
-Exact by construction (bit-for-bit equal to the event model on the
-evenly divisible MobileNet geometries): cycles, initiation cycles, busy
-cycles, MAC counts, element counts, tile/group counts, buffer access
-totals, external traffic, and — where the engine windows form a regular
-grid over the padded input — the zero counts themselves, via one
-vectorized sliding-window pass.  Geometries that don't grid-align fall
-back to whole-tensor zero fractions, which land within a fraction of a
-percent — plenty for the activity-dependent power model.
+Exact by construction (bit-for-bit equal to the event model on every
+geometry, divisible or not): cycles, initiation cycles, busy cycles, MAC
+counts, element counts, tile/group counts, buffer access totals, external
+traffic, and the zero counts themselves — the engine windows form a
+ceil-grid over the (zero-extended) padded input, recovered with one
+vectorized sliding-window pass, and the edge intermediate tiles the
+Non-Conv stage produces beyond the output map are recomputed with the
+same integer arithmetic the engines use.  The test suite asserts parity
+against the event-driven model for every zoo geometry, including the
+stride/pad edge layers whose zero statistics a whole-tensor fraction
+would inflate with the unread padding ring.
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ import numpy as np
 from ..arch.accelerator import LayerRunStats
 from ..arch.params import EDEA_CONFIG, ArchConfig
 from ..errors import SimulationError
+from ..nn import functional as F
 from ..quant.qmodel import QuantizedDSCLayer
 from .pipeline import layer_latency
 
@@ -95,35 +99,81 @@ def analytic_layer_stats(
     window_entries = cfg.td * span_y * span_x
     mid_tile_entries = cfg.td * cfg.tn * cfg.tm
 
+    # Resident window extents: edge windows of non-divisible maps are
+    # clipped at their tile's buffered extent and zero-filled to the
+    # engine geometry — only the resident elements are ifmap-buffer
+    # reads (the fill is wired, not fetched).
+    def resident_spans(tile_out: int, span: int) -> int:
+        total = 0
+        for i in range(math.ceil(out_size / tile_out)):
+            o = i * tile_out
+            t0 = (o // edge) * edge
+            tile_len = min(edge, out_size - t0)
+            tile_end = t0 * stride + (tile_len - 1) * stride + k
+            total += min(span, tile_end - o * stride)
+        return total
+
+    resident_h = resident_spans(cfg.tn, span_y)
+    resident_w = resident_spans(cfg.tm, span_x)
+
     dwc_elements = dwc_invocations * window_entries
     pwc_elements = pwc_invocations * mid_tile_entries
 
-    # Zero statistics.  On evenly divisible geometry the engine windows
-    # form a regular grid over the padded input, so the exact counts come
-    # from one vectorized sliding-window pass; otherwise fall back to
-    # whole-tensor fractions (halo re-reads preserve the mix closely).
+    # Zero statistics — exact for every geometry, matching the event model
+    # window for window.  The engine windows form a ceil-grid over the
+    # padded input: one window per (Tn, Tm) output position, starting at
+    # multiples of (Tn*stride, Tm*stride) with extent (span_y, span_x).
+    # Edge windows of non-divisible maps are clipped at the consumed
+    # region and zero-filled to the fixed engine geometry; bottom/right
+    # padding the engine never consumes (stride-2 layers read only
+    # (N-1)*stride + k rows of the padded map) is excluded because the
+    # grid stops at the last real output position.  Zero-extending the
+    # padded map therefore reproduces every streamed window's content:
+    # whole-tensor fractions would instead inflate the zero statistic
+    # with the unread padding ring.
     pad = (k - 1) // 2
     padded = np.pad(x_q, ((0, 0), (pad, pad), (pad, pad)), mode="constant")
-    divisible = out_size % cfg.tn == 0 and out_size % cfg.tm == 0
-    grid_fits = (
-        divisible
-        and (out_size - 1) * stride + k <= padded.shape[1]
-        and (out_size - 1) * stride + k <= padded.shape[2]
-    )
-    if grid_fits:
-        windows = np.lib.stride_tricks.sliding_window_view(
-            padded, (span_y, span_x), axis=(1, 2)
+    pos_rows = math.ceil(out_size / cfg.tn)
+    pos_cols = math.ceil(out_size / cfg.tm)
+    need_h = (pos_rows * cfg.tn - 1) * stride + k
+    need_w = (pos_cols * cfg.tm - 1) * stride + k
+    grow_h = max(0, need_h - padded.shape[1])
+    grow_w = max(0, need_w - padded.shape[2])
+    if grow_h or grow_w:
+        padded = np.pad(
+            padded, ((0, 0), (0, grow_h), (0, grow_w)), mode="constant"
         )
-        grid = windows[:, :: cfg.tn * stride, :: cfg.tm * stride][
-            :, : out_size // cfg.tn, : out_size // cfg.tm
-        ]
-        # The grid spans all D channels, so every channel group's windows
-        # are already included exactly once.
-        dwc_zeros = int(np.count_nonzero(grid == 0))
-        pwc_zeros = n_kernel_groups * int(np.count_nonzero(mid_q == 0))
+    windows = np.lib.stride_tricks.sliding_window_view(
+        padded, (span_y, span_x), axis=(1, 2)
+    )
+    grid = windows[:, :: cfg.tn * stride, :: cfg.tm * stride][
+        :, :pos_rows, :pos_cols
+    ]
+    # The grid spans all D channels, so every channel group's windows
+    # are already included exactly once.
+    dwc_zeros = int(np.count_nonzero(grid == 0))
+
+    # PWC input tiles are always the full Td x Tn x Tm intermediate the
+    # Non-Conv stage produced — including, at edge positions, the values
+    # it computes for output rows/cols beyond the map.  Recover those by
+    # rerunning the integer DWC + Non-Conv over the zero-extended input
+    # (bit-identical to what the engines stream); divisible maps skip
+    # the extra convolution since mid_q already covers every position.
+    full_h = pos_rows * cfg.tn
+    full_w = pos_cols * cfg.tm
+    if (full_h, full_w) == (out_size, out_size):
+        mid_zeros = int(np.count_nonzero(mid_q == 0))
     else:
-        dwc_zeros = int(round(dwc_elements * float(np.mean(padded == 0))))
-        pwc_zeros = int(round(pwc_elements * float(np.mean(mid_q == 0))))
+        acc = F.depthwise_conv2d(
+            padded[np.newaxis].astype(np.int64),
+            layer.dwc_weight.astype(np.int64),
+            None,
+            stride=stride,
+            padding=0,
+        )[0, :, :full_h, :full_w]
+        mid_ext = layer.dwc_nonconv.apply(acc, channel_axis=0)
+        mid_zeros = int(np.count_nonzero(mid_ext == 0))
+    pwc_zeros = n_kernel_groups * mid_zeros
 
     # Buffer access totals, mirroring the event model invocation for
     # invocation (fills count as writes, drains are free).
@@ -133,7 +183,7 @@ def analytic_layer_stats(
     pwc_group_entries = cfg.tk * cfg.td
     buffer_accesses = {
         "dwc_ifmap": n_channel_groups * ifmap_fill_entries
-        + dwc_invocations * window_entries,
+        + n_channel_groups * cfg.td * resident_h * resident_w,
         "dwc_weight": n_channel_groups * dwc_weight_entries
         + dwc_invocations * dwc_weight_entries,
         "offline": n_channel_groups * offline_entries

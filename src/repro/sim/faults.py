@@ -134,6 +134,7 @@ def inject_weight_fault(
             b_raw=np.asarray(dwc_nc.b_raw),
             relu=dwc_nc.relu,
             fmt=dwc_nc.fmt,
+            relu_floor=dwc_nc.relu_floor,
         )
     else:  # pwc_k
         pwc_nc = NonConvParams(
@@ -141,6 +142,7 @@ def inject_weight_fault(
             b_raw=np.asarray(pwc_nc.b_raw),
             relu=pwc_nc.relu,
             fmt=pwc_nc.fmt,
+            relu_floor=pwc_nc.relu_floor,
         )
     return QuantizedDSCLayer(
         spec=layer.spec,

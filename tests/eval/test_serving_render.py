@@ -1,0 +1,61 @@
+"""Serving report/sweep/curve rendering."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval import (
+    render_serving_report,
+    render_serving_sweep,
+    render_throughput_latency,
+)
+from repro.serve import ServingScenario, simulate
+
+
+@pytest.fixture(scope="module")
+def report():
+    return simulate(ServingScenario(requests=500, instances=2, seed=8))
+
+
+class TestRenderServingReport:
+    def test_contains_headline_metrics(self, report):
+        text = render_serving_report(report)
+        for fragment in (
+            "Serving report",
+            "sustained QPS",
+            "latency p50 (ms)",
+            "latency p99 (ms)",
+            "Per-instance utilization",
+            "Traffic mix",
+        ):
+            assert fragment in text
+
+    def test_one_utilization_bar_per_instance(self, report):
+        text = render_serving_report(report)
+        assert text.count("inst ") == report.instances
+
+
+class TestRenderSweepAndCurve:
+    def test_sweep_rows(self, report):
+        other = simulate(
+            ServingScenario(
+                requests=500, instances=4, policy="affinity", seed=8
+            )
+        )
+        text = render_serving_sweep([report, other])
+        assert "Serving sweep (2 scenarios" in text
+        assert "least-loaded" in text and "affinity" in text
+
+    def test_curve_sorted_by_offered_qps(self, report):
+        lighter = simulate(
+            ServingScenario(requests=500, instances=2, qps=500.0, seed=8)
+        )
+        text = render_throughput_latency([report, lighter])
+        assert text.index("500.0") < text.index(
+            f"{report.offered_qps:,.1f}"
+        )
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(EvaluationError):
+            render_serving_sweep([])
+        with pytest.raises(EvaluationError):
+            render_throughput_latency([])

@@ -122,3 +122,65 @@ class TestResultCache:
         cache.put(key, None)
         assert cache.contains(key)
         assert cache.lookup(key) is None
+
+
+class TestTornEntries:
+    """Concurrent readers (``--jobs > 1``) and killed sweeps must never
+    crash on a partially visible disk entry: writes are atomic (temp file
+    + ``os.replace``), unreadable entries are misses, and the next write
+    repairs them for every later reader."""
+
+    def _truncate(self, cache, key):
+        path = cache._path(key)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        return path
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        key = make_key("k", x="torn")
+        writer = ResultCache(tmp_path)
+        writer.put(key, {"value": list(range(100))})
+        self._truncate(writer, key)
+        reader = ResultCache(tmp_path)
+        assert reader.lookup(key) is None
+        assert (reader.hits, reader.misses) == (0, 1)
+
+    def test_truncated_entry_is_repaired(self, tmp_path):
+        key = make_key("k", x="repair")
+        writer = ResultCache(tmp_path)
+        writer.put(key, "good")
+        self._truncate(writer, key)
+        reader = ResultCache(tmp_path)
+        assert (
+            reader.get_or_compute(key, lambda: "recomputed") == "recomputed"
+        )
+        # The torn file was dropped and atomically rewritten: a fresh
+        # instance (fresh memory tier) now reads the repaired entry.
+        fresh = ResultCache(tmp_path)
+        assert fresh.lookup(key) == "recomputed"
+        assert fresh.hits == 1
+
+    def test_corrupt_file_dropped_on_read(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = make_key("k", x="drop")
+        cache.put(key, 1)
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle at all")
+        assert not ResultCache(tmp_path).contains(key)
+        assert not path.exists()
+
+    def test_writes_are_atomic_no_temp_droppings(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(make_key("k", x=1), list(range(1000)))
+        assert list(tmp_path.rglob(".tmp-*")) == []
+        assert len(list(tmp_path.rglob("*.pkl"))) == 1
+
+    def test_clear_sweeps_stale_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = make_key("k", x=1)
+        cache.put(key, "v")
+        bucket = cache._path(key).parent
+        (bucket / ".tmp-killed.pkl").write_bytes(b"partial")
+        cache.clear()
+        assert list(bucket.glob(".tmp-*")) == []
+        assert list(bucket.glob("*.pkl")) == []

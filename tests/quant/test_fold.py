@@ -215,3 +215,95 @@ class TestCustomFormats:
         err_coarse = np.abs(coarse.k_float() - exact_k).max()
         err_fine = np.abs(fine.k_float() - exact_k).max()
         assert err_fine <= err_coarse
+
+
+class TestAffineOutput:
+    """Asymmetric (nonzero zero-point) output quantization folding."""
+
+    def test_zero_point_lands_in_offset_and_floor(self, rng):
+        bn = make_bn(rng, 8)
+        symmetric = derive_nonconv_params(
+            QuantParams(0.05, signed=False),
+            QuantParams(0.01),
+            bn,
+            QuantParams(0.04, signed=False),
+        )
+        affine = derive_nonconv_params(
+            QuantParams(0.05, signed=False),
+            QuantParams(0.01),
+            bn,
+            QuantParams(0.04, signed=False, zero_point=12),
+        )
+        assert affine.relu_floor == 12
+        np.testing.assert_array_equal(affine.k_raw, symmetric.k_raw)
+        # b absorbs the zero-point: shifted by exactly 12 in Q8.16.
+        np.testing.assert_array_equal(
+            affine.b_raw - symmetric.b_raw,
+            np.full(8, Q8_16.to_fixed(12.0)),
+        )
+
+    def test_relu_clamps_at_zero_point_code(self, rng):
+        bn = make_bn(rng, 4)
+        out = QuantParams(0.04, signed=False, zero_point=12)
+        nc = derive_nonconv_params(
+            QuantParams(0.05, signed=False), QuantParams(0.01), bn, out
+        )
+        very_negative = np.full((4, 3, 3), -(10**6), dtype=np.int64)
+        clamped = nc.apply(very_negative)
+        # Real zero is code 12, so that is where the ReLU clamp lands;
+        # clamping at code 0 would decode to a negative real value.
+        np.testing.assert_array_equal(clamped, np.full((4, 3, 3), 12))
+
+    def test_matches_unfolded_affine_chain_within_rounding(self, rng):
+        from repro.quant import quantize
+
+        bn = make_bn(rng, 6)
+        s_in, s_w = 0.05, 0.01
+        out = QuantParams(0.04, signed=False, zero_point=20)
+        nc = derive_nonconv_params(
+            QuantParams(s_in, signed=False), QuantParams(s_w), bn, out
+        )
+        acc = rng.integers(-3000, 3000, size=(6, 5, 5))
+        folded = nc.apply(acc).astype(np.int64)
+
+        v = acc * (s_in * s_w)
+        inv_std = 1.0 / np.sqrt(bn.var + bn.eps)
+        shape = (-1, 1, 1)
+        v = (bn.gamma * inv_std).reshape(shape) * (
+            v - bn.mean.reshape(shape)
+        ) + bn.beta.reshape(shape)
+        expected = quantize(np.maximum(v, 0.0), out).astype(np.int64)
+        assert np.max(np.abs(folded - expected)) <= 1  # Q8.16 rounding
+
+    def test_decoded_relu_output_is_nonnegative(self, rng):
+        from repro.quant import dequantize
+
+        bn = make_bn(rng, 4)
+        out = QuantParams(0.04, signed=False, zero_point=30)
+        nc = derive_nonconv_params(
+            QuantParams(0.05, signed=False), QuantParams(0.01), bn, out
+        )
+        acc = rng.integers(-5000, 5000, size=(4, 7, 7))
+        assert np.all(dequantize(nc.apply(acc), out) >= 0.0)
+
+    def test_affine_conv_input_rejected(self, rng):
+        """An affine conv *input* would leave an uncorrected
+        z_in * sum(w_q) term in every accumulator — refuse to fold."""
+        bn = make_bn(rng, 4)
+        with pytest.raises(QuantizationError):
+            derive_nonconv_params(
+                QuantParams(0.05, signed=False, zero_point=3),
+                QuantParams(0.01),
+                bn,
+                QuantParams(0.04, signed=False),
+            )
+
+    def test_affine_weights_rejected(self, rng):
+        bn = make_bn(rng, 4)
+        with pytest.raises(QuantizationError):
+            derive_nonconv_params(
+                QuantParams(0.05, signed=False),
+                QuantParams(0.01, zero_point=2),
+                bn,
+                QuantParams(0.04, signed=False),
+            )

@@ -126,3 +126,40 @@ class TestPercentileObserver:
         pct = PercentileObserver(percentile=100.0)
         pct.observe(data)
         assert pct.compute_params().scale == pytest.approx(4.0 / 127)
+
+
+class TestAffineQuantParams:
+    def test_real_zero_maps_to_zero_point_code(self):
+        params = QuantParams(0.5, signed=False, zero_point=10)
+        assert quantize(np.array([0.0]), params)[0] == 10
+
+    def test_affine_roundtrip_on_grid(self):
+        params = QuantParams(0.5, signed=False, zero_point=10)
+        values = np.array([-5.0, -0.5, 0.0, 0.5, 3.0, 58.5])
+        recovered = dequantize(quantize(values, params), params)
+        np.testing.assert_allclose(recovered, values)
+
+    def test_scale_only_dequant_would_shift(self):
+        """The affine dequant differs from q*s by exactly z*s."""
+        params = QuantParams(0.25, signed=False, zero_point=16)
+        q = quantize(np.array([1.0, 2.0]), params)
+        scale_only = q.astype(np.float64) * params.scale
+        np.testing.assert_allclose(
+            scale_only - dequantize(q, params),
+            params.zero_point * params.scale,
+        )
+
+    def test_zero_point_outside_range_rejected(self):
+        with pytest.raises(QuantizationError):
+            QuantParams(0.5, signed=False, zero_point=-1)
+        with pytest.raises(QuantizationError):
+            QuantParams(0.5, zero_point=200)
+
+    def test_non_integer_zero_point_rejected(self):
+        with pytest.raises(QuantizationError):
+            QuantParams(0.5, zero_point=1.5)
+
+    def test_clipping_respects_shifted_range(self):
+        params = QuantParams(1.0, signed=False, zero_point=100)
+        q = quantize(np.array([-200.0, 200.0]), params)
+        assert q[0] == 0 and q[1] == 127

@@ -1,0 +1,101 @@
+"""Arrival processes: statistics, determinism, validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve import (
+    BurstyArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    make_arrivals,
+)
+
+
+class TestPoisson:
+    def test_mean_rate(self):
+        rng = np.random.default_rng(7)
+        times = PoissonArrivals(100.0).times(20_000, rng)
+        mean_inter = float(np.mean(np.diff(times)))
+        assert mean_inter == pytest.approx(0.01, rel=0.05)
+
+    def test_sorted_and_positive(self):
+        times = PoissonArrivals(50.0).times(500, np.random.default_rng(1))
+        assert np.all(times > 0)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_deterministic_per_seed(self):
+        a = PoissonArrivals(10.0).times(100, np.random.default_rng(5))
+        b = PoissonArrivals(10.0).times(100, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigError):
+            PoissonArrivals(0.0)
+
+    def test_rejects_zero_requests(self):
+        with pytest.raises(ConfigError):
+            PoissonArrivals(1.0).times(0, np.random.default_rng(0))
+
+
+class TestBursty:
+    def test_preserves_mean_rate(self):
+        rng = np.random.default_rng(11)
+        proc = BurstyArrivals(1000.0, burst_factor=4.0, burst_share=0.2)
+        times = proc.times(50_000, rng)
+        realized = len(times) / times[-1]
+        assert realized == pytest.approx(1000.0, rel=0.1)
+
+    def test_burstier_than_poisson(self):
+        """The MMPP inter-arrival CV must exceed the Poisson CV of 1."""
+        rng = np.random.default_rng(13)
+        proc = BurstyArrivals(1000.0, burst_factor=8.0, burst_share=0.1)
+        inter = np.diff(proc.times(50_000, rng))
+        cv = float(np.std(inter) / np.mean(inter))
+        assert cv > 1.15
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigError):
+            BurstyArrivals(100.0, burst_factor=0.5)
+        with pytest.raises(ConfigError):
+            BurstyArrivals(100.0, burst_share=1.5)
+        with pytest.raises(ConfigError):
+            BurstyArrivals(100.0, mean_dwell_s=0.0)
+
+
+class TestTrace:
+    def test_replays_prefix(self):
+        proc = TraceArrivals((0.0, 0.5, 1.0, 2.5))
+        np.testing.assert_array_equal(
+            proc.times(3, np.random.default_rng(0)), [0.0, 0.5, 1.0]
+        )
+
+    def test_mean_rate(self):
+        assert TraceArrivals((0.0, 1.0, 2.0)).mean_rate_qps == 1.5
+
+    def test_rejects_unsorted_or_negative(self):
+        with pytest.raises(ConfigError):
+            TraceArrivals((1.0, 0.5))
+        with pytest.raises(ConfigError):
+            TraceArrivals((-1.0, 0.5))
+        with pytest.raises(ConfigError):
+            TraceArrivals(())
+
+    def test_rejects_overrun(self):
+        with pytest.raises(ConfigError):
+            TraceArrivals((0.0, 1.0)).times(3, np.random.default_rng(0))
+
+
+class TestFactory:
+    def test_known_kinds(self):
+        assert isinstance(make_arrivals("poisson", 10.0), PoissonArrivals)
+        assert isinstance(make_arrivals("bursty", 10.0), BurstyArrivals)
+        assert isinstance(
+            make_arrivals("trace", 10.0, trace=(0.0, 1.0)), TraceArrivals
+        )
+
+    def test_unknown_kind_and_missing_trace(self):
+        with pytest.raises(ConfigError):
+            make_arrivals("uniform", 10.0)
+        with pytest.raises(ConfigError):
+            make_arrivals("trace", 10.0)

@@ -1,0 +1,91 @@
+"""Scheduling policies against hand-built fleet states."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve import (
+    Fleet,
+    Request,
+    make_policy,
+    service_profile,
+)
+
+EDGE = service_profile("edge-tiny")
+V1 = service_profile("mobilenet-v1-224")
+
+
+def req(index=0, model="edge-tiny", profile=EDGE, arrival=0.0):
+    return Request(
+        index=index, model=model, profile=profile, arrival=arrival
+    )
+
+
+class TestRoundRobin:
+    def test_cycles_in_order(self):
+        fleet = Fleet(3)
+        policy = make_policy("round-robin")
+        picks = [policy.choose(req(i), fleet, 0.0) for i in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_reset_restarts(self):
+        fleet = Fleet(2)
+        policy = make_policy("round-robin")
+        policy.choose(req(0), fleet, 0.0)
+        policy.reset()
+        assert policy.choose(req(1), fleet, 0.0) == 0
+
+
+class TestLeastLoaded:
+    def test_prefers_idle_instance(self):
+        fleet = Fleet(3)
+        fleet[0].busy_until = 1.0
+        fleet[2].busy_until = 0.5
+        policy = make_policy("least-loaded")
+        assert policy.choose(req(), fleet, now=0.0) == 1
+
+    def test_counts_queued_work_in_seconds(self):
+        """One queued heavyweight request outweighs two light ones."""
+        fleet = Fleet(2)
+        fleet[0].enqueue(req(0, "mobilenet-v1-224", V1))
+        fleet[1].enqueue(req(1, "edge-tiny", EDGE))
+        fleet[1].enqueue(req(2, "edge-tiny", EDGE))
+        policy = make_policy("least-loaded")
+        assert policy.choose(req(3), fleet, now=0.0) == 1
+
+    def test_ties_break_by_index(self):
+        fleet = Fleet(4)
+        policy = make_policy("least-loaded")
+        assert policy.choose(req(), fleet, now=0.0) == 0
+
+
+class TestAffinity:
+    def test_prefers_warm_instance_within_setup_budget(self):
+        fleet = Fleet(2)
+        fleet[0].loaded_model = "edge-tiny"
+        # Instance 0 slightly busier, but by less than one weight load.
+        fleet[0].busy_until = 0.5 * EDGE.setup_seconds
+        policy = make_policy("affinity")
+        assert policy.choose(req(model="edge-tiny"), fleet, 0.0) == 0
+
+    def test_abandons_warm_instance_when_detour_too_costly(self):
+        fleet = Fleet(2)
+        fleet[0].loaded_model = "edge-tiny"
+        fleet[0].busy_until = 10 * EDGE.setup_seconds
+        policy = make_policy("affinity")
+        assert policy.choose(req(model="edge-tiny"), fleet, 0.0) == 1
+
+    def test_falls_back_to_least_loaded_when_cold(self):
+        fleet = Fleet(3)
+        fleet[0].busy_until = 1.0
+        policy = make_policy("affinity")
+        assert policy.choose(req(model="edge-tiny"), fleet, 0.0) == 1
+
+
+class TestFactory:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            make_policy("random")
+
+    def test_known_names(self):
+        for name in ("round-robin", "least-loaded", "affinity"):
+            assert make_policy(name).name == name

@@ -1,0 +1,87 @@
+"""Service profiles and scenario mixes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve import SCENARIO_MIXES, build_mix, service_profile
+from repro.sim import AcceleratorRunner
+from repro.sim.pipeline import layer_latency
+
+
+class TestServiceProfile:
+    def test_cycles_are_fastpath_layer_latencies(self):
+        profile = service_profile("mobilenet-v1-224")
+        from repro.nn.zoo import mobilenet_v1_imagenet_specs
+
+        expected = [
+            layer_latency(s).total_cycles
+            for s in mobilenet_v1_imagenet_specs()
+        ]
+        assert list(profile.layer_cycles) == expected
+        assert profile.total_cycles == sum(expected)
+
+    def test_matches_fast_runner_on_workload(self, small_workload):
+        """Profile cycles from pure specs equal what the fast runner
+        measures executing the actual quantized network."""
+        profile = service_profile(
+            "small",
+            specs=[layer.spec for layer in small_workload.qmodel.layers],
+        )
+        runner = AcceleratorRunner(
+            small_workload.qmodel, verify=False, fast=True
+        )
+        run = runner.run_network(small_workload.images[0])
+        assert profile.total_cycles == run.total_cycles
+
+    def test_batch_seconds(self):
+        profile = service_profile("edge-tiny")
+        warm = profile.batch_seconds(4, cold=False)
+        cold = profile.batch_seconds(4, cold=True)
+        assert warm == pytest.approx(4 * profile.per_image_seconds)
+        assert cold == pytest.approx(warm + profile.setup_seconds)
+        with pytest.raises(ConfigError):
+            profile.batch_seconds(0, cold=False)
+
+    def test_setup_time_scales_with_bandwidth(self):
+        slow = service_profile("edge-tiny", weight_bandwidth=1e9)
+        fast = service_profile("edge-tiny", weight_bandwidth=4e9)
+        assert slow.setup_seconds == pytest.approx(4 * fast.setup_seconds)
+        with pytest.raises(ConfigError):
+            service_profile("edge-tiny", weight_bandwidth=0.0)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigError):
+            service_profile("resnet-50")
+
+
+class TestScenarioMix:
+    def test_every_named_mix_builds(self):
+        for name in SCENARIO_MIXES:
+            mix = build_mix(name)
+            assert mix.profiles
+            assert mix.mean_service_seconds() > 0
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ConfigError):
+            build_mix("nope")
+
+    def test_mixed_traffic_is_heterogeneous(self):
+        mix = build_mix("mixed")
+        times = [p.per_image_seconds for p in mix.profiles]
+        assert max(times) / min(times) > 5
+
+    def test_sampling_follows_weights(self):
+        mix = build_mix("mixed")
+        rng = np.random.default_rng(3)
+        draws = [mix.sample(rng) for _ in range(20_000)]
+        total = sum(mix.weights)
+        for name, weight in zip(mix.model_names, mix.weights):
+            frac = draws.count(name) / len(draws)
+            assert frac == pytest.approx(weight / total, abs=0.02)
+
+    def test_profile_lookup(self):
+        mix = build_mix("v1-224")
+        assert mix.profile("mobilenet-v1-224").name == "mobilenet-v1-224"
+        with pytest.raises(ConfigError):
+            mix.profile("edge-tiny")

@@ -1,0 +1,96 @@
+"""Serving sweeps through the parallel executor and result cache."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.parallel import ResultCache
+from repro.serve import (
+    ServingScenario,
+    policy_fleet_sweep,
+    serving_sweep,
+    simulate,
+    throughput_latency_curve,
+)
+
+BASE = ServingScenario(requests=800, seed=1)
+
+
+class TestServingSweep:
+    def test_results_in_submission_order(self):
+        scenarios = [
+            dataclasses.replace(BASE, instances=n) for n in (1, 2, 4)
+        ]
+        reports = serving_sweep(scenarios)
+        assert [r.instances for r in reports] == [1, 2, 4]
+        assert reports[0] == simulate(scenarios[0])
+
+    def test_parallel_matches_serial(self):
+        scenarios = [
+            dataclasses.replace(BASE, instances=n) for n in (1, 2, 3, 4)
+        ]
+        assert serving_sweep(scenarios, jobs=2) == serving_sweep(scenarios)
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ConfigError):
+            serving_sweep([])
+
+    def test_warm_cache_serves_everything(self, tmp_path):
+        scenarios = [
+            dataclasses.replace(BASE, policy=p)
+            for p in ("round-robin", "least-loaded")
+        ]
+        cold = serving_sweep(scenarios, cache=ResultCache(tmp_path))
+        warm_cache = ResultCache(tmp_path)
+        warm = serving_sweep(scenarios, cache=warm_cache)
+        assert warm == cold
+        assert warm_cache.hits == len(scenarios)
+        assert warm_cache.misses == 0
+
+    def test_scenario_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        serving_sweep([BASE], cache=cache)
+        fresh = ResultCache(tmp_path)
+        serving_sweep(
+            [dataclasses.replace(BASE, seed=2)], cache=fresh
+        )
+        assert fresh.misses == 1
+
+
+class TestPolicyFleetSweep:
+    def test_grid_row_major(self):
+        reports = policy_fleet_sweep(
+            BASE, ["round-robin", "affinity"], [1, 2]
+        )
+        assert [(r.policy, r.instances) for r in reports] == [
+            ("round-robin", 1),
+            ("round-robin", 2),
+            ("affinity", 1),
+            ("affinity", 2),
+        ]
+
+    def test_rejects_empty_axes(self):
+        with pytest.raises(ConfigError):
+            policy_fleet_sweep(BASE, [], [1])
+        with pytest.raises(ConfigError):
+            policy_fleet_sweep(BASE, ["affinity"], [])
+
+
+class TestThroughputLatencyCurve:
+    def test_latency_grows_along_the_curve(self):
+        reports = throughput_latency_curve(
+            dataclasses.replace(BASE, instances=2, requests=4_000),
+            [1_000.0, 2_000.0, 3_500.0],
+        )
+        assert [round(r.offered_qps) for r in reports] == [
+            1_000,
+            2_000,
+            3_500,
+        ]
+        p99s = [r.latency_p99_s for r in reports]
+        assert all(a <= b for a, b in zip(p99s, p99s[1:]))
+
+    def test_rejects_empty_curve(self):
+        with pytest.raises(ConfigError):
+            throughput_latency_curve(BASE, [])

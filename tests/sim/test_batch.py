@@ -60,3 +60,56 @@ class TestRunBatch:
         result = BatchResult(logits=np.zeros((0, 10)))
         assert result.frames_per_second == 0.0
         assert result.throughput_gops == 0.0
+
+
+class TestAffineDequant:
+    def test_logits_use_full_affine_dequant(self, small_workload):
+        """Regression: the final feature map must be dequantized with the
+        full affine transform ``(q - zero_point) * scale`` — scale-only
+        shifts every logit when the output quantization is asymmetric."""
+        import dataclasses
+
+        from repro.quant.qmodel import QuantizedMobileNet
+        from repro.quant.scheme import QuantParams, dequantize
+
+        qm = small_workload.qmodel
+        last = qm.layers[-1]
+        shifted_params = QuantParams(
+            last.output_params.scale,
+            signed=last.output_params.signed,
+            zero_point=5,
+        )
+        shifted = QuantizedMobileNet(
+            stem=qm.stem,
+            input_params=qm.input_params,
+            layers=[
+                *qm.layers[:-1],
+                dataclasses.replace(last, output_params=shifted_params),
+            ],
+            head_pool=qm.head_pool,
+            head_linear=qm.head_linear,
+        )
+        images = small_workload.images[:2]
+        result = run_batch(shifted, images)
+
+        # Expected logits: the int8 codes are unchanged (the Non-Conv
+        # constants produce them), only their decoding shifts by -z*s.
+        x_q = shifted.stem_forward(images)
+        for layer in shifted.layers:
+            _, x_q = layer.forward(x_q)
+        expected = shifted.head_linear.forward(
+            shifted.head_pool.forward(dequantize(x_q, shifted_params))
+        )
+        assert not np.allclose(
+            expected,
+            shifted.head_linear.forward(
+                shifted.head_pool.forward(
+                    x_q.astype(np.float64) * shifted_params.scale
+                )
+            ),
+        ), "test setup must distinguish affine from scale-only dequant"
+        np.testing.assert_allclose(result.logits, expected)
+        # And the batch path agrees with the reference model's forward.
+        np.testing.assert_allclose(
+            result.logits, shifted.forward(images)
+        )

@@ -1,0 +1,130 @@
+"""Fastpath vs event-driven parity across every zoo geometry.
+
+The analytic fast-latency model claims bit-for-bit ``LayerRunStats``
+parity with the event-driven accelerator on *any* DSC geometry —
+including stride-2 and non-divisible (7x7-style) maps whose edge windows
+the engines zero-fill.  These tests sweep the unique spatial geometries
+of every :mod:`repro.nn.zoo` factory (MobileNetV1-224, the MobileNetV2
+DSC view, and a custom odd-sized stack) through both models with
+synthetic quantized layers (channel counts clamped to one Td/Tk group so
+the event model stays fast; zero statistics are spatial, not
+channel-count, effects).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.arch.accelerator import DSCAccelerator
+from repro.fixedpoint import Q8_16
+from repro.nn.mobilenet import DSCLayerSpec
+from repro.nn.zoo import (
+    custom_dsc_specs,
+    mobilenet_v1_imagenet_specs,
+    mobilenet_v2_dsc_specs,
+)
+from repro.quant.fold import NonConvParams
+from repro.quant.qmodel import QuantizedDSCLayer
+from repro.quant.scheme import QuantParams
+from repro.sim import analytic_layer_stats
+
+
+def _geometries(specs):
+    return sorted({(s.in_size, s.stride) for s in specs})
+
+
+#: A deliberately odd-sized custom stack: 30 -> 30 -> 15 -> 8 -> 8.
+CUSTOM_PLAN = [(1, 8, 16), (2, 16, 16), (2, 16, 16), (1, 16, 16)]
+
+ZOO_GEOMETRIES = sorted(
+    set(_geometries(mobilenet_v1_imagenet_specs()))
+    | set(_geometries(mobilenet_v2_dsc_specs()))
+    | set(_geometries(custom_dsc_specs(30, CUSTOM_PLAN)))
+)
+
+
+def make_synthetic_layer(spec: DSCLayerSpec, rng) -> QuantizedDSCLayer:
+    """A quantized DSC layer with random weights and Non-Conv constants.
+
+    No training or calibration: the parity claim is about integer
+    arithmetic and scheduling, so any in-range constants exercise it.
+    The ReLU in both Non-Conv stages guarantees a healthy zero mix in
+    the intermediate tensor (the statistic under test).
+    """
+    d, k = spec.in_channels, spec.out_channels
+    params = QuantParams(0.05, signed=False)
+    return QuantizedDSCLayer(
+        spec=spec,
+        dwc_weight=rng.integers(-4, 5, size=(d, 3, 3)).astype(np.int8),
+        pwc_weight=rng.integers(-4, 5, size=(k, d)).astype(np.int8),
+        dwc_nonconv=NonConvParams(
+            k_raw=np.asarray(
+                Q8_16.to_fixed(rng.uniform(0.002, 0.02, d)), dtype=np.int64
+            ),
+            b_raw=np.asarray(
+                Q8_16.to_fixed(rng.uniform(-1.5, 1.5, d)), dtype=np.int64
+            ),
+            relu=True,
+        ),
+        pwc_nonconv=NonConvParams(
+            k_raw=np.asarray(
+                Q8_16.to_fixed(rng.uniform(0.002, 0.02, k)), dtype=np.int64
+            ),
+            b_raw=np.asarray(
+                Q8_16.to_fixed(rng.uniform(-1.5, 1.5, k)), dtype=np.int64
+            ),
+            relu=True,
+        ),
+        input_params=params,
+        mid_params=params,
+        output_params=params,
+    )
+
+
+def make_input(spec: DSCLayerSpec, rng) -> np.ndarray:
+    """Post-ReLU int8 input with ~25% zeros (drives the zero gating)."""
+    shape = (spec.in_channels, spec.in_size, spec.in_size)
+    values = rng.integers(1, 60, size=shape)
+    return (values * (rng.random(shape) > 0.25)).astype(np.int8)
+
+
+def _run_both(spec: DSCLayerSpec):
+    rng = np.random.default_rng(1000 * spec.in_size + spec.stride)
+    layer = make_synthetic_layer(spec, rng)
+    x_q = make_input(spec, rng)
+    out_event, stats_event = DSCAccelerator().run_layer(layer, x_q)
+    mid_ref, out_ref = layer.forward(x_q[np.newaxis])
+    assert np.array_equal(out_event, out_ref[0])
+    stats_fast = analytic_layer_stats(layer, x_q, mid_ref[0])
+    return stats_event, stats_fast
+
+
+@pytest.mark.parametrize("in_size,stride", ZOO_GEOMETRIES)
+def test_zoo_geometry_stats_bit_for_bit(in_size, stride):
+    """Every LayerRunStats field matches the event model exactly."""
+    spec = DSCLayerSpec(0, in_size, stride, 8, 16)
+    stats_event, stats_fast = _run_both(spec)
+    assert dataclasses.asdict(stats_event) == dataclasses.asdict(stats_fast)
+
+
+def test_stride2_pad_edge_zero_parity_regression():
+    """Regression: on a stride-2 14->7 layer the engines never read the
+    bottom/right padding row, and the 7x7 map's edge windows are
+    zero-filled per tile.  A whole-tensor zero fraction over the padded
+    input inflated ``dwc_input_zeros`` relative to the event model."""
+    spec = DSCLayerSpec(0, 14, 2, 8, 16)
+    stats_event, stats_fast = _run_both(spec)
+    assert stats_fast.dwc_input_zeros == stats_event.dwc_input_zeros
+    assert stats_fast.pwc_input_zeros == stats_event.pwc_input_zeros
+    assert stats_fast.dwc_input_elements == stats_event.dwc_input_elements
+    assert stats_fast.pwc_input_elements == stats_event.pwc_input_elements
+
+
+def test_odd_map_zero_parity_regression():
+    """Regression: non-divisible 7x7 stride-1 maps (MobileNetV1-224's
+    last stage) also fell back to the inflated whole-tensor fraction."""
+    spec = DSCLayerSpec(0, 7, 1, 8, 16)
+    stats_event, stats_fast = _run_both(spec)
+    assert stats_fast.dwc_input_zeros == stats_event.dwc_input_zeros
+    assert stats_fast.pwc_input_zeros == stats_event.pwc_input_zeros

@@ -136,3 +136,95 @@ class TestParser:
         with pytest.raises(SystemExit) as excinfo:
             parser.parse_args(["--version"])
         assert excinfo.value.code == 0
+
+
+class TestServeCommand:
+    def test_serve_prints_report(self):
+        code, text = run_cli(
+            "serve", "--requests", "300", "--instances", "2",
+            "--policy", "least-loaded",
+        )
+        assert code == 0
+        assert "Serving report" in text
+        assert "latency p99 (ms)" in text
+        assert "Per-instance utilization" in text
+        assert "inst 1" in text
+
+    def test_serve_policy_sweep_through_cache(self, tmp_path):
+        args = (
+            "serve", "--requests", "200",
+            "--sweep-policies", "round-robin,least-loaded",
+            "--sweep-instances", "1,2",
+            "--cache-dir", str(tmp_path),
+        )
+        code, text = run_cli(*args)
+        assert code == 0
+        assert "Serving sweep (4 scenarios" in text
+        # Warm rerun is served from the cache and prints identically.
+        code2, text2 = run_cli(*args)
+        assert code2 == 0
+        assert text2 == text
+        assert list(tmp_path.rglob("*.pkl"))
+
+    def test_serve_curve(self):
+        code, text = run_cli(
+            "serve", "--requests", "400", "--instances", "2",
+            "--curve-qps", "500,1500",
+        )
+        assert code == 0
+        assert "Throughput-latency curve" in text
+        assert "p99 latency vs offered QPS" in text
+
+    def test_serve_trace_arrival(self, tmp_path):
+        trace = tmp_path / "trace.txt"
+        trace.write_text("".join(f"{i * 0.002}\n" for i in range(50)))
+        code, text = run_cli(
+            "serve", "--arrival", "trace",
+            "--trace-file", str(trace), "--instances", "1",
+        )
+        assert code == 0
+        assert "requests |       50" in text.replace("  ", "  ")
+
+    def test_serve_trace_without_file_fails_cleanly(self):
+        code, _ = run_cli("serve", "--arrival", "trace")
+        assert code == 1
+
+    def test_serve_bad_trace_file_fails_cleanly(self, tmp_path):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("not-a-number\n")
+        code, _ = run_cli(
+            "serve", "--arrival", "trace", "--trace-file", str(bad)
+        )
+        assert code == 1
+
+    def test_serve_bursty(self):
+        code, text = run_cli(
+            "serve", "--arrival", "bursty", "--requests", "300",
+            "--burst-factor", "6",
+        )
+        assert code == 0
+        assert "arrival=bursty" in text
+
+    def test_serve_curve_conflicts_with_sweep(self):
+        code, _ = run_cli(
+            "serve", "--curve-qps", "100,200",
+            "--sweep-policies", "affinity",
+        )
+        assert code == 1
+
+    def test_serve_trace_offered_rate_covers_played_prefix_only(
+        self, tmp_path
+    ):
+        """A dense 10-request prefix of a long sparse trace must report
+        the prefix's rate, not the whole trace's mean."""
+        trace = tmp_path / "trace.txt"
+        dense = [f"{i * 0.001}\n" for i in range(10)]
+        sparse = [f"{1000.0 + i}\n" for i in range(90)]
+        trace.write_text("".join(dense + sparse))
+        code, text = run_cli(
+            "serve", "--arrival", "trace", "--trace-file", str(trace),
+            "--requests", "10", "--instances", "1",
+        )
+        assert code == 0
+        # 10 requests over 9 ms ~ 1111 QPS; whole trace would be ~0.1.
+        assert "offered QPS | 1,111.10" in text
