@@ -1,0 +1,72 @@
+"""Control-plane performance trajectory: energy vs p99 Pareto frontier.
+
+Records the static energy/SLO design space (voltage x fleet size) and
+the controlled-simulation wall-clock so future PRs inherit an
+energy-efficiency baseline: each ``extra_info`` point carries energy,
+p99, and attainment, plus which points sit on the Pareto frontier.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.control import (
+    ControlScenario,
+    SLOClass,
+    pareto_frontier,
+    simulate_controlled,
+    static_frontier_sweep,
+)
+
+BASE = ControlScenario(
+    requests=4_000,
+    qps=2_500.0,
+    instances=4,
+    slo_classes=(SLOClass("svc", deadline_ms=50.0, target=0.95),),
+    shedding="queue-depth",
+    queue_threshold=64,
+    seed=42,
+)
+
+VOLTAGES = (0.6, 0.7, 0.8)
+FLEET_SIZES = (2, 4)
+
+
+@pytest.mark.benchmark(group="control")
+def test_bench_controlled_simulation(benchmark):
+    """Wall-clock of one 4k-request controlled run (shedding + SLOs)."""
+    report = benchmark(simulate_controlled, BASE)
+    assert report.offered_requests == 4_000
+    benchmark.extra_info["slo_attainment"] = round(
+        report.slo_attainment, 4
+    )
+    benchmark.extra_info["energy_mj"] = round(
+        1e3 * report.energy_joules, 3
+    )
+    benchmark.extra_info["latency_p99_ms"] = round(
+        1e3 * report.latency_p99_s, 3
+    )
+
+
+@pytest.mark.benchmark(group="control")
+def test_bench_energy_p99_pareto_trajectory(benchmark):
+    """The energy-vs-p99 frontier, recorded for future comparison."""
+    base = dataclasses.replace(BASE, requests=1_500)
+
+    def run_frontier():
+        return static_frontier_sweep(base, VOLTAGES, FLEET_SIZES)
+
+    reports = benchmark(run_frontier)
+    assert len(reports) == len(VOLTAGES) * len(FLEET_SIZES)
+    frontier = pareto_frontier(reports)
+    assert frontier  # a non-trivial frontier always exists
+    labels = [f"{v}Vx{n}" for v in VOLTAGES for n in FLEET_SIZES]
+    benchmark.extra_info["points"] = {
+        labels[i]: {
+            "energy_mj": round(1e3 * r.energy_joules, 3),
+            "p99_ms": round(1e3 * r.latency_p99_s, 3),
+            "attainment": round(r.slo_attainment, 4),
+        }
+        for i, r in enumerate(reports)
+    }
+    benchmark.extra_info["pareto"] = [labels[i] for i in frontier]

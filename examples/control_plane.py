@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""The SLO-aware control plane: shedding, autoscaling, and the
+energy/SLO Pareto frontier.
+
+Plays four control stories end to end:
+
+1. an overloaded single instance (rho ~ 2.3) with and without
+   queue-depth shedding — graceful degradation vs an unbounded queue,
+2. priority-preemptive shedding under the default three-tier SLO
+   classes — urgent traffic keeps its deadlines while batch work pays,
+3. a bursty workload served by a static max-size fleet vs the
+   utilization autoscaler — same SLO attainment, fewer joules,
+4. the static (voltage x fleet size) energy/SLO frontier, fanned out
+   through the parallel executor with Pareto points starred.
+
+Usage::
+
+    python examples/control_plane.py [jobs] [cache_dir]
+"""
+
+import dataclasses
+import sys
+
+from repro.control import (
+    ControlScenario,
+    SLOClass,
+    pareto_frontier,
+    simulate_controlled,
+    static_frontier_sweep,
+)
+from repro.eval import render_control_report, render_control_sweep
+from repro.parallel import ResultCache
+
+
+def main() -> None:
+    jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 1
+    cache = ResultCache(sys.argv[2]) if len(sys.argv) > 2 else None
+
+    # 1. Overload: shedding keeps the admitted tail bounded.
+    overload = ControlScenario(
+        mix="v1-224",
+        qps=2_000.0,
+        requests=4_000,
+        instances=1,
+        max_batch=1,
+        slo_classes=(SLOClass("only", deadline_ms=50.0),),
+        seed=5,
+    )
+    for shedding in ("none", "queue-depth"):
+        report = simulate_controlled(
+            dataclasses.replace(
+                overload, shedding=shedding, queue_threshold=16
+            )
+        )
+        print(
+            f"rho~2.3, shedding={shedding:11s}  "
+            f"p99={1e3 * report.latency_p99_s:8.1f} ms  "
+            f"shed={report.shed_requests}/{report.offered_requests}"
+        )
+    print()
+
+    # 2. Priority classes under pressure: who keeps their SLO?
+    print(
+        render_control_report(
+            simulate_controlled(
+                ControlScenario(
+                    qps=7_000.0,
+                    requests=8_000,
+                    shedding="priority",
+                    queue_threshold=32,
+                    seed=7,
+                )
+            )
+        )
+    )
+    print()
+
+    # 3. Autoscaler vs static fleet on bursty traffic.
+    bursty = ControlScenario(
+        arrival="bursty",
+        qps=500.0,
+        requests=6_000,
+        instances=4,
+        slo_classes=(SLOClass("lax", deadline_ms=250.0, target=0.95),),
+        seed=21,
+    )
+    static = simulate_controlled(bursty)
+    auto = simulate_controlled(
+        dataclasses.replace(
+            bursty, autoscale="utilization", min_instances=1
+        )
+    )
+    for name, report in (("static x4", static), ("autoscaled", auto)):
+        print(
+            f"{name:11s} attainment={report.slo_attainment:.3f}  "
+            f"energy={1e3 * report.energy_joules:7.1f} mJ  "
+            f"mean active={report.mean_active_instances:.2f}"
+        )
+    print()
+
+    # 4. The static energy/SLO frontier (voltage x fleet size).
+    base = dataclasses.replace(bursty, arrival="poisson", qps=2_000.0)
+    voltages, sizes = (0.6, 0.7, 0.8), (1, 2, 4)
+    reports = static_frontier_sweep(
+        base, voltages, sizes, jobs=jobs, cache=cache
+    )
+    labels = [f"{v:.2f}V x{n}" for v in voltages for n in sizes]
+    print(
+        render_control_sweep(
+            reports, labels, pareto_frontier(reports)
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

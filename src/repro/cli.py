@@ -12,8 +12,18 @@ Commands:
   fleet (arrival process, scheduling policy, batching; reports
   p50/p95/p99 latency, sustained QPS, per-instance utilization; can
   sweep policies x fleet sizes or sample a throughput-latency curve).
+  SLO flags (``--slo-classes``/``--shedding``/``--autoscale``) route
+  the run through the control plane.
+* ``control`` — SLO-aware control plane over the serving fleet:
+  deadline/priority classes, admission control and load shedding,
+  DVFS-heterogeneous fleets with energy accounting, autoscaling
+  governors, and energy-vs-attainment governor sweeps with Pareto
+  marking.
 * ``info`` — print the library's headline reproduction summary.
 * ``report`` — check every reproduced claim against the paper.
+
+``serve`` and ``control`` accept ``--json PATH`` to also write the
+report(s) machine-readably for external tooling.
 
 Performance flags (each registered only where it has an effect):
 
@@ -38,16 +48,38 @@ Examples::
     repro serve --sweep-policies round-robin,least-loaded,affinity \
         --sweep-instances 1,2,4 --jobs 4 --cache-dir /tmp/repro-cache
     repro serve --curve-qps 1000,2000,4000,6000,8000
+    repro control --shedding priority --queue-threshold 32 --json out.json
+    repro control --autoscale utilization --min-instances 1
+    repro control --fleet 0.8x2,0.6x2        # DVFS-heterogeneous fleet
+    repro control --sweep-voltages 0.6,0.7,0.8 --sweep-fleet-sizes 1,2,4
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from . import __version__
+from .control import (
+    DEFAULT_SLO_CLASSES,
+    GOVERNORS,
+    SHEDDING_POLICIES,
+    ControlScenario,
+    governor_sweep,
+    pareto_frontier,
+    parse_fleet_spec,
+    parse_slo_classes,
+    simulate_controlled,
+    static_frontier_sweep,
+)
 from .errors import ReproError
 from .eval import list_experiments, prepare_workload, run_experiment
+from .eval.control import (
+    render_control_report,
+    render_control_sweep,
+    report_to_dict,
+)
 from .eval.paper_data import PAPER_HEADLINE
 from .eval.report import render_table
 from .eval.serving import (
@@ -94,6 +126,83 @@ def _add_performance_flags(
             help="analytic fast-latency mode for measured workloads "
                  "(aggregate latency/energy only)",
         )
+
+
+def _add_traffic_flags(parser: argparse.ArgumentParser) -> None:
+    """Data-plane scenario flags shared by ``serve`` and ``control``."""
+    parser.add_argument(
+        "--mix", default="mixed", choices=sorted(SCENARIO_MIXES),
+        help="traffic scenario mix (default: mixed)",
+    )
+    parser.add_argument(
+        "--arrival", default="poisson",
+        choices=["poisson", "bursty", "trace"],
+        help="arrival process (default: poisson)",
+    )
+    parser.add_argument(
+        "--qps", type=float, default=None,
+        help="offered rate; omitted = 70%% of fleet capacity",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=10_000,
+        help="requests to simulate (default: 10000)",
+    )
+    parser.add_argument(
+        "--instances", type=int, default=4,
+        help="fleet size (default: 4)",
+    )
+    parser.add_argument(
+        "--policy", default="least-loaded", choices=sorted(POLICIES),
+        help="scheduling policy (default: least-loaded)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=8,
+        help="largest same-model batch per launch (default: 8)",
+    )
+    parser.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="longest a queue head waits to fill its batch (default: 2)",
+    )
+    parser.add_argument(
+        "--burst-factor", type=float, default=4.0,
+        help="burst-state rate multiplier for --arrival bursty",
+    )
+    parser.add_argument(
+        "--trace-file", default=None, metavar="PATH",
+        help="arrival timestamps (seconds, one per line) for "
+             "--arrival trace",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="simulation seed",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH", dest="json_path",
+        help="also write the report(s) as machine-readable JSON",
+    )
+
+
+def _add_slo_flags(parser: argparse.ArgumentParser) -> None:
+    """Control-plane flags (on ``serve`` they reroute the run through
+    the control simulator)."""
+    parser.add_argument(
+        "--slo-classes", default=None,
+        metavar="NAME:DEADLINE_MS[:TARGET[:PRIO[:SHARE]]],...",
+        help="SLO classes (default: interactive/standard/batch tiers)",
+    )
+    parser.add_argument(
+        "--shedding", default=None, choices=sorted(SHEDDING_POLICIES),
+        help="admission/shedding policy (default: none)",
+    )
+    parser.add_argument(
+        "--queue-threshold", type=int, default=64,
+        help="queue bound for queue-depth/priority shedding "
+             "(default: 64)",
+    )
+    parser.add_argument(
+        "--autoscale", default=None,
+        choices=sorted(GOVERNORS),
+        help="autoscaling governor (default: none)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -153,51 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="request-level serving simulation over an accelerator fleet",
     )
-    serve_parser.add_argument(
-        "--mix", default="mixed", choices=sorted(SCENARIO_MIXES),
-        help="traffic scenario mix (default: mixed)",
-    )
-    serve_parser.add_argument(
-        "--arrival", default="poisson",
-        choices=["poisson", "bursty", "trace"],
-        help="arrival process (default: poisson)",
-    )
-    serve_parser.add_argument(
-        "--qps", type=float, default=None,
-        help="offered rate; omitted = 70%% of fleet capacity",
-    )
-    serve_parser.add_argument(
-        "--requests", type=int, default=10_000,
-        help="requests to simulate (default: 10000)",
-    )
-    serve_parser.add_argument(
-        "--instances", type=int, default=4,
-        help="fleet size (default: 4)",
-    )
-    serve_parser.add_argument(
-        "--policy", default="least-loaded", choices=sorted(POLICIES),
-        help="scheduling policy (default: least-loaded)",
-    )
-    serve_parser.add_argument(
-        "--max-batch", type=int, default=8,
-        help="largest same-model batch per launch (default: 8)",
-    )
-    serve_parser.add_argument(
-        "--max-wait-ms", type=float, default=2.0,
-        help="longest a queue head waits to fill its batch (default: 2)",
-    )
-    serve_parser.add_argument(
-        "--burst-factor", type=float, default=4.0,
-        help="burst-state rate multiplier for --arrival bursty",
-    )
-    serve_parser.add_argument(
-        "--trace-file", default=None, metavar="PATH",
-        help="arrival timestamps (seconds, one per line) for "
-             "--arrival trace",
-    )
-    serve_parser.add_argument(
-        "--seed", type=int, default=0, help="simulation seed",
-    )
+    _add_traffic_flags(serve_parser)
     serve_parser.add_argument(
         "--sweep-policies", default=None, metavar="P,P,...",
         help="sweep these policies (with --sweep-instances) through "
@@ -212,7 +277,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="sample the throughput-latency curve at these offered "
              "rates",
     )
+    _add_slo_flags(serve_parser)
     _add_performance_flags(serve_parser, fast=False)
+
+    control_parser = sub.add_parser(
+        "control",
+        help="SLO-aware control plane: deadlines, shedding, DVFS "
+             "fleets, autoscaling, energy",
+    )
+    _add_traffic_flags(control_parser)
+    _add_slo_flags(control_parser)
+    control_parser.add_argument(
+        "--fleet", default=None, metavar="V[xN],...",
+        help="DVFS-heterogeneous fleet spec, e.g. 0.8x2,0.6x2 "
+             "(overrides --instances)",
+    )
+    control_parser.add_argument(
+        "--tick-ms", type=float, default=10.0,
+        help="autoscaler evaluation interval (default: 10)",
+    )
+    control_parser.add_argument(
+        "--min-instances", type=int, default=1,
+        help="autoscaler lower bound (default: 1)",
+    )
+    control_parser.add_argument(
+        "--max-instances", type=int, default=None,
+        help="autoscaler upper bound (default: fleet size)",
+    )
+    control_parser.add_argument(
+        "--util-low", type=float, default=0.3,
+        help="scale-down utilization threshold (default: 0.3)",
+    )
+    control_parser.add_argument(
+        "--util-high", type=float, default=0.85,
+        help="scale-up utilization threshold (default: 0.85)",
+    )
+    control_parser.add_argument(
+        "--target-delay-ms", type=float, default=5.0,
+        help="queue-delay governor setpoint (default: 5)",
+    )
+    control_parser.add_argument(
+        "--dvfs-ladder", default="0.6,0.7,0.8", metavar="V,V,...",
+        help="voltage ladder for --autoscale dvfs (default: 0.6,0.7,0.8)",
+    )
+    control_parser.add_argument(
+        "--sweep-governors", default=None, metavar="G,G,...",
+        help="compare these autoscaling governors on the same traffic",
+    )
+    control_parser.add_argument(
+        "--sweep-voltages", default=None, metavar="V,V,...",
+        help="static energy/SLO frontier over these voltages (with "
+             "--sweep-fleet-sizes)",
+    )
+    control_parser.add_argument(
+        "--sweep-fleet-sizes", default=None, metavar="N,N,...",
+        help="static frontier fleet sizes (with --sweep-voltages)",
+    )
+    _add_performance_flags(control_parser, fast=False)
     return parser
 
 
@@ -304,7 +425,17 @@ def _read_trace(path: str) -> tuple[float, ...]:
         ) from None
 
 
-def _serve(args, out) -> None:
+def _write_json(path: str, reports) -> None:
+    payload = {"reports": [report_to_dict(r) for r in reports]}
+    try:
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    except OSError as exc:
+        raise ReproError(f"cannot write JSON to {path}: {exc}") from exc
+
+
+def _read_trace_arg(args) -> tuple[float, ...] | None:
     trace = (
         _read_trace(args.trace_file)
         if args.trace_file is not None
@@ -312,6 +443,64 @@ def _serve(args, out) -> None:
     )
     if args.arrival == "trace" and trace is None:
         raise ReproError("--arrival trace requires --trace-file")
+    return trace
+
+
+def _control_scenario(args, trace) -> ControlScenario:
+    kwargs = dict(
+        mix=args.mix,
+        arrival=args.arrival,
+        qps=args.qps,
+        burst_factor=args.burst_factor,
+        trace=trace,
+        requests=args.requests,
+        instances=args.instances,
+        policy=args.policy,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        seed=args.seed,
+        slo_classes=(
+            parse_slo_classes(args.slo_classes)
+            if args.slo_classes
+            else DEFAULT_SLO_CLASSES
+        ),
+        shedding=args.shedding or "none",
+        queue_threshold=args.queue_threshold,
+        autoscale=args.autoscale or "none",
+    )
+    if getattr(args, "fleet", None):
+        kwargs["fleet"] = parse_fleet_spec(args.fleet)
+    # `serve` registers only the SLO flags; the governor knobs exist on
+    # `control` alone, so absent attributes fall through to the
+    # ControlScenario defaults instead of a re-hardcoded copy here.
+    for name in (
+        "tick_ms",
+        "min_instances",
+        "max_instances",
+        "util_low",
+        "util_high",
+        "target_delay_ms",
+    ):
+        if hasattr(args, name):
+            kwargs[name] = getattr(args, name)
+    if getattr(args, "dvfs_ladder", None):
+        kwargs["dvfs_ladder"] = _parse_grid(args.dvfs_ladder, float)
+    return ControlScenario(**kwargs)
+
+
+def _serve(args, out) -> None:
+    trace = _read_trace_arg(args)
+    if args.slo_classes or args.shedding or args.autoscale:
+        if args.sweep_policies or args.sweep_instances or args.curve_qps:
+            raise ReproError(
+                "SLO/control flags cannot be combined with serve "
+                "sweeps; use 'repro control' for governor sweeps"
+            )
+        report = simulate_controlled(_control_scenario(args, trace))
+        print(render_control_report(report), file=out)
+        if args.json_path:
+            _write_json(args.json_path, [report])
+        return
     scenario = ServingScenario(
         mix=args.mix,
         arrival=args.arrival,
@@ -355,7 +544,56 @@ def _serve(args, out) -> None:
         )
         print(render_throughput_latency(reports), file=out)
     else:
-        print(render_serving_report(simulate(scenario)), file=out)
+        reports = [simulate(scenario)]
+        print(render_serving_report(reports[0]), file=out)
+    if args.json_path:
+        _write_json(args.json_path, reports)
+
+
+def _control(args, out) -> None:
+    trace = _read_trace_arg(args)
+    base = _control_scenario(args, trace)
+    cache = _cache_from(args)
+    voltage_sweep = args.sweep_voltages or args.sweep_fleet_sizes
+    if args.sweep_governors and voltage_sweep:
+        raise ReproError(
+            "--sweep-governors cannot be combined with the static "
+            "--sweep-voltages/--sweep-fleet-sizes frontier; run them "
+            "separately"
+        )
+    if args.sweep_governors:
+        governors = [g for g in args.sweep_governors.split(",") if g]
+        reports = governor_sweep(
+            base, governors, jobs=args.jobs, cache=cache
+        )
+        labels = governors
+    elif voltage_sweep:
+        voltages = (
+            list(_parse_grid(args.sweep_voltages, float))
+            if args.sweep_voltages
+            else [0.8]
+        )
+        sizes = (
+            list(_parse_grid(args.sweep_fleet_sizes, int))
+            if args.sweep_fleet_sizes
+            else [args.instances]
+        )
+        reports = static_frontier_sweep(
+            base, voltages, sizes, jobs=args.jobs, cache=cache
+        )
+        labels = [f"{v:.2f}V x{n}" for v in voltages for n in sizes]
+    else:
+        report = simulate_controlled(base)
+        print(render_control_report(report), file=out)
+        if args.json_path:
+            _write_json(args.json_path, [report])
+        return
+    frontier = pareto_frontier(reports)
+    print(
+        render_control_sweep(reports, labels, frontier), file=out
+    )
+    if args.json_path:
+        _write_json(args.json_path, reports)
 
 
 def _info(out) -> None:
@@ -390,6 +628,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
             _sweep(args, out)
         elif args.command == "serve":
             _serve(args, out)
+        elif args.command == "control":
+            _control(args, out)
         elif args.command == "report":
             from .eval import render_report, reproduction_report
 

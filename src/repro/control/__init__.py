@@ -1,0 +1,87 @@
+"""SLO-aware serving control plane over the :mod:`repro.serve` data plane.
+
+The serving simulator answers "what latency does a fleet deliver?";
+this package answers the production questions layered on top: do
+requests meet their *deadlines* per priority class, what does overload
+do to the tail (admission control and load shedding), how much *energy*
+does the fleet burn at each DVFS operating point, and can an autoscaler
+buy the same SLO attainment for fewer joules?
+
+Quick start::
+
+    from repro.control import ControlScenario, simulate_controlled
+
+    report = simulate_controlled(
+        ControlScenario(shedding="priority", autoscale="utilization")
+    )
+    print(report.slo_attainment, report.energy_joules)
+"""
+
+from .autoscale import (
+    GOVERNORS,
+    DVFSGovernor,
+    Governor,
+    QueueDelayGovernor,
+    UtilizationBandGovernor,
+    make_governor,
+)
+from .hetero import (
+    NOMINAL_BUSY_POWER_W,
+    InstanceSpec,
+    apply_operating_point,
+    busy_power_w,
+    idle_power_w,
+    parse_fleet_spec,
+)
+from .simulator import ControlScenario, simulate_controlled
+from .slo import (
+    DEFAULT_SLO_CLASSES,
+    SHEDDING_POLICIES,
+    ClassStats,
+    DeadlineShedding,
+    NoShedding,
+    PriorityShedding,
+    QueueDepthShedding,
+    SheddingPolicy,
+    SLOClass,
+    make_shedder,
+    parse_slo_classes,
+)
+from .sweep import (
+    control_sweep,
+    governor_sweep,
+    pareto_frontier,
+    static_frontier_sweep,
+)
+
+__all__ = [
+    "SLOClass",
+    "ClassStats",
+    "DEFAULT_SLO_CLASSES",
+    "parse_slo_classes",
+    "SheddingPolicy",
+    "NoShedding",
+    "DeadlineShedding",
+    "QueueDepthShedding",
+    "PriorityShedding",
+    "SHEDDING_POLICIES",
+    "make_shedder",
+    "InstanceSpec",
+    "NOMINAL_BUSY_POWER_W",
+    "parse_fleet_spec",
+    "busy_power_w",
+    "idle_power_w",
+    "apply_operating_point",
+    "Governor",
+    "UtilizationBandGovernor",
+    "QueueDelayGovernor",
+    "DVFSGovernor",
+    "GOVERNORS",
+    "make_governor",
+    "ControlScenario",
+    "simulate_controlled",
+    "control_sweep",
+    "governor_sweep",
+    "static_frontier_sweep",
+    "pareto_frontier",
+]

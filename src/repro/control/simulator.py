@@ -1,0 +1,474 @@
+"""SLO-aware controlled serving simulation.
+
+:func:`simulate_controlled` plays the same discrete-event story as
+:func:`repro.serve.simulate` — arrivals, scheduling, per-instance
+batching — with the control plane wired in:
+
+* every request carries an :class:`~repro.control.slo.SLOClass`
+  (deadline, priority), drawn from the scenario's class shares;
+* an admission controller sheds or preempts at arrival, so overload
+  degrades gracefully instead of queueing unboundedly;
+* instance queues are priority-ordered, so urgent classes batch first;
+* each instance runs its own ``(ArchConfig, OperatingPoint)`` — service
+  times stretch with 1/f and busy/idle power follow the DVFS factors —
+  and integrates energy over the run;
+* an optional autoscaling governor ticks at a fixed interval, powering
+  instances up/down (warm-up = weight reload) or walking a DVFS ladder.
+
+Everything remains deterministic for a given :class:`ControlScenario`
+(a frozen dataclass of primitives), so controlled scenarios are
+cacheable content keys exactly like plain serving scenarios.
+
+Idle (leakage) energy is integrated at each instance's final operating
+point; DVFS governors re-point all active instances together, so the
+approximation only matters for the tick in which a transition lands.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arch.params import EDEA_CONFIG, ArchConfig
+from ..errors import ConfigError
+from ..power.dvfs import DVFSModel
+from ..serve.arrival import make_arrivals
+from ..serve.fleet import Fleet, Request
+from ..serve.policies import make_policy
+from ..serve.profile import DEFAULT_WEIGHT_BANDWIDTH, build_mix
+from ..serve.simulator import _ARRIVE, _WAKE, ServingReport, _maybe_launch
+from .autoscale import GOVERNORS, make_governor
+from .hetero import InstanceSpec, configure_instance
+from .slo import (
+    DEFAULT_SLO_CLASSES,
+    ClassStats,
+    SLOClass,
+    make_shedder,
+)
+
+__all__ = ["ControlScenario", "simulate_controlled"]
+
+_TICK = 3
+_EPS = 1e-12
+
+#: Default offered load (fraction of full-fleet capacity), as in serve.
+_DEFAULT_LOAD = 0.7
+
+#: Sizing governors start from the minimum fleet; pure-DVFS keeps all
+#: instances powered and only moves their frequency.
+_SIZING_GOVERNORS = ("utilization", "queue-delay")
+
+
+@dataclass(frozen=True)
+class ControlScenario:
+    """Complete, hashable description of one controlled simulation.
+
+    The data-plane fields mirror :class:`repro.serve.ServingScenario`;
+    the control-plane fields add SLO classes, shedding, the fleet's
+    per-instance specs, and the autoscaling governor.
+
+    Attributes:
+        slo_classes: Priority/deadline classes; requests draw a class
+            by ``share`` weight.
+        shedding: Admission policy name (``none``, ``deadline``,
+            ``queue-depth``, ``priority``).
+        queue_threshold: Queue-depth bound for the threshold shedders.
+        fleet: Per-instance ``(ArchConfig, OperatingPoint)`` specs;
+            None = ``instances`` copies of the nominal spec.
+        autoscale: Governor name (``none``, ``utilization``,
+            ``queue-delay``, ``dvfs``).
+        tick_ms: Governor evaluation interval.
+        min_instances / max_instances: Sizing bounds (max defaults to
+            the fleet size).
+        util_low / util_high: Band thresholds for the utilization and
+            DVFS governors.
+        target_delay_ms: Setpoint for the queue-delay governor.
+        dvfs_ladder: Voltage ladder for the DVFS governor (each run at
+            its f_max), nominal-first or any order.
+    """
+
+    mix: str = "mixed"
+    arrival: str = "poisson"
+    qps: float | None = None
+    burst_factor: float = 4.0
+    trace: tuple[float, ...] | None = None
+    requests: int = 10_000
+    instances: int = 4
+    policy: str = "least-loaded"
+    max_batch: int = 8
+    max_wait_ms: float = 2.0
+    seed: int = 0
+    config: ArchConfig = EDEA_CONFIG
+    weight_bandwidth: float = DEFAULT_WEIGHT_BANDWIDTH
+    slo_classes: tuple[SLOClass, ...] = DEFAULT_SLO_CLASSES
+    shedding: str = "none"
+    queue_threshold: int = 64
+    fleet: tuple[InstanceSpec, ...] | None = None
+    autoscale: str = "none"
+    tick_ms: float = 10.0
+    min_instances: int = 1
+    max_instances: int | None = None
+    util_low: float = 0.3
+    util_high: float = 0.85
+    target_delay_ms: float = 5.0
+    dvfs_ladder: tuple[float, ...] = (0.6, 0.7, 0.8)
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ConfigError(f"requests must be >= 1 ({self.requests})")
+        if self.fleet is not None and not self.fleet:
+            raise ConfigError("fleet spec must not be empty")
+        if self.fleet is None and self.instances < 1:
+            raise ConfigError(
+                f"instances must be >= 1 ({self.instances})"
+            )
+        if not self.slo_classes:
+            raise ConfigError("need at least one SLO class")
+        if self.max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1 ({self.max_batch})")
+        if self.max_wait_ms < 0:
+            raise ConfigError(
+                f"max_wait_ms must be >= 0 ({self.max_wait_ms})"
+            )
+        if self.qps is not None and self.qps <= 0:
+            raise ConfigError(f"qps must be positive ({self.qps})")
+        if self.tick_ms <= 0:
+            raise ConfigError(f"tick_ms must be positive ({self.tick_ms})")
+        if self.autoscale not in ("none", *GOVERNORS):
+            known = ", ".join(["none", *sorted(GOVERNORS)])
+            raise ConfigError(
+                f"unknown autoscale governor {self.autoscale!r} "
+                f"(known: {known})"
+            )
+        if self.autoscale == "dvfs" and self.fleet is not None:
+            # The governor drives one shared voltage ladder; silently
+            # overwriting per-instance operating points would simulate
+            # a different fleet than the one requested.
+            raise ConfigError(
+                "the dvfs governor re-points the whole fleet along its "
+                "ladder and cannot be combined with per-instance fleet "
+                "specs; use a homogeneous fleet (instances=N) instead"
+            )
+
+    @property
+    def fleet_specs(self) -> tuple[InstanceSpec, ...]:
+        """The per-instance specs (materializing the homogeneous case)."""
+        if self.fleet is not None:
+            return self.fleet
+        return tuple(InstanceSpec() for _ in range(self.instances))
+
+
+def _draw_class(
+    classes: tuple[SLOClass, ...], rng: np.random.Generator
+) -> SLOClass:
+    total = sum(c.share for c in classes)
+    u = rng.random() * total
+    acc = 0.0
+    for cls in classes:
+        acc += cls.share
+        if u < acc:
+            return cls
+    return classes[-1]
+
+
+class _ActiveView:
+    """The active slice of the fleet, presented to scheduling policies
+    (which index 0..len-1); `resolve` maps a choice back to the fleet."""
+
+    def __init__(self, fleet: Fleet) -> None:
+        self.fleet = fleet
+        self.indices = fleet.active_indices()
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index: int):
+        return self.fleet[self.indices[index]]
+
+    def resolve(self, index: int) -> int:
+        return self.indices[index]
+
+
+def simulate_controlled(scenario: ControlScenario) -> ServingReport:
+    """Run one controlled scenario to completion.
+
+    Deterministic for a given scenario; safe to cache and to fan out
+    across worker processes.  Returns a :class:`ServingReport` with the
+    control-plane fields (energy, shedding, per-class attainment)
+    filled in; ``requests`` is the *completed* count and
+    ``offered_requests`` the admitted + shed total.
+    """
+    dvfs_model = DVFSModel()
+    specs = scenario.fleet_specs
+    mix = build_mix(
+        scenario.mix, scenario.config, scenario.weight_bandwidth
+    )
+    own_mixes = {
+        spec.config: build_mix(
+            scenario.mix, spec.config, scenario.weight_bandwidth
+        )
+        for spec in specs
+        if spec.config is not None and spec.config != scenario.config
+    }
+
+    fleet = Fleet(len(specs))
+    capacity = 0.0
+    for instance, spec in zip(fleet, specs):
+        own = own_mixes.get(spec.config)
+        configure_instance(instance, spec, dvfs_model, mix, own)
+        service = (own or mix).mean_service_seconds()
+        capacity += 1.0 / (service * instance.latency_scale)
+
+    qps = scenario.qps if scenario.qps is not None else (
+        _DEFAULT_LOAD * capacity
+    )
+    arrivals = make_arrivals(
+        scenario.arrival,
+        qps,
+        burst_factor=scenario.burst_factor,
+        trace=scenario.trace,
+    )
+    n = scenario.requests
+    if scenario.arrival == "trace":
+        n = min(n, len(scenario.trace))
+
+    rng = np.random.default_rng(scenario.seed)
+    times = arrivals.times(n, rng)
+    requests = []
+    for i in range(n):
+        model = mix.sample(rng)
+        cls = _draw_class(scenario.slo_classes, rng)
+        arrival = float(times[i])
+        requests.append(
+            Request(
+                index=i,
+                model=model,
+                profile=mix.profile(model),
+                arrival=arrival,
+                slo=cls.name,
+                priority=cls.priority,
+                deadline=arrival + cls.deadline_s,
+            )
+        )
+
+    window_end = float(times[-1])
+    for instance in fleet:
+        instance.window_end = window_end
+
+    governor = None
+    tick_s = scenario.tick_ms * 1e-3
+    if scenario.autoscale != "none":
+        warmup_s = float(
+            np.mean([p.setup_seconds for p in mix.profiles])
+        )
+        max_instances = (
+            scenario.max_instances
+            if scenario.max_instances is not None
+            else len(fleet)
+        )
+        ladder = tuple(
+            dvfs_model.operating_point(v) for v in scenario.dvfs_ladder
+        )
+        governor = make_governor(
+            scenario.autoscale,
+            tick_s=tick_s,
+            min_instances=scenario.min_instances,
+            max_instances=min(max_instances, len(fleet)),
+            warmup_s=warmup_s,
+            util_low=scenario.util_low,
+            util_high=scenario.util_high,
+            target_delay_s=scenario.target_delay_ms * 1e-3,
+            ladder=ladder,
+            dvfs_model=dvfs_model,
+            profile_clock_hz=mix.profiles[0].clock_hz,
+        )
+        if scenario.autoscale in _SIZING_GOVERNORS:
+            for instance in fleet:
+                if instance.index >= scenario.min_instances:
+                    instance.active = False
+                    instance.powered_since = None
+        governor.reset(fleet)
+
+    policy = make_policy(scenario.policy)
+    policy.reset()
+    shedder = make_shedder(scenario.shedding, scenario.queue_threshold)
+
+    heap: list = []
+    seq = [0]
+    for request in requests:
+        seq[0] += 1
+        heapq.heappush(heap, (request.arrival, seq[0], _ARRIVE, request))
+    if governor is not None:
+        seq[0] += 1
+        heapq.heappush(heap, (tick_s, seq[0], _TICK, None))
+
+    autoscale_events = 0
+    remaining = n
+    while heap:
+        now, _, kind, payload = heapq.heappop(heap)
+        if kind == _ARRIVE:
+            remaining -= 1
+            view = _ActiveView(fleet)
+            instance = fleet[view.resolve(policy.choose(payload, view, now))]
+            admitted, victim = shedder.admit(payload, instance, now)
+            if victim is not None:
+                victim.shed = True
+            if not admitted:
+                payload.shed = True
+                continue
+            instance.enqueue(payload, priority_aware=True)
+            _maybe_launch(instance, now, scenario, heap, seq)
+        elif kind == _TICK:
+            before = [i.busy_until for i in fleet]
+            autoscale_events += governor.tick(fleet, now)
+            # A power-up extends busy_until (warm-up) without launching
+            # a batch, which can swallow the instance's pending
+            # completion event; re-arm a wake at the new horizon so its
+            # queue is re-examined (the event-loop invariant is "busy
+            # implies a pending event at busy_until").
+            for instance in fleet:
+                if (
+                    instance.busy_until > before[instance.index]
+                    and instance.busy_until > now
+                ):
+                    seq[0] += 1
+                    heapq.heappush(
+                        heap,
+                        (
+                            instance.busy_until,
+                            seq[0],
+                            _WAKE,
+                            instance.index,
+                        ),
+                    )
+            busy = any(
+                i.queue or i.busy_until > now + _EPS for i in fleet
+            )
+            if remaining > 0 or busy:
+                seq[0] += 1
+                heapq.heappush(
+                    heap, (now + tick_s, seq[0], _TICK, None)
+                )
+        else:  # _COMPLETE and _WAKE both just re-examine the queue
+            instance = fleet[payload]
+            _maybe_launch(instance, now, scenario, heap, seq)
+            if (
+                not instance.active
+                and not instance.queue
+                and instance.is_idle(now)
+            ):
+                instance.close_power_interval(now)
+
+    admitted = [r for r in requests if not r.shed]
+    unserved = [r.index for r in admitted if r.finish < 0]
+    if unserved:
+        raise ConfigError(
+            f"simulation ended with {len(unserved)} unserved requests"
+        )
+
+    end_time = max(
+        [window_end]
+        + [r.finish for r in admitted]
+        + [i.busy_until for i in fleet]
+    )
+    for instance in fleet:
+        if instance.powered_since is not None:
+            instance.close_power_interval(
+                max(end_time, instance.powered_since)
+            )
+
+    energy = 0.0
+    for instance in fleet:
+        idle = max(0.0, instance.powered_seconds - instance.busy_seconds)
+        energy += instance.energy_joules + idle * instance.idle_power_w
+
+    completed = len(admitted)
+    if admitted:
+        latencies = np.array([r.latency for r in admitted])
+        waits = np.array([r.queue_wait for r in admitted])
+    else:
+        latencies = waits = np.zeros(1)
+
+    counts: dict[str, int] = {}
+    for request in admitted:
+        counts[request.model] = counts.get(request.model, 0) + 1
+
+    class_stats = []
+    for cls in scenario.slo_classes:
+        of_class = [r for r in requests if r.slo == cls.name]
+        done = [r for r in of_class if not r.shed]
+        met = sum(r.met_deadline for r in done)
+        class_stats.append(
+            ClassStats(
+                name=cls.name,
+                priority=cls.priority,
+                deadline_ms=cls.deadline_ms,
+                target=cls.target,
+                offered=len(of_class),
+                shed=len(of_class) - len(done),
+                completed=len(done),
+                met=met,
+                attainment=(
+                    met / len(of_class) if of_class else 0.0
+                ),
+                latency_p99_s=(
+                    float(np.percentile([r.latency for r in done], 99))
+                    if done
+                    else 0.0
+                ),
+            )
+        )
+
+    if scenario.arrival == "trace":
+        span = float(times[-1])
+        offered_qps = n / span if span > 0 else float(n)
+    else:
+        offered_qps = qps
+    total_batches = sum(i.batches for i in fleet)
+    return ServingReport(
+        mix=scenario.mix,
+        arrival=scenario.arrival,
+        policy=scenario.policy,
+        instances=len(fleet),
+        requests=completed,
+        offered_qps=float(offered_qps),
+        capacity_qps=float(capacity),
+        makespan_s=end_time,
+        sustained_qps=completed / end_time if end_time > 0 else 0.0,
+        latency_mean_s=float(latencies.mean()),
+        latency_p50_s=float(np.percentile(latencies, 50)),
+        latency_p95_s=float(np.percentile(latencies, 95)),
+        latency_p99_s=float(np.percentile(latencies, 99)),
+        latency_max_s=float(latencies.max()),
+        mean_wait_s=float(waits.mean()),
+        mean_batch_size=(
+            completed / total_batches if total_batches else 0.0
+        ),
+        setups=sum(i.setups for i in fleet),
+        utilization=tuple(
+            i.busy_seconds / end_time if end_time > 0 else 0.0
+            for i in fleet
+        ),
+        served_per_instance=tuple(i.served for i in fleet),
+        per_model_counts=tuple(sorted(counts.items())),
+        busy_window_s=window_end,
+        utilization_busy=tuple(
+            i.busy_seconds_window / window_end if window_end > 0 else 0.0
+            for i in fleet
+        ),
+        offered_requests=n,
+        shed_requests=n - completed,
+        energy_joules=float(energy),
+        joules_per_request=(
+            float(energy / completed) if completed else None
+        ),
+        class_stats=tuple(class_stats),
+        autoscale_events=autoscale_events,
+        mean_active_instances=(
+            sum(i.powered_seconds for i in fleet) / end_time
+            if end_time > 0
+            else 0.0
+        ),
+    )

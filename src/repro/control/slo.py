@@ -1,0 +1,258 @@
+"""SLO specifications, priority classes, and admission control.
+
+An :class:`SLOClass` names a deadline, a target attainment percentile,
+and a priority for one slice of the traffic; the admission controller
+decides — per arriving request, against the instance the scheduling
+policy chose — whether to admit, shed, or preempt a lower-priority
+queued request.  Shedding is what lets an overloaded fleet degrade
+gracefully: instead of queues (and tail latencies) growing without
+bound past rho = 1, excess requests are dropped at arrival and the
+admitted traffic keeps a bounded p99.
+
+Policies are deliberately small single-decision objects, mirroring
+:mod:`repro.serve.policies`, so governor sweeps can cross them cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..serve.fleet import Instance, Request
+
+__all__ = [
+    "SLOClass",
+    "ClassStats",
+    "DEFAULT_SLO_CLASSES",
+    "parse_slo_classes",
+    "SheddingPolicy",
+    "NoShedding",
+    "DeadlineShedding",
+    "QueueDepthShedding",
+    "PriorityShedding",
+    "SHEDDING_POLICIES",
+    "make_shedder",
+]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class SLOClass:
+    """One service-level objective attached to a slice of the traffic.
+
+    Attributes:
+        name: Class handle (appears in reports and CLI specs).
+        deadline_ms: Arrival-to-completion deadline.
+        target: Required attainment — the fraction of the class's
+            *offered* requests that must meet the deadline (e.g. 0.99
+            encodes "p99 under the deadline"; shed requests are misses).
+        priority: Priority class; lower values preempt higher ones.
+        share: Traffic-sampling weight (normalized across classes).
+    """
+
+    name: str
+    deadline_ms: float
+    target: float = 0.99
+    priority: int = 0
+    share: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("SLO class needs a non-empty name")
+        if self.deadline_ms <= 0:
+            raise ConfigError(
+                f"deadline_ms must be positive ({self.deadline_ms})"
+            )
+        if not 0.0 < self.target <= 1.0:
+            raise ConfigError(
+                f"target must be in (0, 1] ({self.target})"
+            )
+        if self.share <= 0:
+            raise ConfigError(f"share must be positive ({self.share})")
+
+    @property
+    def deadline_s(self) -> float:
+        return self.deadline_ms * 1e-3
+
+
+#: Three-tier default: urgent interactive traffic, a standard tier, and
+#: deadline-tolerant batch work (deadlines sized for the ~0.5 ms mean
+#: service time of the mixed zoo traffic).
+DEFAULT_SLO_CLASSES: tuple[SLOClass, ...] = (
+    SLOClass("interactive", deadline_ms=5.0, target=0.99, priority=0,
+             share=0.3),
+    SLOClass("standard", deadline_ms=25.0, target=0.95, priority=1,
+             share=0.5),
+    SLOClass("batch", deadline_ms=100.0, target=0.90, priority=2,
+             share=0.2),
+)
+
+
+def parse_slo_classes(text: str) -> tuple[SLOClass, ...]:
+    """Parse a CLI class spec: ``name:deadline_ms:target:priority:share``
+    entries separated by commas (later fields optional)."""
+    classes = []
+    for entry in (e for e in text.split(",") if e.strip()):
+        parts = entry.strip().split(":")
+        if not 2 <= len(parts) <= 5:
+            raise ConfigError(
+                f"cannot parse SLO class {entry!r} (expected "
+                "name:deadline_ms[:target[:priority[:share]]])"
+            )
+        try:
+            classes.append(
+                SLOClass(
+                    name=parts[0],
+                    deadline_ms=float(parts[1]),
+                    target=float(parts[2]) if len(parts) > 2 else 0.99,
+                    priority=int(parts[3]) if len(parts) > 3 else 0,
+                    share=float(parts[4]) if len(parts) > 4 else 1.0,
+                )
+            )
+        except ValueError:
+            raise ConfigError(
+                f"cannot parse SLO class {entry!r} (non-numeric field)"
+            ) from None
+    if not classes:
+        raise ConfigError("SLO class spec is empty")
+    names = [c.name for c in classes]
+    if len(set(names)) != len(names):
+        raise ConfigError(f"duplicate SLO class names in {names}")
+    return tuple(classes)
+
+
+@dataclass(frozen=True)
+class ClassStats:
+    """Per-SLO-class outcome of one controlled simulation.
+
+    ``attainment`` is met / offered — shed requests count as misses, so
+    an admission controller cannot game the metric by dropping load.
+    """
+
+    name: str
+    priority: int
+    deadline_ms: float
+    target: float
+    offered: int
+    shed: int
+    completed: int
+    met: int
+    attainment: float
+    latency_p99_s: float
+
+    @property
+    def satisfied(self) -> bool:
+        """Did the class reach its attainment target?"""
+        return self.attainment >= self.target
+
+
+class SheddingPolicy:
+    """Base admission controller: admit, shed, or preempt per arrival."""
+
+    name = "base"
+
+    def admit(
+        self, request: Request, instance: Instance, now: float
+    ) -> tuple[bool, Request | None]:
+        """Decide the fate of ``request`` at its chosen instance.
+
+        Returns:
+            ``(admitted, victim)``: ``victim`` is a queued request the
+            controller preempted to make room (already removed from the
+            instance's queue); only the priority policy produces one.
+        """
+        raise NotImplementedError
+
+
+class NoShedding(SheddingPolicy):
+    """Admit everything (the unbounded-queue baseline)."""
+
+    name = "none"
+
+    def admit(self, request, instance, now):
+        return True, None
+
+
+class DeadlineShedding(SheddingPolicy):
+    """Reject requests whose deadline is already infeasible.
+
+    The feasibility estimate is first-order — in-flight remainder plus
+    queued work plus the request's own service time, ignoring batching
+    effects — so it sheds exactly the requests that would miss anyway
+    and converts deadline misses into cheap early rejections.
+    """
+
+    name = "deadline"
+
+    def admit(self, request, instance, now):
+        feasible = (
+            instance.estimated_completion(request, now)
+            <= request.deadline + _EPS
+        )
+        return feasible, None
+
+
+class QueueDepthShedding(SheddingPolicy):
+    """Reject arrivals when the chosen instance's queue is full."""
+
+    name = "queue-depth"
+
+    def __init__(self, threshold: int = 64) -> None:
+        if threshold < 1:
+            raise ConfigError(
+                f"queue threshold must be >= 1 ({threshold})"
+            )
+        self.threshold = threshold
+
+    def admit(self, request, instance, now):
+        return instance.queue_depth() < self.threshold, None
+
+
+class PriorityShedding(QueueDepthShedding):
+    """Queue-depth shedding that drops the lowest-priority work first.
+
+    When the queue is full, the arrival preempts the worst queued
+    request — the priority-sorted queue's tail — if that victim is
+    strictly lower-priority; otherwise the arrival itself is shed.
+    Urgent classes therefore keep admission even in overload, and only
+    deadline-tolerant traffic pays.
+    """
+
+    name = "priority"
+
+    def admit(self, request, instance, now):
+        if instance.queue_depth() < self.threshold:
+            return True, None
+        victim = instance.queue[-1]
+        if victim.priority > request.priority:
+            instance.remove(victim)
+            return True, victim
+        return False, None
+
+
+#: Shedding-policy name -> factory (threshold-bearing ones accept it).
+SHEDDING_POLICIES = {
+    NoShedding.name: NoShedding,
+    DeadlineShedding.name: DeadlineShedding,
+    QueueDepthShedding.name: QueueDepthShedding,
+    PriorityShedding.name: PriorityShedding,
+}
+
+
+def make_shedder(name: str, queue_threshold: int = 64) -> SheddingPolicy:
+    """Instantiate a shedding policy by name.
+
+    Raises:
+        ConfigError: On an unknown name (the message lists valid ones).
+    """
+    try:
+        factory = SHEDDING_POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(SHEDDING_POLICIES))
+        raise ConfigError(
+            f"unknown shedding policy {name!r} (known: {known})"
+        ) from None
+    if factory in (QueueDepthShedding, PriorityShedding):
+        return factory(queue_threshold)
+    return factory()

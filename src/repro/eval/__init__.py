@@ -3,6 +3,11 @@ shared workload preparation, and plain-text reporting."""
 
 from .charts import bar_chart, grouped_bar_chart
 from .comparison import ComparisonRow, build_comparison, edea_speedups
+from .control import (
+    render_control_report,
+    render_control_sweep,
+    report_to_dict,
+)
 from .efficiency import (
     EfficiencyReport,
     LayerEfficiency,
@@ -58,6 +63,9 @@ __all__ = [
     "render_serving_report",
     "render_serving_sweep",
     "render_throughput_latency",
+    "render_control_report",
+    "render_control_sweep",
+    "report_to_dict",
     "render_series",
     "SotaWork",
     "SOTA_WORKS",

@@ -1,0 +1,160 @@
+"""Plain-text reports for control-plane (SLO/energy) simulations.
+
+Follows the evaluation harness idiom — :func:`render_table` for
+numbers, the ASCII chart helpers for shape — plus
+:func:`report_to_dict`, the machine-readable form behind the CLI's
+``--json`` output (everything JSON-serializable, no NumPy leakage).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from ..errors import EvaluationError
+from ..serve.simulator import ServingReport
+from .charts import bar_chart
+from .report import render_table
+
+__all__ = [
+    "render_control_report",
+    "render_control_sweep",
+    "report_to_dict",
+]
+
+
+def _ms(seconds: float) -> float:
+    return round(1e3 * seconds, 3)
+
+
+def _mj(joules: float | None) -> float | None:
+    return None if joules is None else round(1e3 * joules, 3)
+
+
+def report_to_dict(report: ServingReport) -> dict:
+    """A JSON-serializable view of one report, including the derived
+    metrics (offered load, mean utilizations, overall attainment)."""
+    payload = dataclasses.asdict(report)
+    payload["class_stats"] = [
+        dataclasses.asdict(cs) for cs in report.class_stats
+    ]
+    payload["offered_load"] = report.offered_load
+    payload["mean_utilization"] = report.mean_utilization
+    payload["mean_utilization_busy"] = report.mean_utilization_busy
+    payload["slo_attainment"] = report.slo_attainment
+    return payload
+
+
+def render_control_report(report: ServingReport) -> str:
+    """One controlled run: headline, per-class SLOs, energy, shedding."""
+    headline = render_table(
+        f"Control report — mix={report.mix} arrival={report.arrival} "
+        f"policy={report.policy} instances={report.instances}",
+        ["Metric", "Value"],
+        [
+            ["offered requests", report.offered_requests],
+            ["completed requests", report.requests],
+            ["shed requests", report.shed_requests],
+            ["offered QPS", round(report.offered_qps, 1)],
+            ["fleet capacity QPS", round(report.capacity_qps, 1)],
+            ["offered load", round(report.offered_load, 3)],
+            ["sustained QPS", round(report.sustained_qps, 1)],
+            ["latency p50 (ms)", _ms(report.latency_p50_s)],
+            ["latency p99 (ms)", _ms(report.latency_p99_s)],
+            ["SLO attainment", round(report.slo_attainment or 0.0, 4)],
+            ["energy (mJ)", _mj(report.energy_joules)],
+            ["energy/request (mJ)", _mj(report.joules_per_request)],
+            ["autoscale events", report.autoscale_events],
+            [
+                "mean active instances",
+                round(report.mean_active_instances or 0.0, 2),
+            ],
+            [
+                "mean utilization (busy window)",
+                round(report.mean_utilization_busy, 3),
+            ],
+        ],
+    )
+    classes = render_table(
+        "Per-class SLO attainment",
+        [
+            "Class",
+            "Prio",
+            "Deadline ms",
+            "Target",
+            "Offered",
+            "Shed",
+            "Met",
+            "Attainment",
+            "p99 ms",
+            "OK",
+        ],
+        [
+            [
+                cs.name,
+                cs.priority,
+                cs.deadline_ms,
+                cs.target,
+                cs.offered,
+                cs.shed,
+                cs.met,
+                round(cs.attainment, 4),
+                _ms(cs.latency_p99_s),
+                "yes" if cs.satisfied else "NO",
+            ]
+            for cs in report.class_stats
+        ],
+    )
+    utilization = bar_chart(
+        "Per-instance utilization (of makespan)",
+        [f"inst {i}" for i in range(report.instances)],
+        [100.0 * u for u in report.utilization],
+        unit="%",
+    )
+    return "\n\n".join([headline, classes, utilization])
+
+
+def render_control_sweep(
+    reports: Sequence[ServingReport],
+    labels: Sequence[str] | None = None,
+    frontier: Sequence[int] = (),
+) -> str:
+    """Energy-vs-attainment grid; frontier rows are starred."""
+    if not reports:
+        raise EvaluationError("sweep rendering needs at least one report")
+    if labels is not None and len(labels) != len(reports):
+        raise EvaluationError(
+            f"labels/reports length mismatch: {len(labels)} vs "
+            f"{len(reports)}"
+        )
+    on_frontier = set(frontier)
+    rows = [
+        [
+            labels[i] if labels is not None else f"#{i}",
+            r.instances,
+            round(r.offered_qps, 1),
+            round(r.slo_attainment or 0.0, 4),
+            _ms(r.latency_p99_s),
+            _mj(r.energy_joules),
+            _mj(r.joules_per_request),
+            r.shed_requests,
+            "*" if i in on_frontier else "",
+        ]
+        for i, r in enumerate(reports)
+    ]
+    return render_table(
+        f"Control sweep ({len(reports)} scenarios, "
+        f"mix={reports[0].mix}; * = energy/SLO Pareto frontier)",
+        [
+            "Scenario",
+            "Inst",
+            "QPS",
+            "Attainment",
+            "p99 ms",
+            "mJ",
+            "mJ/req",
+            "Shed",
+            "Pareto",
+        ],
+        rows,
+    )

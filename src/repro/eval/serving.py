@@ -45,6 +45,14 @@ def render_serving_report(report: ServingReport) -> str:
             ["mean queue wait (ms)", _ms(report.mean_wait_s)],
             ["mean batch size", round(report.mean_batch_size, 2)],
             ["model switches", report.setups],
+            [
+                "mean utilization (makespan)",
+                round(report.mean_utilization, 3),
+            ],
+            [
+                "mean utilization (busy window)",
+                round(report.mean_utilization_busy, 3),
+            ],
         ],
     )
     utilization = bar_chart(

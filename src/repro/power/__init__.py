@@ -9,7 +9,7 @@ from .energy_model import (
     PowerBreakdownShares,
     PowerModel,
 )
-from .dvfs import DVFSModel, OperatingPoint
+from .dvfs import DVFSModel, OperatingPoint, frequency_scaled_latency
 from .metrics import energy_joules, gops, gops_per_mm2, tops_per_watt
 from .tech_scaling import ScalingModel, precision_ops_factor
 
@@ -32,4 +32,5 @@ __all__ = [
     "energy_joules",
     "DVFSModel",
     "OperatingPoint",
+    "frequency_scaled_latency",
 ]

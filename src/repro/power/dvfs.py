@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 from ..errors import ConfigError
 
-__all__ = ["OperatingPoint", "DVFSModel"]
+__all__ = ["OperatingPoint", "DVFSModel", "frequency_scaled_latency"]
 
 NOMINAL_VOLTAGE_V = 0.8
 NOMINAL_FREQUENCY_HZ = 1.0e9
@@ -49,6 +49,12 @@ class OperatingPoint:
     energy_efficiency_tops_w: float
     dynamic_power_factor: float
     leakage_power_factor: float
+
+    @property
+    def latency_scale(self) -> float:
+        """Latency multiplier vs the nominal 1 GHz clock (cycle counts
+        are frequency-independent, so latency stretches as 1/f)."""
+        return NOMINAL_FREQUENCY_HZ / self.frequency_hz
 
 
 class DVFSModel:
@@ -150,3 +156,15 @@ class DVFSModel:
         if not points:
             raise ConfigError("voltage sweep is empty")
         return max(points, key=lambda p: p.energy_efficiency_tops_w)
+
+
+def frequency_scaled_latency(
+    nominal_seconds: float, point: OperatingPoint
+) -> float:
+    """Stretch a latency measured at the nominal 1 GHz clock to
+    ``point``'s frequency (used by DVFS-heterogeneous serving fleets)."""
+    if nominal_seconds < 0:
+        raise ConfigError(
+            f"nominal_seconds must be non-negative ({nominal_seconds})"
+        )
+    return nominal_seconds * point.latency_scale

@@ -31,6 +31,10 @@ class Request:
         arrival: Arrival timestamp in seconds.
         start: Service start (batch launch), -1 until served.
         finish: Completion timestamp, -1 until served.
+        slo: SLO class name ("" outside the control plane).
+        priority: Priority class (lower value = more urgent).
+        deadline: Absolute completion deadline (inf = no deadline).
+        shed: True when the admission controller dropped the request.
     """
 
     index: int
@@ -39,6 +43,10 @@ class Request:
     arrival: float
     start: float = -1.0
     finish: float = -1.0
+    slo: str = ""
+    priority: int = 0
+    deadline: float = float("inf")
+    shed: bool = False
 
     @property
     def latency(self) -> float:
@@ -49,6 +57,11 @@ class Request:
     def queue_wait(self) -> float:
         """Arrival-to-launch wait."""
         return self.start - self.arrival
+
+    @property
+    def met_deadline(self) -> bool:
+        """Completed at or before the deadline (shed never counts)."""
+        return not self.shed and 0 <= self.finish <= self.deadline
 
 
 @dataclass(frozen=True)
@@ -86,6 +99,25 @@ class Instance:
         queued_seconds: Running sum of the queued requests' per-image
             service times (kept incrementally so scheduling decisions
             stay O(1) even when a queue grows long under overload).
+        active: Whether the control plane routes new requests here (an
+            autoscaler powers instances up/down; drained instances keep
+            serving their queue).
+        latency_scale: Service-time multiplier from the instance's DVFS
+            operating point (nominal clock / actual clock; 1.0 at the
+            published operating point).
+        busy_power_w / idle_power_w: Power draw while serving / while
+            powered but idle (0.0 outside the control plane).
+        energy_joules: Accumulated busy-time energy.
+        powered_since: Start of the current powered interval (None when
+            powered off).
+        powered_seconds: Closed powered intervals, accumulated.
+        window_end: End of the busy-window accounting interval (the last
+            arrival); busy time inside it accrues separately so reports
+            can exclude the drain tail.
+        busy_seconds_window: Busy time accrued inside the window.
+        profiles: Optional per-instance service profiles (heterogeneous
+            ``ArchConfig`` fleets); None falls back to each request's
+            own profile.
     """
 
     index: int
@@ -97,10 +129,51 @@ class Instance:
     batches: int = 0
     setups: int = 0
     queued_seconds: float = 0.0
+    active: bool = True
+    latency_scale: float = 1.0
+    busy_power_w: float = 0.0
+    idle_power_w: float = 0.0
+    energy_joules: float = 0.0
+    powered_since: float | None = 0.0
+    powered_seconds: float = 0.0
+    window_end: float | None = None
+    busy_seconds_window: float = 0.0
+    profiles: dict[str, ServiceProfile] | None = None
 
-    def enqueue(self, request: Request) -> None:
-        self.queue.append(request)
+    def enqueue(
+        self, request: Request, priority_aware: bool = False
+    ) -> None:
+        """Append a request; with ``priority_aware`` the queue is kept
+        sorted by ``(priority, index)`` so urgent classes batch first.
+
+        The insertion point is found scanning from the *tail*: arrivals
+        have monotonically increasing indices, so same-or-lower-priority
+        traffic (the common case) appends in O(1) and only a
+        strictly-higher-priority arrival walks past the lower-priority
+        backlog it overtakes — keeping the overload baselines, whose
+        single-class queues grow long, linear rather than quadratic.
+        """
+        if priority_aware and self.queue:
+            key = (request.priority, request.index)
+            pos = len(self.queue)
+            for queued in reversed(self.queue):
+                if (queued.priority, queued.index) <= key:
+                    break
+                pos -= 1
+            if pos == len(self.queue):
+                self.queue.append(request)
+            else:
+                self.queue.insert(pos, request)
+        else:
+            self.queue.append(request)
         self.queued_seconds += request.profile.per_image_seconds
+
+    def remove(self, request: Request) -> None:
+        """Drop a queued request (priority-preemptive shedding)."""
+        self.queue.remove(request)
+        self.queued_seconds -= request.profile.per_image_seconds
+        if not self.queue:
+            self.queued_seconds = 0.0
 
     def is_idle(self, now: float) -> bool:
         return self.busy_until <= now
@@ -108,13 +181,56 @@ class Instance:
     def queue_depth(self) -> int:
         return len(self.queue)
 
+    def profile_for(self, model: str) -> ServiceProfile | None:
+        """This instance's own profile of ``model`` (None = use the
+        request's profile, i.e. the fleet is architecturally uniform)."""
+        if self.profiles is None:
+            return None
+        return self.profiles.get(model)
+
     def pending_seconds(self, now: float) -> float:
         """Work the instance still owes: in-flight remainder + queued
         service time (model-switch costs excluded — they depend on the
         batching outcome, and the estimate only ranks instances)."""
         return max(0.0, self.busy_until - now) + max(
             0.0, self.queued_seconds
+        ) * self.latency_scale
+
+    def estimated_completion(self, request: Request, now: float) -> float:
+        """First-order completion estimate if ``request`` joined now
+        (in-flight remainder + queued work + its own service time)."""
+        profile = self.profile_for(request.model) or request.profile
+        return (
+            now
+            + self.pending_seconds(now)
+            + profile.per_image_seconds * self.latency_scale
         )
+
+    def _accrue_busy(self, now: float, duration: float) -> None:
+        self.busy_seconds += duration
+        if self.window_end is not None:
+            start = min(now, self.window_end)
+            end = min(now + duration, self.window_end)
+            self.busy_seconds_window += max(0.0, end - start)
+        self.energy_joules += self.busy_power_w * duration
+
+    def power_up(self, now: float, warmup_s: float) -> None:
+        """Bring a powered-off instance online; the warm-up (weight
+        reload) occupies it — and burns busy power — before it serves."""
+        self.active = True
+        if self.powered_since is None:
+            self.powered_since = now
+        self.loaded_model = None
+        start = max(self.busy_until, now)
+        self.busy_until = start + warmup_s
+        if warmup_s > 0:
+            self._accrue_busy(start, warmup_s)
+
+    def close_power_interval(self, now: float) -> None:
+        """Close the current powered interval (instance fully drained)."""
+        if self.powered_since is not None:
+            self.powered_seconds += now - self.powered_since
+            self.powered_since = None
 
     def next_batch(self, max_batch: int) -> Batch:
         """The batch that would launch now: the longest same-model run
@@ -135,7 +251,9 @@ class Instance:
 
         Images stream sequentially, so the i-th request of the batch
         finishes after ``setup + (i+1) * per_image`` — completion times
-        inside a batch are staggered, not simultaneous.
+        inside a batch are staggered, not simultaneous.  Service times
+        come from the instance's own profile (heterogeneous fleets) when
+        one is set, stretched by its DVFS ``latency_scale``.
         """
         for _ in batch.requests:
             popped = self.queue.popleft()
@@ -143,15 +261,15 @@ class Instance:
         if not self.queue:
             self.queued_seconds = 0.0  # shed float residue when empty
         cold = self.loaded_model != batch.model
-        profile = batch.profile
+        profile = self.profile_for(batch.model) or batch.profile
         setup = profile.setup_seconds if cold else 0.0
-        per_image = profile.per_image_seconds
+        per_image = profile.per_image_seconds * self.latency_scale
         for i, request in enumerate(batch.requests):
             request.start = now
             request.finish = now + setup + (i + 1) * per_image
-        service = batch.profile.batch_seconds(len(batch), cold)
+        service = setup + len(batch) * per_image
         self.busy_until = now + service
-        self.busy_seconds += service
+        self._accrue_busy(now, service)
         self.served += len(batch)
         self.batches += 1
         if cold:
@@ -178,3 +296,7 @@ class Fleet:
 
     def __getitem__(self, index: int) -> Instance:
         return self.instances[index]
+
+    def active_indices(self) -> list[int]:
+        """Fleet indices the control plane currently routes to."""
+        return [i.index for i in self.instances if i.active]

@@ -74,6 +74,15 @@ class ServiceProfile:
         """Weight-streaming latency paid on a model switch."""
         return self.weight_bytes / self.weight_bandwidth
 
+    def per_image_seconds_at(self, frequency_hz: float) -> float:
+        """Service time of one image at a DVFS-scaled clock (the cycle
+        count is frequency-independent; only the period stretches)."""
+        if frequency_hz <= 0:
+            raise ConfigError(
+                f"frequency_hz must be positive ({frequency_hz})"
+            )
+        return self.total_cycles / frequency_hz
+
     def batch_seconds(self, batch_size: int, cold: bool) -> float:
         """Service time of a batch (no inter-image parallelism: the EDEA
         design runs one DSC layer across both engines, so images stream

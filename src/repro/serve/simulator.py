@@ -95,6 +95,20 @@ class ServingReport:
     Latencies are arrival-to-completion, in seconds.  ``utilization``
     is each instance's busy fraction of the makespan;
     ``per_model_counts`` is sorted ``(model, completed)`` pairs.
+
+    The makespan includes the drain after the last arrival, which
+    understates steady-state utilization, so ``utilization_busy`` also
+    reports each instance's busy fraction of the *busy window* — the
+    offered-traffic span ``[0, last arrival]`` (``busy_window_s``), with
+    busy time truncated to it.
+
+    Control-plane runs (:func:`repro.control.simulate_controlled`) fill
+    the remaining fields: ``requests`` is then the *completed* count,
+    ``offered_requests``/``shed_requests`` split the offered traffic,
+    ``class_stats`` holds per-SLO-class
+    :class:`~repro.control.slo.ClassStats`, and the energy fields
+    integrate per-instance power over the run (None outside the control
+    plane).
     """
 
     mix: str
@@ -117,6 +131,15 @@ class ServingReport:
     utilization: tuple[float, ...]
     served_per_instance: tuple[int, ...]
     per_model_counts: tuple[tuple[str, int], ...]
+    busy_window_s: float = 0.0
+    utilization_busy: tuple[float, ...] = ()
+    offered_requests: int = 0
+    shed_requests: int = 0
+    energy_joules: float | None = None
+    joules_per_request: float | None = None
+    class_stats: tuple = ()
+    autoscale_events: int = 0
+    mean_active_instances: float | None = None
 
     @property
     def offered_load(self) -> float:
@@ -128,6 +151,24 @@ class ServingReport:
     @property
     def mean_utilization(self) -> float:
         return float(np.mean(self.utilization))
+
+    @property
+    def mean_utilization_busy(self) -> float:
+        """Mean busy-window utilization (steady-state view)."""
+        if not self.utilization_busy:
+            return self.mean_utilization
+        return float(np.mean(self.utilization_busy))
+
+    @property
+    def slo_attainment(self) -> float | None:
+        """Offered-weighted fraction of requests meeting their deadline
+        (shed requests count as misses); None without SLO classes."""
+        if not self.class_stats:
+            return None
+        offered = sum(cs.offered for cs in self.class_stats)
+        if offered == 0:
+            return None
+        return sum(cs.met for cs in self.class_stats) / offered
 
 
 def _maybe_launch(
@@ -197,6 +238,9 @@ def simulate(scenario: ServingScenario) -> ServingReport:
         )
 
     fleet = Fleet(scenario.instances)
+    window_end = float(times[-1])
+    for instance in fleet:
+        instance.window_end = window_end
     policy = make_policy(scenario.policy)
     policy.reset()
 
@@ -259,4 +303,10 @@ def simulate(scenario: ServingScenario) -> ServingReport:
         ),
         served_per_instance=tuple(i.served for i in fleet),
         per_model_counts=tuple(sorted(counts.items())),
+        busy_window_s=window_end,
+        utilization_busy=tuple(
+            i.busy_seconds_window / window_end if window_end > 0 else 0.0
+            for i in fleet
+        ),
+        offered_requests=n,
     )

@@ -1,0 +1,174 @@
+"""SLO classes, class parsing, and admission/shedding policies."""
+
+import pytest
+
+from repro.control import (
+    DEFAULT_SLO_CLASSES,
+    SHEDDING_POLICIES,
+    ControlScenario,
+    SLOClass,
+    make_shedder,
+    parse_slo_classes,
+    simulate_controlled,
+)
+from repro.errors import ConfigError
+from repro.serve import Request, build_mix
+from repro.serve.fleet import Instance
+
+MIX = build_mix("v1-224")
+PROFILE = MIX.profiles[0]
+
+
+def _request(index, priority=0, deadline=1.0, arrival=0.0):
+    return Request(
+        index=index,
+        model=PROFILE.name,
+        profile=PROFILE,
+        arrival=arrival,
+        priority=priority,
+        deadline=deadline,
+        slo="c",
+    )
+
+
+class TestSLOClass:
+    def test_defaults_are_valid_and_tiered(self):
+        priorities = [c.priority for c in DEFAULT_SLO_CLASSES]
+        assert priorities == sorted(priorities)
+        deadlines = [c.deadline_ms for c in DEFAULT_SLO_CLASSES]
+        assert deadlines == sorted(deadlines)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(name="", deadline_ms=5.0),
+            dict(name="x", deadline_ms=0.0),
+            dict(name="x", deadline_ms=5.0, target=0.0),
+            dict(name="x", deadline_ms=5.0, target=1.5),
+            dict(name="x", deadline_ms=5.0, share=0.0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            SLOClass(**kwargs)
+
+    def test_parse_full_and_partial_specs(self):
+        classes = parse_slo_classes("rt:5:0.99:0:0.4,bulk:80")
+        assert classes[0] == SLOClass("rt", 5.0, 0.99, 0, 0.4)
+        assert classes[1].name == "bulk"
+        assert classes[1].deadline_ms == 80.0
+        assert classes[1].target == 0.99
+
+    @pytest.mark.parametrize(
+        "text", ["", "a", "a:b", "a:5,a:9", "a:5:x"]
+    )
+    def test_parse_rejects_malformed(self, text):
+        with pytest.raises(ConfigError):
+            parse_slo_classes(text)
+
+
+class TestShedders:
+    def test_registry_round_trip(self):
+        for name in SHEDDING_POLICIES:
+            assert make_shedder(name, queue_threshold=4).name == name
+        with pytest.raises(ConfigError):
+            make_shedder("nope")
+
+    def test_none_always_admits(self):
+        instance = Instance(index=0)
+        shedder = make_shedder("none")
+        admitted, victim = shedder.admit(_request(0), instance, 0.0)
+        assert admitted and victim is None
+
+    def test_deadline_sheds_infeasible(self):
+        instance = Instance(index=0)
+        shedder = make_shedder("deadline")
+        feasible = _request(0, deadline=10 * PROFILE.per_image_seconds)
+        admitted, _ = shedder.admit(feasible, instance, 0.0)
+        assert admitted
+        # Backlog pushes the estimate past the deadline.
+        for i in range(20):
+            instance.enqueue(_request(i + 1))
+        admitted, _ = shedder.admit(feasible, instance, 0.0)
+        assert not admitted
+
+    def test_queue_depth_bounds_admission(self):
+        instance = Instance(index=0)
+        shedder = make_shedder("queue-depth", queue_threshold=3)
+        for i in range(3):
+            admitted, _ = shedder.admit(_request(i), instance, 0.0)
+            assert admitted
+            instance.enqueue(_request(i))
+        admitted, _ = shedder.admit(_request(99), instance, 0.0)
+        assert not admitted
+
+    def test_priority_preempts_lower_class(self):
+        instance = Instance(index=0)
+        shedder = make_shedder("priority", queue_threshold=2)
+        low_a = _request(0, priority=2)
+        low_b = _request(1, priority=2)
+        instance.enqueue(low_a, priority_aware=True)
+        instance.enqueue(low_b, priority_aware=True)
+        urgent = _request(2, priority=0)
+        admitted, victim = shedder.admit(urgent, instance, 0.0)
+        assert admitted
+        assert victim is low_b  # newest lowest-priority pays
+        assert victim.shed is False  # simulator marks it
+        assert instance.queue_depth() == 1
+
+    def test_priority_sheds_equal_class_arrival(self):
+        instance = Instance(index=0)
+        shedder = make_shedder("priority", queue_threshold=1)
+        instance.enqueue(_request(0, priority=1), priority_aware=True)
+        admitted, victim = shedder.admit(
+            _request(1, priority=1), instance, 0.0
+        )
+        assert not admitted and victim is None
+
+
+def _conservation_scenario(shedding, arrival, **kwargs):
+    defaults = dict(
+        requests=400,
+        instances=2,
+        qps=6_000.0,  # overloaded: every shedder has work to do
+        shedding=shedding,
+        arrival=arrival,
+        queue_threshold=8,
+        seed=11,
+    )
+    if arrival == "trace":
+        defaults["trace"] = tuple(i * 1e-4 for i in range(400))
+    defaults.update(kwargs)
+    return ControlScenario(**defaults)
+
+
+class TestConservation:
+    """admitted + shed == offered, per class, for every policy/arrival."""
+
+    @pytest.mark.parametrize("shedding", sorted(SHEDDING_POLICIES))
+    @pytest.mark.parametrize("arrival", ["poisson", "bursty", "trace"])
+    def test_per_class_conservation(self, shedding, arrival):
+        report = simulate_controlled(
+            _conservation_scenario(shedding, arrival)
+        )
+        assert report.offered_requests == 400
+        assert sum(cs.offered for cs in report.class_stats) == 400
+        for cs in report.class_stats:
+            assert cs.shed + cs.completed == cs.offered
+            assert 0 <= cs.met <= cs.completed
+        assert (
+            sum(cs.shed for cs in report.class_stats)
+            == report.shed_requests
+        )
+        assert (
+            sum(cs.completed for cs in report.class_stats)
+            == report.requests
+        )
+        assert sum(report.served_per_instance) == report.requests
+
+    def test_no_shedding_completes_everything(self):
+        report = simulate_controlled(
+            _conservation_scenario("none", "poisson")
+        )
+        assert report.shed_requests == 0
+        assert report.requests == report.offered_requests

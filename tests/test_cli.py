@@ -228,3 +228,128 @@ class TestServeCommand:
         assert code == 0
         # 10 requests over 9 ms ~ 1111 QPS; whole trace would be ~0.1.
         assert "offered QPS | 1,111.10" in text
+
+
+class TestControlCommand:
+    def test_control_prints_report(self):
+        code, text = run_cli(
+            "control", "--requests", "300", "--instances", "2",
+            "--shedding", "queue-depth", "--queue-threshold", "16",
+        )
+        assert code == 0
+        assert "Control report" in text
+        assert "Per-class SLO attainment" in text
+        assert "energy (mJ)" in text
+        assert "interactive" in text  # default class tiers
+
+    def test_control_custom_classes_and_json(self, tmp_path):
+        import json
+
+        out = tmp_path / "report.json"
+        code, text = run_cli(
+            "control", "--requests", "200",
+            "--slo-classes", "rt:5:0.99:0:0.5,bulk:80:0.9:2:0.5",
+            "--json", str(out),
+        )
+        assert code == 0
+        assert "rt" in text and "bulk" in text
+        payload = json.loads(out.read_text())
+        assert len(payload["reports"]) == 1
+        report = payload["reports"][0]
+        assert {cs["name"] for cs in report["class_stats"]} == {
+            "rt", "bulk"
+        }
+        assert report["energy_joules"] > 0
+
+    def test_control_autoscale_and_fleet_spec(self):
+        code, text = run_cli(
+            "control", "--requests", "300", "--fleet", "0.8x2,0.6x2",
+            "--autoscale", "utilization", "--min-instances", "1",
+        )
+        assert code == 0
+        assert "instances=4" in text
+        assert "autoscale events" in text
+
+    def test_control_static_frontier_sweep_marks_pareto(self, tmp_path):
+        args = (
+            "control", "--requests", "200", "--qps", "1500",
+            "--sweep-voltages", "0.6,0.8", "--sweep-fleet-sizes", "1,2",
+            "--cache-dir", str(tmp_path),
+        )
+        code, text = run_cli(*args)
+        assert code == 0
+        assert "Control sweep (4 scenarios" in text
+        assert "Pareto" in text and "*" in text
+        assert "0.60V x1" in text
+        code2, text2 = run_cli(*args)  # warm rerun: cache-served
+        assert code2 == 0 and text2 == text
+
+    def test_control_governor_sweep(self):
+        code, text = run_cli(
+            "control", "--requests", "200", "--qps", "1000",
+            "--sweep-governors", "utilization,dvfs",
+        )
+        assert code == 0
+        assert "utilization" in text and "dvfs" in text
+
+    def test_control_sweep_modes_conflict(self):
+        code, _ = run_cli(
+            "control", "--sweep-governors", "dvfs",
+            "--sweep-voltages", "0.8",
+        )
+        assert code == 1
+
+    def test_control_bad_fleet_spec_fails_cleanly(self):
+        code, _ = run_cli("control", "--fleet", "fastx2")
+        assert code == 1
+
+
+class TestServeControlRouting:
+    def test_serve_with_slo_flags_routes_to_control_plane(self):
+        code, text = run_cli(
+            "serve", "--requests", "200", "--shedding", "deadline",
+        )
+        assert code == 0
+        assert "Control report" in text
+        assert "SLO attainment" in text
+
+    def test_serve_slo_flags_conflict_with_sweeps(self):
+        code, _ = run_cli(
+            "serve", "--shedding", "deadline",
+            "--sweep-policies", "affinity",
+        )
+        assert code == 1
+
+    def test_serve_json_output(self, tmp_path):
+        import json
+
+        out = tmp_path / "serve.json"
+        code, _ = run_cli(
+            "serve", "--requests", "200", "--instances", "2",
+            "--json", str(out),
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        (report,) = payload["reports"]
+        assert report["requests"] == 200
+        assert report["energy_joules"] is None  # plain data plane
+        assert len(report["utilization_busy"]) == 2
+
+    def test_serve_curve_json_lists_every_point(self, tmp_path):
+        import json
+
+        out = tmp_path / "curve.json"
+        code, _ = run_cli(
+            "serve", "--requests", "200", "--instances", "2",
+            "--curve-qps", "500,1500", "--json", str(out),
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert len(payload["reports"]) == 2
+
+    def test_serve_json_unwritable_path_fails_cleanly(self, tmp_path):
+        code, _ = run_cli(
+            "serve", "--requests", "50",
+            "--json", str(tmp_path / "no" / "such" / "dir.json"),
+        )
+        assert code == 1
