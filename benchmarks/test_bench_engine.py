@@ -1,0 +1,179 @@
+"""Engine kernel throughput: events/sec against the legacy event loop.
+
+The unified :class:`repro.serve.engine.Engine` replaced the duplicated
+heap loops of the serve and control simulators.  This benchmark pins
+the refactor's performance claim: on the 50k-request mixed scenario the
+kernel must process events at >= 1.5x the legacy loop's rate.  The
+legacy kernel is preserved here verbatim (the pre-engine ``simulate``
+loop: every arrival heaped up front, a batch materialized per
+examination, the sequence counter boxed in a list) and driven over the
+*same* request stream, fleet, and policy objects, so the measured delta
+is the kernel machinery alone — arrival merging, the small heap, and
+the launch-or-wake fast path.  Both kernels must produce identical
+completion times, so the speedup is proven on equivalent work.
+
+``extra_info`` records both events/sec figures and the ratio so the
+kernel-throughput trajectory is tracked across PRs.
+"""
+
+import heapq
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import Fleet, ServingScenario, make_policy
+from repro.serve.arrival import make_arrivals
+from repro.serve.engine import Engine, build_requests
+from repro.serve.profile import build_mix
+
+SCENARIO = ServingScenario(requests=50_000, seed=42)
+
+_ARRIVE, _COMPLETE, _WAKE = 0, 1, 2
+_EPS = 1e-12
+
+
+def _legacy_maybe_launch(instance, now, max_batch, max_wait, heap, seq):
+    """The pre-engine launch check: materializes the head batch even
+    when it only ends up scheduling a timeout wake."""
+    if not instance.is_idle(now) or not instance.queue:
+        return
+    batch = instance.next_batch(max_batch)
+    head = batch.requests[0]
+    due = (
+        len(batch) >= max_batch
+        or now >= head.arrival + max_wait - _EPS
+    )
+    if due:
+        finish = instance.launch(batch, now)
+        seq[0] += 1
+        heapq.heappush(heap, (finish, seq[0], _COMPLETE, instance.index))
+    else:
+        seq[0] += 1
+        heapq.heappush(
+            heap,
+            (head.arrival + max_wait, seq[0], _WAKE, instance.index),
+        )
+
+
+def _legacy_kernel(requests, fleet, policy, max_batch, max_wait):
+    """The pre-engine event loop, verbatim: all arrivals heaped up
+    front, ``(time, seq, kind, payload)`` entries throughout."""
+    heap = []
+    seq = [0]
+    for request in requests:
+        seq[0] += 1
+        heapq.heappush(heap, (request.arrival, seq[0], _ARRIVE, request))
+    events = 0
+    while heap:
+        now, _, kind, payload = heapq.heappop(heap)
+        events += 1
+        if kind == _ARRIVE:
+            instance = fleet[policy.choose(payload, fleet, now)]
+            instance.enqueue(payload)
+            _legacy_maybe_launch(
+                instance, now, max_batch, max_wait, heap, seq
+            )
+        else:
+            _legacy_maybe_launch(
+                fleet[payload], now, max_batch, max_wait, heap, seq
+            )
+    return events
+
+
+def _fresh_run_state():
+    """A new fleet + request stream for one kernel run (runs mutate
+    both, so every measurement starts from identical state)."""
+    scenario = SCENARIO
+    mix = build_mix(scenario.mix, scenario.config)
+    capacity = scenario.instances / mix.mean_service_seconds()
+    arrivals = make_arrivals(scenario.arrival, 0.7 * capacity)
+    rng = np.random.default_rng(scenario.seed)
+    times = arrivals.times(scenario.requests, rng)
+    requests = build_requests(mix, times, rng)
+    fleet = Fleet(scenario.instances)
+    for instance in fleet:
+        instance.window_end = float(times[-1])
+    policy = make_policy(scenario.policy)
+    policy.reset()
+    return requests, fleet, policy
+
+
+def _run_engine(state):
+    requests, fleet, policy = state
+    engine = Engine(
+        fleet,
+        policy,
+        max_batch=SCENARIO.max_batch,
+        max_wait_s=SCENARIO.max_wait_ms * 1e-3,
+    )
+    return engine.run(requests).events
+
+
+def _run_legacy(state):
+    requests, fleet, policy = state
+    return _legacy_kernel(
+        requests,
+        fleet,
+        policy,
+        SCENARIO.max_batch,
+        SCENARIO.max_wait_ms * 1e-3,
+    )
+
+
+def _best_events_per_sec(runner, repeats=3):
+    best = 0.0
+    events = 0
+    for _ in range(repeats):
+        state = _fresh_run_state()
+        start = time.perf_counter()
+        events = runner(state)
+        elapsed = time.perf_counter() - start
+        best = max(best, events / elapsed)
+    return best, events
+
+
+@pytest.mark.benchmark(group="engine")
+def test_bench_kernel_events_per_sec(benchmark):
+    """>= 1.5x legacy kernel throughput on the 50k-request scenario."""
+    # Same work first: both kernels must drain to identical schedules.
+    engine_state = _fresh_run_state()
+    _run_engine(engine_state)
+    legacy_state = _fresh_run_state()
+    _run_legacy(legacy_state)
+    finishes = [r.finish for r in engine_state[0]]
+    assert finishes == [r.finish for r in legacy_state[0]]
+    assert all(f >= 0 for f in finishes)
+
+    legacy_eps, legacy_events = _best_events_per_sec(_run_legacy)
+    engine_eps, engine_events = _best_events_per_sec(_run_engine)
+    assert engine_events == legacy_events
+    ratio = engine_eps / legacy_eps
+    assert ratio >= 1.5, (
+        f"engine kernel only {ratio:.2f}x legacy "
+        f"({engine_eps:,.0f} vs {legacy_eps:,.0f} events/sec)"
+    )
+
+    benchmark.extra_info["events"] = engine_events
+    benchmark.extra_info["engine_events_per_sec"] = round(engine_eps)
+    benchmark.extra_info["legacy_events_per_sec"] = round(legacy_eps)
+    benchmark.extra_info["speedup"] = round(ratio, 2)
+    benchmark.pedantic(
+        _run_engine,
+        setup=lambda: ((_fresh_run_state(),), {}),
+        rounds=3,
+    )
+
+
+@pytest.mark.benchmark(group="engine")
+def test_bench_50k_simulation_wall_clock(benchmark):
+    """End-to-end wall-clock of the 50k-request scenario (setup +
+    kernel + summary), the number users feel in sweeps."""
+    from repro.serve import simulate
+
+    report = benchmark(simulate, SCENARIO)
+    assert report.requests == 50_000
+    benchmark.extra_info["sustained_qps"] = round(report.sustained_qps, 1)
+    benchmark.extra_info["latency_p99_ms"] = round(
+        1e3 * report.latency_p99_s, 3
+    )

@@ -9,7 +9,8 @@ Commands:
 * ``sweep`` — width/resolution scaling sweep through the parallel
   executor.
 * ``serve`` — request-level serving simulation over an accelerator
-  fleet (arrival process, scheduling policy, batching; reports
+  fleet (arrival process incl. diurnal day/night traffic, scheduling
+  policy incl. deadline-/energy-aware routing, batching; reports
   p50/p95/p99 latency, sustained QPS, per-instance utilization; can
   sweep policies x fleet sizes or sample a throughput-latency curve).
   SLO flags (``--slo-classes``/``--shedding``/``--autoscale``) route
@@ -51,6 +52,10 @@ Examples::
     repro control --shedding priority --queue-threshold 32 --json out.json
     repro control --autoscale utilization --min-instances 1
     repro control --fleet 0.8x2,0.6x2        # DVFS-heterogeneous fleet
+    repro control --fleet 0.8x2,0.6x2 --policy energy-aware
+    repro control --policy deadline-aware --shedding deadline
+    repro control --arrival diurnal --diurnal-period 30 \
+        --autoscale utilization --min-instances 1
     repro control --sweep-voltages 0.6,0.7,0.8 --sweep-fleet-sizes 1,2,4
 """
 
@@ -136,7 +141,7 @@ def _add_traffic_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--arrival", default="poisson",
-        choices=["poisson", "bursty", "trace"],
+        choices=["poisson", "bursty", "diurnal", "trace"],
         help="arrival process (default: poisson)",
     )
     parser.add_argument(
@@ -166,6 +171,17 @@ def _add_traffic_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--burst-factor", type=float, default=4.0,
         help="burst-state rate multiplier for --arrival bursty",
+    )
+    parser.add_argument(
+        "--diurnal-period", type=float, default=60.0,
+        dest="diurnal_period_s", metavar="SECONDS",
+        help="day/night cycle length for --arrival diurnal "
+             "(default: 60)",
+    )
+    parser.add_argument(
+        "--diurnal-amplitude", type=float, default=0.8,
+        help="peak-to-mean swing in [0, 1] for --arrival diurnal "
+             "(default: 0.8)",
     )
     parser.add_argument(
         "--trace-file", default=None, metavar="PATH",
@@ -459,6 +475,8 @@ def _control_scenario(args, trace) -> ControlScenario:
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         seed=args.seed,
+        diurnal_period_s=args.diurnal_period_s,
+        diurnal_amplitude=args.diurnal_amplitude,
         slo_classes=(
             parse_slo_classes(args.slo_classes)
             if args.slo_classes
@@ -513,6 +531,8 @@ def _serve(args, out) -> None:
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         seed=args.seed,
+        diurnal_period_s=args.diurnal_period_s,
+        diurnal_amplitude=args.diurnal_amplitude,
     )
     cache = _cache_from(args)
     if args.curve_qps and (args.sweep_policies or args.sweep_instances):

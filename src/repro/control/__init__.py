@@ -33,7 +33,7 @@ from .hetero import (
     idle_power_w,
     parse_fleet_spec,
 )
-from .simulator import ControlScenario, simulate_controlled
+from .simulator import ControlHooks, ControlScenario, simulate_controlled
 from .slo import (
     DEFAULT_SLO_CLASSES,
     SHEDDING_POLICIES,
@@ -78,6 +78,7 @@ __all__ = [
     "DVFSGovernor",
     "GOVERNORS",
     "make_governor",
+    "ControlHooks",
     "ControlScenario",
     "simulate_controlled",
     "control_sweep",

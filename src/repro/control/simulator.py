@@ -1,19 +1,22 @@
 """SLO-aware controlled serving simulation.
 
-:func:`simulate_controlled` plays the same discrete-event story as
-:func:`repro.serve.simulate` — arrivals, scheduling, per-instance
-batching — with the control plane wired in:
+:func:`simulate_controlled` drives the same discrete-event kernel as
+:func:`repro.serve.simulate` (:class:`repro.serve.engine.Engine`) with
+the control plane plugged into its hooks:
 
 * every request carries an :class:`~repro.control.slo.SLOClass`
   (deadline, priority), drawn from the scenario's class shares;
-* an admission controller sheds or preempts at arrival, so overload
-  degrades gracefully instead of queueing unboundedly;
+* ``on_arrival`` runs the admission controller — shed or preempt at
+  arrival, so overload degrades gracefully instead of queueing
+  unboundedly;
 * instance queues are priority-ordered, so urgent classes batch first;
 * each instance runs its own ``(ArchConfig, OperatingPoint)`` — service
   times stretch with 1/f and busy/idle power follow the DVFS factors —
   and integrates energy over the run;
-* an optional autoscaling governor ticks at a fixed interval, powering
-  instances up/down (warm-up = weight reload) or walking a DVFS ladder.
+* ``on_tick`` evaluates an optional autoscaling governor at a fixed
+  interval, powering instances up/down (warm-up = weight reload) or
+  walking a DVFS ladder, and ``on_complete`` closes the power interval
+  of an instance that drained after being retired.
 
 Everything remains deterministic for a given :class:`ControlScenario`
 (a frozen dataclass of primitives), so controlled scenarios are
@@ -26,19 +29,26 @@ approximation only matters for the tick in which a transition lands.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..arch.params import EDEA_CONFIG, ArchConfig
 from ..errors import ConfigError
+from ..parallel.cache import extension_field
 from ..power.dvfs import DVFSModel
 from ..serve.arrival import make_arrivals
-from ..serve.fleet import Fleet, Request
+from ..serve.engine import (
+    Engine,
+    EngineHooks,
+    build_requests,
+    realized_offered_qps,
+    summarize_requests,
+)
+from ..serve.fleet import Fleet
 from ..serve.policies import make_policy
 from ..serve.profile import DEFAULT_WEIGHT_BANDWIDTH, build_mix
-from ..serve.simulator import _ARRIVE, _WAKE, ServingReport, _maybe_launch
+from ..serve.simulator import ServingReport
 from .autoscale import GOVERNORS, make_governor
 from .hetero import InstanceSpec, configure_instance
 from .slo import (
@@ -48,10 +58,7 @@ from .slo import (
     make_shedder,
 )
 
-__all__ = ["ControlScenario", "simulate_controlled"]
-
-_TICK = 3
-_EPS = 1e-12
+__all__ = ["ControlScenario", "ControlHooks", "simulate_controlled"]
 
 #: Default offered load (fraction of full-fleet capacity), as in serve.
 _DEFAULT_LOAD = 0.7
@@ -114,6 +121,8 @@ class ControlScenario:
     util_high: float = 0.85
     target_delay_ms: float = 5.0
     dvfs_ladder: tuple[float, ...] = (0.6, 0.7, 0.8)
+    diurnal_period_s: float = extension_field(60.0)
+    diurnal_amplitude: float = extension_field(0.8)
 
     def __post_init__(self) -> None:
         if self.requests < 1:
@@ -136,6 +145,8 @@ class ControlScenario:
             raise ConfigError(f"qps must be positive ({self.qps})")
         if self.tick_ms <= 0:
             raise ConfigError(f"tick_ms must be positive ({self.tick_ms})")
+        # The diurnal knobs are validated by DiurnalArrivals when the
+        # arrival process is built, like burst_factor by BurstyArrivals.
         if self.autoscale not in ("none", *GOVERNORS):
             known = ", ".join(["none", *sorted(GOVERNORS)])
             raise ConfigError(
@@ -160,35 +171,67 @@ class ControlScenario:
         return tuple(InstanceSpec() for _ in range(self.instances))
 
 
-def _draw_class(
-    classes: tuple[SLOClass, ...], rng: np.random.Generator
-) -> SLOClass:
-    total = sum(c.share for c in classes)
-    u = rng.random() * total
-    acc = 0.0
-    for cls in classes:
-        acc += cls.share
-        if u < acc:
-            return cls
-    return classes[-1]
+class ControlHooks(EngineHooks):
+    """The control plane as an engine hook configuration.
+
+    Admission runs the shedding policy against the instance the
+    scheduler chose; the tick evaluates the autoscaling governor; the
+    completion hook closes the power interval of a retired instance
+    once it has fully drained.
+    """
+
+    def __init__(self, shedder, governor=None) -> None:
+        self.shedder = shedder
+        self.governor = governor
+
+    def on_arrival(self, request, instance, now, engine) -> bool:
+        admitted, victim = self.shedder.admit(request, instance, now)
+        if victim is not None:
+            victim.shed = True
+        return admitted
+
+    def on_tick(self, now, engine) -> int:
+        if self.governor is None:
+            return 0
+        return self.governor.tick(engine.fleet, now)
+
+    def on_complete(self, instance, now, engine) -> None:
+        if (
+            not instance.active
+            and not instance.queue
+            and instance.is_idle(now)
+        ):
+            instance.close_power_interval(now)
 
 
-class _ActiveView:
-    """The active slice of the fleet, presented to scheduling policies
-    (which index 0..len-1); `resolve` maps a choice back to the fleet."""
-
-    def __init__(self, fleet: Fleet) -> None:
-        self.fleet = fleet
-        self.indices = fleet.active_indices()
-
-    def __len__(self) -> int:
-        return len(self.indices)
-
-    def __getitem__(self, index: int):
-        return self.fleet[self.indices[index]]
-
-    def resolve(self, index: int) -> int:
-        return self.indices[index]
+def _class_stats(
+    slo_classes: tuple[SLOClass, ...], buckets: dict
+) -> tuple[ClassStats, ...]:
+    """Materialize per-class stats from the summary's single-pass
+    buckets (``name -> [offered, met, latencies]``)."""
+    stats = []
+    for cls in slo_classes:
+        offered, met, latencies = buckets.get(cls.name, (0, 0, []))
+        completed = len(latencies)
+        stats.append(
+            ClassStats(
+                name=cls.name,
+                priority=cls.priority,
+                deadline_ms=cls.deadline_ms,
+                target=cls.target,
+                offered=offered,
+                shed=offered - completed,
+                completed=completed,
+                met=met,
+                attainment=met / offered if offered else 0.0,
+                latency_p99_s=(
+                    float(np.percentile(latencies, 99))
+                    if latencies
+                    else 0.0
+                ),
+            )
+        )
+    return tuple(stats)
 
 
 def simulate_controlled(scenario: ControlScenario) -> ServingReport:
@@ -229,6 +272,8 @@ def simulate_controlled(scenario: ControlScenario) -> ServingReport:
         qps,
         burst_factor=scenario.burst_factor,
         trace=scenario.trace,
+        diurnal_period_s=scenario.diurnal_period_s,
+        diurnal_amplitude=scenario.diurnal_amplitude,
     )
     n = scenario.requests
     if scenario.arrival == "trace":
@@ -236,22 +281,9 @@ def simulate_controlled(scenario: ControlScenario) -> ServingReport:
 
     rng = np.random.default_rng(scenario.seed)
     times = arrivals.times(n, rng)
-    requests = []
-    for i in range(n):
-        model = mix.sample(rng)
-        cls = _draw_class(scenario.slo_classes, rng)
-        arrival = float(times[i])
-        requests.append(
-            Request(
-                index=i,
-                model=model,
-                profile=mix.profile(model),
-                arrival=arrival,
-                slo=cls.name,
-                priority=cls.priority,
-                deadline=arrival + cls.deadline_s,
-            )
-        )
+    requests = build_requests(
+        mix, times, rng, slo_classes=scenario.slo_classes
+    )
 
     window_end = float(times[-1])
     for instance in fleet:
@@ -295,83 +327,26 @@ def simulate_controlled(scenario: ControlScenario) -> ServingReport:
     policy.reset()
     shedder = make_shedder(scenario.shedding, scenario.queue_threshold)
 
-    heap: list = []
-    seq = [0]
-    for request in requests:
-        seq[0] += 1
-        heapq.heappush(heap, (request.arrival, seq[0], _ARRIVE, request))
-    if governor is not None:
-        seq[0] += 1
-        heapq.heappush(heap, (tick_s, seq[0], _TICK, None))
+    engine = Engine(
+        fleet,
+        policy,
+        max_batch=scenario.max_batch,
+        max_wait_s=scenario.max_wait_ms * 1e-3,
+        hooks=ControlHooks(shedder, governor),
+        tick_s=tick_s if governor is not None else None,
+        priority_queues=True,
+    )
+    run = engine.run(requests)
 
-    autoscale_events = 0
-    remaining = n
-    while heap:
-        now, _, kind, payload = heapq.heappop(heap)
-        if kind == _ARRIVE:
-            remaining -= 1
-            view = _ActiveView(fleet)
-            instance = fleet[view.resolve(policy.choose(payload, view, now))]
-            admitted, victim = shedder.admit(payload, instance, now)
-            if victim is not None:
-                victim.shed = True
-            if not admitted:
-                payload.shed = True
-                continue
-            instance.enqueue(payload, priority_aware=True)
-            _maybe_launch(instance, now, scenario, heap, seq)
-        elif kind == _TICK:
-            before = [i.busy_until for i in fleet]
-            autoscale_events += governor.tick(fleet, now)
-            # A power-up extends busy_until (warm-up) without launching
-            # a batch, which can swallow the instance's pending
-            # completion event; re-arm a wake at the new horizon so its
-            # queue is re-examined (the event-loop invariant is "busy
-            # implies a pending event at busy_until").
-            for instance in fleet:
-                if (
-                    instance.busy_until > before[instance.index]
-                    and instance.busy_until > now
-                ):
-                    seq[0] += 1
-                    heapq.heappush(
-                        heap,
-                        (
-                            instance.busy_until,
-                            seq[0],
-                            _WAKE,
-                            instance.index,
-                        ),
-                    )
-            busy = any(
-                i.queue or i.busy_until > now + _EPS for i in fleet
-            )
-            if remaining > 0 or busy:
-                seq[0] += 1
-                heapq.heappush(
-                    heap, (now + tick_s, seq[0], _TICK, None)
-                )
-        else:  # _COMPLETE and _WAKE both just re-examine the queue
-            instance = fleet[payload]
-            _maybe_launch(instance, now, scenario, heap, seq)
-            if (
-                not instance.active
-                and not instance.queue
-                and instance.is_idle(now)
-            ):
-                instance.close_power_interval(now)
-
-    admitted = [r for r in requests if not r.shed]
-    unserved = [r.index for r in admitted if r.finish < 0]
-    if unserved:
-        raise ConfigError(
-            f"simulation ended with {len(unserved)} unserved requests"
-        )
+    summary = summarize_requests(requests, track_classes=True)
+    completed = summary.completed
+    latencies = summary.latencies
+    waits = summary.waits
 
     end_time = max(
-        [window_end]
-        + [r.finish for r in admitted]
-        + [i.busy_until for i in fleet]
+        window_end,
+        summary.max_finish,
+        max(i.busy_until for i in fleet),
     )
     for instance in fleet:
         if instance.powered_since is not None:
@@ -384,48 +359,6 @@ def simulate_controlled(scenario: ControlScenario) -> ServingReport:
         idle = max(0.0, instance.powered_seconds - instance.busy_seconds)
         energy += instance.energy_joules + idle * instance.idle_power_w
 
-    completed = len(admitted)
-    if admitted:
-        latencies = np.array([r.latency for r in admitted])
-        waits = np.array([r.queue_wait for r in admitted])
-    else:
-        latencies = waits = np.zeros(1)
-
-    counts: dict[str, int] = {}
-    for request in admitted:
-        counts[request.model] = counts.get(request.model, 0) + 1
-
-    class_stats = []
-    for cls in scenario.slo_classes:
-        of_class = [r for r in requests if r.slo == cls.name]
-        done = [r for r in of_class if not r.shed]
-        met = sum(r.met_deadline for r in done)
-        class_stats.append(
-            ClassStats(
-                name=cls.name,
-                priority=cls.priority,
-                deadline_ms=cls.deadline_ms,
-                target=cls.target,
-                offered=len(of_class),
-                shed=len(of_class) - len(done),
-                completed=len(done),
-                met=met,
-                attainment=(
-                    met / len(of_class) if of_class else 0.0
-                ),
-                latency_p99_s=(
-                    float(np.percentile([r.latency for r in done], 99))
-                    if done
-                    else 0.0
-                ),
-            )
-        )
-
-    if scenario.arrival == "trace":
-        span = float(times[-1])
-        offered_qps = n / span if span > 0 else float(n)
-    else:
-        offered_qps = qps
     total_batches = sum(i.batches for i in fleet)
     return ServingReport(
         mix=scenario.mix,
@@ -433,7 +366,9 @@ def simulate_controlled(scenario: ControlScenario) -> ServingReport:
         policy=scenario.policy,
         instances=len(fleet),
         requests=completed,
-        offered_qps=float(offered_qps),
+        offered_qps=realized_offered_qps(
+            scenario.arrival, times, n, qps
+        ),
         capacity_qps=float(capacity),
         makespan_s=end_time,
         sustained_qps=completed / end_time if end_time > 0 else 0.0,
@@ -452,7 +387,7 @@ def simulate_controlled(scenario: ControlScenario) -> ServingReport:
             for i in fleet
         ),
         served_per_instance=tuple(i.served for i in fleet),
-        per_model_counts=tuple(sorted(counts.items())),
+        per_model_counts=summary.model_counts,
         busy_window_s=window_end,
         utilization_busy=tuple(
             i.busy_seconds_window / window_end if window_end > 0 else 0.0
@@ -464,8 +399,10 @@ def simulate_controlled(scenario: ControlScenario) -> ServingReport:
         joules_per_request=(
             float(energy / completed) if completed else None
         ),
-        class_stats=tuple(class_stats),
-        autoscale_events=autoscale_events,
+        class_stats=_class_stats(
+            scenario.slo_classes, summary.class_buckets
+        ),
+        autoscale_events=run.tick_actions,
         mean_active_instances=(
             sum(i.powered_seconds for i in fleet) / end_time
             if end_time > 0

@@ -13,22 +13,16 @@ from typing import Sequence
 
 from ..errors import EvaluationError
 from ..serve.simulator import ServingReport
-from .charts import bar_chart
 from .report import render_table
+from .serving_format import mj as _mj
+from .serving_format import ms as _ms
+from .serving_format import report_title, utilization_chart
 
 __all__ = [
     "render_control_report",
     "render_control_sweep",
     "report_to_dict",
 ]
-
-
-def _ms(seconds: float) -> float:
-    return round(1e3 * seconds, 3)
-
-
-def _mj(joules: float | None) -> float | None:
-    return None if joules is None else round(1e3 * joules, 3)
 
 
 def report_to_dict(report: ServingReport) -> dict:
@@ -48,8 +42,7 @@ def report_to_dict(report: ServingReport) -> dict:
 def render_control_report(report: ServingReport) -> str:
     """One controlled run: headline, per-class SLOs, energy, shedding."""
     headline = render_table(
-        f"Control report — mix={report.mix} arrival={report.arrival} "
-        f"policy={report.policy} instances={report.instances}",
+        report_title("Control report", report),
         ["Metric", "Value"],
         [
             ["offered requests", report.offered_requests],
@@ -105,11 +98,8 @@ def render_control_report(report: ServingReport) -> str:
             for cs in report.class_stats
         ],
     )
-    utilization = bar_chart(
-        "Per-instance utilization (of makespan)",
-        [f"inst {i}" for i in range(report.instances)],
-        [100.0 * u for u in report.utilization],
-        unit="%",
+    utilization = utilization_chart(
+        report, "Per-instance utilization (of makespan)"
     )
     return "\n\n".join([headline, classes, utilization])
 

@@ -13,6 +13,8 @@ from ..errors import EvaluationError
 from ..serve.simulator import ServingReport
 from .charts import bar_chart
 from .report import render_table
+from .serving_format import ms as _ms
+from .serving_format import report_title, utilization_chart
 
 __all__ = [
     "render_serving_report",
@@ -21,15 +23,10 @@ __all__ = [
 ]
 
 
-def _ms(seconds: float) -> float:
-    return round(1e3 * seconds, 3)
-
-
 def render_serving_report(report: ServingReport) -> str:
     """One serving run: headline numbers plus per-instance utilization."""
     headline = render_table(
-        f"Serving report — mix={report.mix} arrival={report.arrival} "
-        f"policy={report.policy} instances={report.instances}",
+        report_title("Serving report", report),
         ["Metric", "Value"],
         [
             ["requests", report.requests],
@@ -55,12 +52,7 @@ def render_serving_report(report: ServingReport) -> str:
             ],
         ],
     )
-    utilization = bar_chart(
-        "Per-instance utilization",
-        [f"inst {i}" for i in range(report.instances)],
-        [100.0 * u for u in report.utilization],
-        unit="%",
-    )
+    utilization = utilization_chart(report, "Per-instance utilization")
     traffic = render_table(
         "Traffic mix",
         ["Model", "Requests"],

@@ -1,0 +1,42 @@
+"""Shared formatting helpers for the serving/control report renderers.
+
+:mod:`repro.eval.serving` (data plane) and :mod:`repro.eval.control`
+(SLO/energy control plane) render the same :class:`ServingReport`
+shape; the unit conversions, report titles, and per-instance
+utilization chart they previously each re-implemented live here once.
+"""
+
+from __future__ import annotations
+
+from .charts import bar_chart
+
+__all__ = ["ms", "mj", "report_title", "utilization_chart"]
+
+
+def ms(seconds: float) -> float:
+    """Seconds -> milliseconds, rounded for table display."""
+    return round(1e3 * seconds, 3)
+
+
+def mj(joules: float | None) -> float | None:
+    """Joules -> millijoules, rounded; passes ``None`` through (the
+    data plane carries no energy)."""
+    return None if joules is None else round(1e3 * joules, 3)
+
+
+def report_title(kind: str, report) -> str:
+    """The headline-table title shared by every report renderer."""
+    return (
+        f"{kind} — mix={report.mix} arrival={report.arrival} "
+        f"policy={report.policy} instances={report.instances}"
+    )
+
+
+def utilization_chart(report, caption: str) -> str:
+    """The per-instance utilization bar chart (percent of makespan)."""
+    return bar_chart(
+        caption,
+        [f"inst {i}" for i in range(report.instances)],
+        [100.0 * u for u in report.utilization],
+        unit="%",
+    )

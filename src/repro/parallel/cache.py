@@ -32,10 +32,32 @@ import numpy as np
 
 from ..errors import ConfigError
 
-__all__ = ["CACHE_SCHEMA_VERSION", "ResultCache", "canonical", "make_key"]
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "ResultCache",
+    "canonical",
+    "extension_field",
+    "make_key",
+]
 
 #: Bump to invalidate every previously stored entry.
 CACHE_SCHEMA_VERSION = 1
+
+
+def extension_field(default: Any) -> Any:
+    """A dataclass field added *after* results already live in caches.
+
+    :func:`canonical` omits such a field while it still equals
+    ``default``, so content keys derived before the field existed — and
+    every warm :class:`ResultCache` entry stored under them — keep
+    resolving.  Any non-default value participates in the key exactly
+    like an ordinary field.  Use this for every field grown onto a
+    cached request dataclass (scenarios, configs) whose default
+    preserves the old behaviour.
+    """
+    return dataclasses.field(
+        default=default, metadata={"cache_extension": True}
+    )
 
 
 def canonical(obj: Any) -> Any:
@@ -53,10 +75,18 @@ def canonical(obj: Any) -> Any:
     if isinstance(obj, enum.Enum):
         return [type(obj).__name__, obj.name]
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        fields = {
-            f.name: canonical(getattr(obj, f.name))
-            for f in dataclasses.fields(obj)
-        }
+        fields = {}
+        for f in dataclasses.fields(obj):
+            value = getattr(obj, f.name)
+            # Extension fields stay out of the key at their default so
+            # pre-extension keys (and warm cache entries) survive.
+            if (
+                f.metadata.get("cache_extension")
+                and f.default is not dataclasses.MISSING
+                and value == f.default
+            ):
+                continue
+            fields[f.name] = canonical(value)
         return [type(obj).__name__, fields]
     if isinstance(obj, np.ndarray):
         digest = hashlib.sha256(np.ascontiguousarray(obj).tobytes())

@@ -9,6 +9,11 @@ heterogeneous workloads, :mod:`repro.parallel` for sweeps — into a
 discrete-event simulator with pluggable arrival processes, scheduling
 policies, and per-instance batching.
 
+The event machinery is one shared kernel, :mod:`repro.serve.engine`:
+:func:`simulate` runs it with default hooks, and the SLO/energy control
+plane (:mod:`repro.control`) runs the *same* loop through its
+admission/governor hooks.
+
 Quick start::
 
     from repro.serve import ServingScenario, simulate
@@ -19,14 +24,18 @@ Quick start::
 
 from .arrival import (
     BurstyArrivals,
+    DiurnalArrivals,
     PoissonArrivals,
     TraceArrivals,
     make_arrivals,
 )
+from .engine import Engine, EngineHooks, EngineRun
 from .fleet import Batch, Fleet, Instance, Request
 from .policies import (
     POLICIES,
     AffinityPolicy,
+    DeadlineAwarePolicy,
+    EnergyAwarePolicy,
     LeastLoadedPolicy,
     RoundRobinPolicy,
     SchedulingPolicy,
@@ -49,8 +58,12 @@ from .sweep import (
 __all__ = [
     "PoissonArrivals",
     "BurstyArrivals",
+    "DiurnalArrivals",
     "TraceArrivals",
     "make_arrivals",
+    "Engine",
+    "EngineHooks",
+    "EngineRun",
     "Request",
     "Batch",
     "Instance",
@@ -59,6 +72,8 @@ __all__ = [
     "RoundRobinPolicy",
     "LeastLoadedPolicy",
     "AffinityPolicy",
+    "DeadlineAwarePolicy",
+    "EnergyAwarePolicy",
     "POLICIES",
     "make_policy",
     "ServiceProfile",

@@ -1,12 +1,14 @@
 """Request arrival processes for the serving simulator.
 
-Three traffic shapes cover the deployment stories the ROADMAP cares
-about: steady user traffic (Poisson), flash-crowd / diurnal burstiness
-(a two-state Markov-modulated Poisson process), and replayed production
-traces.  Every process is a frozen dataclass of primitives so arrival
-configurations participate in the persistent result-cache key
-(:func:`repro.parallel.cache.canonical`), and every draw goes through
-the caller's seeded generator, keeping simulations bit-reproducible.
+Four traffic shapes cover the deployment stories the ROADMAP cares
+about: steady user traffic (Poisson), flash-crowd burstiness (a
+two-state Markov-modulated Poisson process), day/night load swings (a
+sinusoidally modulated Poisson process that exercises autoscalers), and
+replayed production traces.  Every process is a frozen dataclass of
+primitives so arrival configurations participate in the persistent
+result-cache key (:func:`repro.parallel.cache.canonical`), and every
+draw goes through the caller's seeded generator, keeping simulations
+bit-reproducible.
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ from ..errors import ConfigError
 __all__ = [
     "PoissonArrivals",
     "BurstyArrivals",
+    "DiurnalArrivals",
     "TraceArrivals",
     "make_arrivals",
 ]
@@ -136,6 +139,82 @@ class BurstyArrivals:
 
 
 @dataclass(frozen=True)
+class DiurnalArrivals:
+    """Day/night traffic: a sinusoidally modulated Poisson process.
+
+    The instantaneous rate swings through one full cycle per
+    ``period_s``::
+
+        lambda(t) = rate_qps * (1 - amplitude * cos(2 pi t / period_s))
+
+    starting at the *trough* (night) so a simulation opens on a quiet
+    fleet, ramps through the morning to the midday peak at
+    ``period_s / 2``, and falls back — the traffic shape that drives an
+    autoscaler through grow-and-shrink cycles.  Arrivals are generated
+    by Lewis-Shedler thinning: candidate arrivals at the peak rate,
+    each accepted with probability ``lambda(t) / lambda_max``, which
+    keeps the process exact and bit-reproducible for a seeded
+    generator.  The dwell-weighted mean rate is ``rate_qps``.
+
+    Attributes:
+        rate_qps: Mean arrival rate over a full cycle.
+        period_s: Length of one day/night cycle in simulated seconds.
+        amplitude: Peak-to-mean swing in [0, 1]: the peak rate is
+            ``(1 + amplitude) * rate_qps`` and the trough
+            ``(1 - amplitude) * rate_qps`` (1 = the night goes fully
+            quiet; 0 = plain Poisson).
+    """
+
+    rate_qps: float
+    period_s: float = 60.0
+    amplitude: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.rate_qps <= 0:
+            raise ConfigError(
+                f"rate_qps must be positive ({self.rate_qps})"
+            )
+        if self.period_s <= 0:
+            raise ConfigError(
+                f"period_s must be positive ({self.period_s})"
+            )
+        if not 0.0 <= self.amplitude <= 1.0:
+            raise ConfigError(
+                f"amplitude must be in [0, 1] ({self.amplitude})"
+            )
+
+    @property
+    def mean_rate_qps(self) -> float:
+        return self.rate_qps
+
+    def rate_at(self, t: float) -> float:
+        """The instantaneous offered rate at simulation time ``t``."""
+        omega = 2.0 * np.pi / self.period_s
+        return self.rate_qps * (
+            1.0 - self.amplitude * np.cos(omega * t)
+        )
+
+    def times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n < 1:
+            raise ConfigError(f"need at least one arrival ({n})")
+        peak = self.rate_qps * (1.0 + self.amplitude)
+        omega = 2.0 * np.pi / self.period_s
+        rate = self.rate_qps
+        amplitude = self.amplitude
+        cos = np.cos
+        out = np.empty(n)
+        t = 0.0
+        produced = 0
+        while produced < n:
+            t += rng.exponential(1.0 / peak)
+            lam = rate * (1.0 - amplitude * cos(omega * t))
+            if rng.random() * peak <= lam:
+                out[produced] = t
+                produced += 1
+        return out
+
+
+@dataclass(frozen=True)
 class TraceArrivals:
     """Replay of an explicit timestamp trace.
 
@@ -176,24 +255,35 @@ def make_arrivals(
     rate_qps: float,
     burst_factor: float = 4.0,
     trace: tuple[float, ...] | None = None,
+    diurnal_period_s: float = 60.0,
+    diurnal_amplitude: float = 0.8,
 ):
     """Arrival-process factory keyed by CLI name.
 
     Args:
-        kind: ``"poisson"``, ``"bursty"``, or ``"trace"``.
+        kind: ``"poisson"``, ``"bursty"``, ``"diurnal"``, or
+            ``"trace"``.
         rate_qps: Offered rate (ignored for traces).
         burst_factor: Burst multiplier for the bursty process.
         trace: Timestamps for ``kind="trace"``.
+        diurnal_period_s: Day/night cycle length for ``"diurnal"``.
+        diurnal_amplitude: Peak-to-mean swing for ``"diurnal"``.
     """
     if kind == "poisson":
         return PoissonArrivals(rate_qps)
     if kind == "bursty":
         return BurstyArrivals(rate_qps, burst_factor=burst_factor)
+    if kind == "diurnal":
+        return DiurnalArrivals(
+            rate_qps,
+            period_s=diurnal_period_s,
+            amplitude=diurnal_amplitude,
+        )
     if kind == "trace":
         if trace is None:
             raise ConfigError("trace arrivals need timestamps")
         return TraceArrivals(tuple(float(t) for t in trace))
     raise ConfigError(
         f"unknown arrival process {kind!r} "
-        "(known: poisson, bursty, trace)"
+        "(known: poisson, bursty, diurnal, trace)"
     )

@@ -20,7 +20,7 @@ from .profile import ServiceProfile
 __all__ = ["Request", "Batch", "Instance", "Fleet"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """One inference request travelling through the serving system.
 
@@ -64,7 +64,7 @@ class Request:
         return not self.shed and 0 <= self.finish <= self.deadline
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Batch:
     """A same-model run of requests launched together."""
 
@@ -82,7 +82,7 @@ class Batch:
         return len(self.requests)
 
 
-@dataclass
+@dataclass(slots=True)
 class Instance:
     """One accelerator instance with its FIFO batching queue.
 
@@ -192,9 +192,13 @@ class Instance:
         """Work the instance still owes: in-flight remainder + queued
         service time (model-switch costs excluded — they depend on the
         batching outcome, and the estimate only ranks instances)."""
-        return max(0.0, self.busy_until - now) + max(
-            0.0, self.queued_seconds
-        ) * self.latency_scale
+        pending = self.busy_until - now
+        if pending < 0.0:
+            pending = 0.0
+        queued = self.queued_seconds
+        if queued > 0.0:
+            pending += queued * self.latency_scale
+        return pending
 
     def estimated_completion(self, request: Request, now: float) -> float:
         """First-order completion estimate if ``request`` joined now
@@ -255,26 +259,57 @@ class Instance:
         come from the instance's own profile (heterogeneous fleets) when
         one is set, stretched by its DVFS ``latency_scale``.
         """
-        for _ in batch.requests:
-            popped = self.queue.popleft()
-            self.queued_seconds -= popped.profile.per_image_seconds
-        if not self.queue:
-            self.queued_seconds = 0.0  # shed float residue when empty
-        cold = self.loaded_model != batch.model
-        profile = self.profile_for(batch.model) or batch.profile
+        return self._serve(batch.requests, now)
+
+    def launch_head(self, max_batch: int, now: float) -> float:
+        """Launch the due head batch without materializing a
+        :class:`Batch`: pops the longest same-model run at the queue
+        head (capped at ``max_batch``) and serves it.  The engine's hot
+        path — identical outcome to ``launch(next_batch(max_batch))``.
+        """
+        queue = self.queue
+        if not queue:
+            raise ConfigError("no queued requests to batch")
+        model = queue[0].model
+        members = [queue.popleft()]
+        while (
+            len(members) < max_batch
+            and queue
+            and queue[0].model == model
+        ):
+            members.append(queue.popleft())
+        return self._serve(members, now)
+
+    def _serve(self, requests, now: float) -> float:
+        """Serve an already-selected same-model run (shared by
+        :meth:`launch` and :meth:`launch_head`)."""
+        queue = self.queue
+        queued_seconds = self.queued_seconds
+        for request in requests:
+            if queue and queue[0] is request:
+                queue.popleft()
+            queued_seconds -= request.profile.per_image_seconds
+        self.queued_seconds = queued_seconds if queue else 0.0
+        head = requests[0]
+        model = head.model
+        cold = self.loaded_model != model
+        profile = self.profile_for(model) or head.profile
         setup = profile.setup_seconds if cold else 0.0
         per_image = profile.per_image_seconds * self.latency_scale
-        for i, request in enumerate(batch.requests):
+        base = now + setup
+        count = 0
+        for request in requests:
+            count += 1
             request.start = now
-            request.finish = now + setup + (i + 1) * per_image
-        service = setup + len(batch) * per_image
+            request.finish = base + count * per_image
+        service = setup + count * per_image
         self.busy_until = now + service
         self._accrue_busy(now, service)
-        self.served += len(batch)
+        self.served += count
         self.batches += 1
         if cold:
             self.setups += 1
-        self.loaded_model = batch.model
+        self.loaded_model = model
         return self.busy_until
 
 

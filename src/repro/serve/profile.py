@@ -18,6 +18,7 @@ scheduling worth having in mixed-model traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from ..arch.params import EDEA_CONFIG, ArchConfig
 from ..errors import ConfigError
@@ -59,17 +60,20 @@ class ServiceProfile:
     clock_hz: float = EDEA_CONFIG.clock_hz
     weight_bandwidth: float = DEFAULT_WEIGHT_BANDWIDTH
 
-    @property
+    # The three derived quantities below sit on the event loop's
+    # hottest paths (every enqueue, launch, and placement estimate), so
+    # they are cached per profile instead of re-summed per access.
+    @cached_property
     def total_cycles(self) -> int:
         """Network latency of one image in cycles."""
         return sum(self.layer_cycles)
 
-    @property
+    @cached_property
     def per_image_seconds(self) -> float:
         """Service time of one image (fastpath latency)."""
         return self.total_cycles / self.clock_hz
 
-    @property
+    @cached_property
     def setup_seconds(self) -> float:
         """Weight-streaming latency paid on a model switch."""
         return self.weight_bytes / self.weight_bandwidth
@@ -176,7 +180,13 @@ class ScenarioMix:
         )
 
     def sample(self, rng) -> str:
-        """Draw a model name with the mix's weights."""
+        """Draw a model name with the mix's weights.
+
+        The simulators draw whole request streams through the
+        vectorized :func:`repro.serve.engine.build_requests`, which
+        must stay draw-for-draw identical to this scalar form (a test
+        pins the two together); change them in lockstep.
+        """
         total = sum(self.weights)
         u = rng.random() * total
         acc = 0.0

@@ -1,13 +1,14 @@
-"""Discrete-event serving simulation over a fleet of accelerators.
+"""Request-level serving simulation over a fleet of accelerators.
 
 One :func:`simulate` call plays a whole serving story: requests arrive
 under a configured traffic process, a scheduling policy routes each one
 to an instance, per-instance batching queues amortize model switches,
 and every service time is the deterministic fastpath latency of the
-request's network.  The event loop is a single heap of arrivals, batch
-completions, and batching-timeout wakes — 10k requests simulate in well
-under a second, so throughput-latency curves and policy sweeps are
-cheap enough to fan out through :mod:`repro.parallel`.
+request's network.  The event machinery itself lives in
+:mod:`repro.serve.engine` — ``simulate`` is a thin configuration of the
+shared kernel with all hooks at their no-op defaults, the same kernel
+the SLO/energy control plane (:func:`repro.control.simulate_controlled`)
+drives through its admission/governor hooks.
 
 Everything is deterministic for a given :class:`ServingScenario`
 (a frozen dataclass of primitives), which makes scenarios cacheable
@@ -16,22 +17,25 @@ content keys and reports reproducible across processes.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..arch.params import EDEA_CONFIG, ArchConfig
 from ..errors import ConfigError
+from ..parallel.cache import extension_field
 from .arrival import make_arrivals
-from .fleet import Fleet, Request
+from .engine import (
+    Engine,
+    build_requests,
+    realized_offered_qps,
+    summarize_requests,
+)
+from .fleet import Fleet
 from .policies import make_policy
 from .profile import DEFAULT_WEIGHT_BANDWIDTH, build_mix
 
 __all__ = ["ServingScenario", "ServingReport", "simulate"]
-
-_ARRIVE, _COMPLETE, _WAKE = 0, 1, 2
-_EPS = 1e-12
 
 #: Default offered load as a fraction of fleet capacity when no QPS is
 #: requested: high enough to queue, low enough to be stable.
@@ -45,7 +49,8 @@ class ServingScenario:
     Attributes:
         mix: Scenario mix name (see
             :data:`repro.serve.profile.SCENARIO_MIXES`).
-        arrival: Traffic shape: ``"poisson"``, ``"bursty"``, ``"trace"``.
+        arrival: Traffic shape: ``"poisson"``, ``"bursty"``,
+            ``"diurnal"``, ``"trace"``.
         qps: Offered rate; ``None`` picks 70% of fleet capacity.
         burst_factor: Burst multiplier for bursty traffic.
         trace: Arrival timestamps for trace replay.
@@ -57,6 +62,8 @@ class ServingScenario:
         seed: RNG seed (arrival draws and mix sampling).
         config: Architecture parameters for the service-time model.
         weight_bandwidth: External bandwidth for model switches.
+        diurnal_period_s: One day/night cycle for diurnal traffic.
+        diurnal_amplitude: Peak-to-mean swing of the diurnal rate.
     """
 
     mix: str = "mixed"
@@ -72,6 +79,8 @@ class ServingScenario:
     seed: int = 0
     config: ArchConfig = EDEA_CONFIG
     weight_bandwidth: float = DEFAULT_WEIGHT_BANDWIDTH
+    diurnal_period_s: float = extension_field(60.0)
+    diurnal_amplitude: float = extension_field(0.8)
 
     def __post_init__(self) -> None:
         if self.requests < 1:
@@ -86,6 +95,8 @@ class ServingScenario:
             )
         if self.qps is not None and self.qps <= 0:
             raise ConfigError(f"qps must be positive ({self.qps})")
+        # The diurnal knobs are validated by DiurnalArrivals when the
+        # arrival process is built, like burst_factor by BurstyArrivals.
 
 
 @dataclass(frozen=True)
@@ -171,35 +182,6 @@ class ServingReport:
         return sum(cs.met for cs in self.class_stats) / offered
 
 
-def _maybe_launch(
-    instance,
-    now: float,
-    scenario: ServingScenario,
-    heap: list,
-    seq: list,
-) -> None:
-    """Launch the head batch if it is due, else schedule its timeout."""
-    if not instance.is_idle(now) or not instance.queue:
-        return
-    max_wait = scenario.max_wait_ms * 1e-3
-    batch = instance.next_batch(scenario.max_batch)
-    head = batch.requests[0]
-    due = (
-        len(batch) >= scenario.max_batch
-        or now >= head.arrival + max_wait - _EPS
-    )
-    if due:
-        finish = instance.launch(batch, now)
-        seq[0] += 1
-        heapq.heappush(heap, (finish, seq[0], _COMPLETE, instance.index))
-    else:
-        seq[0] += 1
-        heapq.heappush(
-            heap,
-            (head.arrival + max_wait, seq[0], _WAKE, instance.index),
-        )
-
-
 def simulate(scenario: ServingScenario) -> ServingReport:
     """Run one serving scenario to completion.
 
@@ -218,6 +200,8 @@ def simulate(scenario: ServingScenario) -> ServingReport:
         qps,
         burst_factor=scenario.burst_factor,
         trace=scenario.trace,
+        diurnal_period_s=scenario.diurnal_period_s,
+        diurnal_amplitude=scenario.diurnal_amplitude,
     )
     n = scenario.requests
     if scenario.arrival == "trace":
@@ -225,17 +209,7 @@ def simulate(scenario: ServingScenario) -> ServingReport:
 
     rng = np.random.default_rng(scenario.seed)
     times = arrivals.times(n, rng)
-    requests = []
-    for i in range(n):
-        model = mix.sample(rng)
-        requests.append(
-            Request(
-                index=i,
-                model=model,
-                profile=mix.profile(model),
-                arrival=float(times[i]),
-            )
-        )
+    requests = build_requests(mix, times, rng)
 
     fleet = Fleet(scenario.instances)
     window_end = float(times[-1])
@@ -244,48 +218,29 @@ def simulate(scenario: ServingScenario) -> ServingReport:
     policy = make_policy(scenario.policy)
     policy.reset()
 
-    heap: list = []
-    seq = [0]
-    for request in requests:
-        seq[0] += 1
-        heapq.heappush(heap, (request.arrival, seq[0], _ARRIVE, request))
+    engine = Engine(
+        fleet,
+        policy,
+        max_batch=scenario.max_batch,
+        max_wait_s=scenario.max_wait_ms * 1e-3,
+    )
+    engine.run(requests)
 
-    while heap:
-        now, _, kind, payload = heapq.heappop(heap)
-        if kind == _ARRIVE:
-            instance = fleet[policy.choose(payload, fleet, now)]
-            instance.enqueue(payload)
-            _maybe_launch(instance, now, scenario, heap, seq)
-        else:  # _COMPLETE and _WAKE both just re-examine the queue
-            _maybe_launch(fleet[payload], now, scenario, heap, seq)
-
-    unserved = [r.index for r in requests if r.finish < 0]
-    if unserved:
-        raise ConfigError(
-            f"simulation ended with {len(unserved)} unserved requests"
-        )
-
-    latencies = np.array([r.latency for r in requests])
-    waits = np.array([r.queue_wait for r in requests])
-    makespan = float(max(r.finish for r in requests))
+    summary = summarize_requests(requests)
+    latencies = summary.latencies
+    waits = summary.waits
+    makespan = summary.max_finish
     total_batches = sum(i.batches for i in fleet)
-    counts: dict[str, int] = {}
-    for request in requests:
-        counts[request.model] = counts.get(request.model, 0) + 1
 
-    if scenario.arrival == "trace":
-        # Rate of the prefix actually played, not of the whole trace.
-        span = float(times[-1])
-        offered = n / span if span > 0 else float(n)
-    else:
-        offered = qps
     return ServingReport(
         mix=scenario.mix,
         arrival=scenario.arrival,
         policy=scenario.policy,
         instances=scenario.instances,
         requests=n,
-        offered_qps=float(offered),
+        offered_qps=realized_offered_qps(
+            scenario.arrival, times, n, qps
+        ),
         capacity_qps=float(capacity),
         makespan_s=makespan,
         sustained_qps=n / makespan if makespan > 0 else 0.0,
@@ -302,7 +257,7 @@ def simulate(scenario: ServingScenario) -> ServingReport:
             for i in fleet
         ),
         served_per_instance=tuple(i.served for i in fleet),
-        per_model_counts=tuple(sorted(counts.items())),
+        per_model_counts=summary.model_counts,
         busy_window_s=window_end,
         utilization_busy=tuple(
             i.busy_seconds_window / window_end if window_end > 0 else 0.0

@@ -1,0 +1,154 @@
+"""Deadline- and energy-aware routing, and diurnal-driven autoscaling.
+
+These are the first clients of the unified engine's hook protocol from
+ROADMAP's open items: the scheduler *sees* per-request deadlines
+(admission-aware scheduling), weighs joules against queue delay on
+DVFS-heterogeneous fleets (energy-aware routing), and an autoscaler is
+driven through day/night load swings (diurnal traffic).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.control import (
+    ControlScenario,
+    InstanceSpec,
+    SLOClass,
+    simulate_controlled,
+)
+
+#: A DVFS-heterogeneous fleet: two nominal instances and two slow
+#: low-voltage ones, under a single tight-deadline class sized so the
+#: slow instances can only meet it when nearly idle.
+HETERO = ControlScenario(
+    mix="v1-224",
+    qps=1_500.0,
+    requests=4_000,
+    fleet=(
+        InstanceSpec(voltage_v=0.8),
+        InstanceSpec(voltage_v=0.8),
+        InstanceSpec(voltage_v=0.6),
+        InstanceSpec(voltage_v=0.6),
+    ),
+    slo_classes=(SLOClass("tight", deadline_ms=2.5, target=0.9),),
+    max_batch=1,
+    max_wait_ms=0.0,
+    seed=7,
+)
+
+
+class TestDeadlineAwareRouting:
+    def test_beats_least_loaded_on_attainment(self):
+        """The acceptance bar: seeing deadlines at placement time must
+        convert misses that least-loaded routing takes (shortest queue
+        on a too-slow instance) into hits on a feasible one."""
+        ll = simulate_controlled(
+            dataclasses.replace(HETERO, policy="least-loaded")
+        )
+        da = simulate_controlled(
+            dataclasses.replace(HETERO, policy="deadline-aware")
+        )
+        assert da.slo_attainment > ll.slo_attainment
+        assert da.latency_p99_s <= ll.latency_p99_s
+        # Same offered traffic on both runs, nothing shed.
+        assert da.offered_requests == ll.offered_requests == 4_000
+        assert da.shed_requests == ll.shed_requests == 0
+
+    def test_composes_with_deadline_shedding(self):
+        report = simulate_controlled(
+            dataclasses.replace(
+                HETERO,
+                policy="deadline-aware",
+                shedding="deadline",
+                qps=3_000.0,
+            )
+        )
+        (cs,) = report.class_stats
+        assert cs.completed > 0
+        # Admitted traffic nearly always meets the deadline it was
+        # placed against (first-order estimate error only).
+        assert cs.met / cs.completed > 0.95
+
+
+class TestEnergyAwareRouting:
+    def test_saves_energy_at_comparable_attainment(self):
+        """The acceptance bar: on a DVFS-heterogeneous fleet the
+        energy-aware router serves the same traffic for measurably
+        fewer joules per request, without collapsing the SLO."""
+        base = dataclasses.replace(
+            HETERO,
+            slo_classes=(
+                SLOClass("svc", deadline_ms=4.0, target=0.9),
+            ),
+            qps=1_200.0,
+        )
+        ll = simulate_controlled(
+            dataclasses.replace(base, policy="least-loaded")
+        )
+        ea = simulate_controlled(
+            dataclasses.replace(base, policy="energy-aware")
+        )
+        assert ea.joules_per_request < 0.95 * ll.joules_per_request
+        assert ea.slo_attainment >= 0.99 * ll.slo_attainment
+
+    def test_homogeneous_fleet_matches_least_loaded(self):
+        """With one operating point everywhere there is no energy
+        spread to exploit: the two policies route identically."""
+        base = dataclasses.replace(
+            HETERO,
+            fleet=tuple(InstanceSpec(voltage_v=0.8) for _ in range(4)),
+        )
+        ll = simulate_controlled(
+            dataclasses.replace(base, policy="least-loaded")
+        )
+        ea = simulate_controlled(
+            dataclasses.replace(base, policy="energy-aware")
+        )
+        assert ea.served_per_instance == ll.served_per_instance
+        assert ea.latency_p99_s == ll.latency_p99_s
+
+
+class TestDiurnalAutoscaling:
+    BASE = ControlScenario(
+        arrival="diurnal",
+        diurnal_period_s=0.8,
+        diurnal_amplitude=0.9,
+        qps=5_000.0,
+        requests=12_000,
+        instances=6,
+        slo_classes=(SLOClass("svc", deadline_ms=25.0, target=0.9),),
+        autoscale="utilization",
+        tick_ms=5.0,
+        min_instances=1,
+        seed=4,
+    )
+
+    def test_governor_rides_the_day_night_swings(self):
+        """The traffic crosses several day/night cycles, so the
+        governor must both grow and shrink the fleet repeatedly, and
+        the fleet must average well below its static maximum."""
+        report = simulate_controlled(self.BASE)
+        cycles = report.busy_window_s / self.BASE.diurnal_period_s
+        assert cycles > 2  # the run really spans multiple days
+        assert report.autoscale_events >= 2 * cycles
+        assert report.mean_active_instances < 0.9 * report.instances
+
+    def test_autoscaler_saves_energy_vs_static_fleet(self):
+        scaled = simulate_controlled(self.BASE)
+        static = simulate_controlled(
+            dataclasses.replace(self.BASE, autoscale="none")
+        )
+        assert scaled.energy_joules < static.energy_joules
+        assert scaled.slo_attainment == pytest.approx(
+            static.slo_attainment, rel=0.02
+        )
+
+    def test_diurnal_traffic_is_deterministic(self):
+        a = simulate_controlled(
+            dataclasses.replace(self.BASE, requests=2_000)
+        )
+        b = simulate_controlled(
+            dataclasses.replace(self.BASE, requests=2_000)
+        )
+        assert a == b

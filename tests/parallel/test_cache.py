@@ -1,4 +1,6 @@
-"""Result-cache keying, tiers, and invalidation."""
+"""Result-cache keying, tiers, invalidation, and schema extension."""
+
+import dataclasses
 
 import numpy as np
 import pytest
@@ -7,6 +9,7 @@ from repro.arch.params import EDEA_CONFIG, ArchConfig
 from repro.dse import LoopOrder
 from repro.errors import ConfigError
 from repro.parallel import ResultCache, canonical, make_key
+from repro.parallel.cache import extension_field
 
 
 class TestMakeKey:
@@ -48,6 +51,55 @@ class TestMakeKey:
     def test_unkeyable_object_rejected(self):
         with pytest.raises(TypeError):
             canonical(object())
+
+
+@dataclasses.dataclass(frozen=True)
+class _Scenario:
+    """Stand-in for a cached request dataclass grown after release."""
+
+    requests: int = 10
+    knob: float = extension_field(1.5)
+
+
+class TestExtensionFields:
+    def test_default_value_stays_out_of_the_key(self):
+        """An extension field at its default canonicalizes exactly as
+        if the field did not exist — pre-extension content keys (and
+        every warm cache entry under them) keep resolving."""
+        assert canonical(_Scenario()) == [
+            "_Scenario", {"requests": 10}
+        ]
+        assert make_key("point", args=(_Scenario(),)) == make_key(
+            "point", args=(_Scenario(knob=1.5),)
+        )
+
+    def test_non_default_value_enters_the_key(self):
+        assert canonical(_Scenario(knob=2.0)) == [
+            "_Scenario", {"requests": 10, "knob": 2.0}
+        ]
+        assert make_key("point", args=(_Scenario(),)) != make_key(
+            "point", args=(_Scenario(knob=2.0),)
+        )
+
+    def test_ordinary_fields_unaffected(self):
+        assert canonical(_Scenario(requests=3)) == [
+            "_Scenario", {"requests": 3}
+        ]
+
+    def test_serving_scenarios_use_it_for_diurnal_knobs(self):
+        """The PR-4 diurnal fields must not disturb PR-2/3 keys."""
+        from repro.control import ControlScenario
+        from repro.serve import ServingScenario
+
+        for cls in (ServingScenario, ControlScenario):
+            fields = {
+                f.name: canonical(getattr(cls(), f.name))
+                for f in dataclasses.fields(cls)
+                if not f.metadata.get("cache_extension")
+            }
+            assert canonical(cls()) == [cls.__name__, fields]
+            varied = dataclasses.replace(cls(), diurnal_period_s=30.0)
+            assert canonical(varied) != canonical(cls())
 
 
 class TestResultCache:

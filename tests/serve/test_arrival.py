@@ -6,6 +6,7 @@ import pytest
 from repro.errors import ConfigError
 from repro.serve import (
     BurstyArrivals,
+    DiurnalArrivals,
     PoissonArrivals,
     TraceArrivals,
     make_arrivals,
@@ -63,6 +64,56 @@ class TestBursty:
             BurstyArrivals(100.0, mean_dwell_s=0.0)
 
 
+class TestDiurnal:
+    def test_preserves_mean_rate(self):
+        rng = np.random.default_rng(3)
+        proc = DiurnalArrivals(1_000.0, period_s=4.0, amplitude=0.9)
+        times = proc.times(20_000, rng)
+        realized = len(times) / times[-1]
+        assert realized == pytest.approx(1_000.0, rel=0.1)
+
+    def test_day_half_carries_the_load(self):
+        """The phase histogram must match the modulation: the cycle
+        starts at the trough, so the day half (phase 0.25-0.75) carries
+        the bulk of the traffic at amplitude 0.9."""
+        rng = np.random.default_rng(3)
+        proc = DiurnalArrivals(1_000.0, period_s=4.0, amplitude=0.9)
+        times = proc.times(20_000, rng)
+        phase = (times % proc.period_s) / proc.period_s
+        day = int(np.sum((phase > 0.25) & (phase < 0.75)))
+        night = len(times) - day
+        assert day > 2.5 * night
+
+    def test_rate_at_trough_and_peak(self):
+        proc = DiurnalArrivals(100.0, period_s=10.0, amplitude=0.5)
+        assert proc.rate_at(0.0) == pytest.approx(50.0)
+        assert proc.rate_at(5.0) == pytest.approx(150.0)
+        assert proc.rate_at(10.0) == pytest.approx(50.0)
+
+    def test_zero_amplitude_is_poisson_rate(self):
+        rng = np.random.default_rng(9)
+        times = DiurnalArrivals(500.0, amplitude=0.0).times(20_000, rng)
+        inter = np.diff(times)
+        cv = float(np.std(inter) / np.mean(inter))
+        assert cv == pytest.approx(1.0, abs=0.05)
+
+    def test_deterministic_per_seed(self):
+        proc = DiurnalArrivals(100.0, period_s=2.0)
+        a = proc.times(500, np.random.default_rng(5))
+        b = proc.times(500, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigError):
+            DiurnalArrivals(0.0)
+        with pytest.raises(ConfigError):
+            DiurnalArrivals(100.0, period_s=0.0)
+        with pytest.raises(ConfigError):
+            DiurnalArrivals(100.0, amplitude=1.5)
+        with pytest.raises(ConfigError):
+            DiurnalArrivals(100.0).times(0, np.random.default_rng(0))
+
+
 class TestTrace:
     def test_replays_prefix(self):
         proc = TraceArrivals((0.0, 0.5, 1.0, 2.5))
@@ -93,6 +144,12 @@ class TestFactory:
         assert isinstance(
             make_arrivals("trace", 10.0, trace=(0.0, 1.0)), TraceArrivals
         )
+        diurnal = make_arrivals(
+            "diurnal", 10.0, diurnal_period_s=5.0, diurnal_amplitude=0.4
+        )
+        assert isinstance(diurnal, DiurnalArrivals)
+        assert diurnal.period_s == 5.0
+        assert diurnal.amplitude == 0.4
 
     def test_unknown_kind_and_missing_trace(self):
         with pytest.raises(ConfigError):

@@ -205,6 +205,22 @@ class TestServeCommand:
         assert code == 0
         assert "arrival=bursty" in text
 
+    def test_serve_diurnal(self):
+        code, text = run_cli(
+            "serve", "--arrival", "diurnal", "--requests", "300",
+            "--diurnal-period", "2.0", "--diurnal-amplitude", "0.5",
+        )
+        assert code == 0
+        assert "arrival=diurnal" in text
+
+    def test_serve_deadline_aware_policy(self):
+        code, text = run_cli(
+            "serve", "--requests", "200", "--instances", "2",
+            "--policy", "deadline-aware",
+        )
+        assert code == 0
+        assert "policy=deadline-aware" in text
+
     def test_serve_curve_conflicts_with_sweep(self):
         code, _ = run_cli(
             "serve", "--curve-qps", "100,200",
@@ -268,6 +284,25 @@ class TestControlCommand:
         )
         assert code == 0
         assert "instances=4" in text
+        assert "autoscale events" in text
+
+    def test_control_energy_aware_routing_on_hetero_fleet(self):
+        code, text = run_cli(
+            "control", "--requests", "300", "--fleet", "0.8x2,0.6x2",
+            "--policy", "energy-aware",
+        )
+        assert code == 0
+        assert "policy=energy-aware" in text
+        assert "energy (mJ)" in text
+
+    def test_control_diurnal_autoscale(self):
+        code, text = run_cli(
+            "control", "--requests", "400", "--arrival", "diurnal",
+            "--diurnal-period", "0.5", "--autoscale", "utilization",
+            "--min-instances", "1",
+        )
+        assert code == 0
+        assert "arrival=diurnal" in text
         assert "autoscale events" in text
 
     def test_control_static_frontier_sweep_marks_pareto(self, tmp_path):
