@@ -1,0 +1,116 @@
+"""Multi-fleet / predictive-governor performance trajectory.
+
+Records the wall-clock of one correlated two-fleet co-simulation with
+spillover, and the predictive-vs-reactive governor comparison on
+diurnal traffic, so future PRs inherit both a tenancy throughput
+baseline and the control-quality deltas (ramp behaviour folds into
+p99) as ``extra_info``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.control import (
+    ControlScenario,
+    MultiFleetScenario,
+    SLOClass,
+    simulate_controlled,
+    simulate_multi_fleet,
+)
+
+TWO_FLEET = MultiFleetScenario(
+    fleets=(
+        ControlScenario(
+            mix="v1-224",
+            qps=2_500.0,
+            requests=4_000,
+            instances=1,
+            max_batch=1,
+            max_wait_ms=0.0,
+            shedding="deadline",
+            slo_classes=(
+                SLOClass("only", deadline_ms=40.0, target=0.9),
+            ),
+        ),
+        ControlScenario(
+            mix="mixed",
+            qps=1_500.0,
+            requests=4_000,
+            instances=4,
+            shedding="deadline",
+            slo_classes=(
+                SLOClass(
+                    "llm", deadline_ms=25.0, target=0.9,
+                    model="mobilenet-v1-224",
+                ),
+                SLOClass(
+                    "default", deadline_ms=50.0, target=0.9,
+                    priority=1,
+                ),
+            ),
+        ),
+    ),
+    modulator="diurnal",
+    period_s=5.0,
+    amplitude=0.6,
+    spillover="deadline",
+    seed=11,
+)
+
+DIURNAL = ControlScenario(
+    requests=8_000,
+    arrival="diurnal",
+    qps=4_000.0,
+    instances=8,
+    autoscale="utilization",
+    min_instances=1,
+    diurnal_period_s=1.0,
+    diurnal_amplitude=0.8,
+    util_low=0.3,
+    util_high=0.7,
+    seed=0,
+)
+
+
+@pytest.mark.benchmark(group="tenancy")
+def test_bench_two_fleet_spillover(benchmark):
+    """Wall-clock of an 8k-request correlated two-fleet run with
+    per-model SLOs and cross-fleet spillover."""
+    report = benchmark(simulate_multi_fleet, TWO_FLEET)
+    assert report.conserved
+    assert report.spilled_requests > 0
+    benchmark.extra_info["offered"] = report.offered_requests
+    benchmark.extra_info["spilled"] = report.spilled_requests
+    benchmark.extra_info["attainment"] = round(report.attainment, 4)
+    benchmark.extra_info["p99_ms"] = round(
+        1e3 * report.latency_p99_s, 3
+    )
+
+
+@pytest.mark.benchmark(group="tenancy")
+def test_bench_predictive_vs_reactive(benchmark):
+    """The predictive governor's quality deltas over band control on
+    the same diurnal traffic, recorded alongside its wall-clock."""
+    reactive = simulate_controlled(DIURNAL)
+
+    def run_predictive():
+        return simulate_controlled(
+            dataclasses.replace(DIURNAL, autoscale="predictive")
+        )
+
+    predictive = benchmark(run_predictive)
+    assert predictive.slo_attainment >= reactive.slo_attainment
+    assert predictive.energy_joules <= reactive.energy_joules
+    benchmark.extra_info["attainment_delta"] = round(
+        predictive.slo_attainment - reactive.slo_attainment, 4
+    )
+    benchmark.extra_info["energy_saving_pct"] = round(
+        100.0
+        * (reactive.energy_joules - predictive.energy_joules)
+        / reactive.energy_joules,
+        2,
+    )
+    benchmark.extra_info["p99_ratio"] = round(
+        predictive.latency_p99_s / reactive.latency_p99_s, 3
+    )

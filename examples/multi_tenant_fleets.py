@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Multi-tenant serving: per-model SLOs, correlated fleets, forecasts.
+
+Plays the three production stories this control plane layer adds:
+
+1. **per-model SLOs** — deadlines attached to the *model* a request
+   carries, not just its traffic class: the heavyweight tenant gets a
+   tight bound, everything else rides a default tier, and the report
+   breaks attainment out per tenant;
+2. **a correlated regional spike** — two fleets whose arrivals share
+   one latent day/night factor, so the spike hits both at once; the
+   overloaded fleet forwards deadline-feasible sheds to its sibling's
+   headroom (spillover) instead of dropping them;
+3. **predictive autoscaling** — a Holt level+trend forecast of the
+   offered rate scales the fleet one warm-up *ahead* of the morning
+   ramp, matching the reactive governor's attainment at lower ramp
+   p99 and no more energy.
+
+Usage::
+
+    python examples/multi_tenant_fleets.py
+"""
+
+import dataclasses
+
+from repro.control import (
+    ControlScenario,
+    MultiFleetScenario,
+    SLOClass,
+    simulate_controlled,
+    simulate_multi_fleet,
+)
+
+TENANT_CLASSES = (
+    SLOClass("llm", deadline_ms=25.0, target=0.95,
+             model="mobilenet-v1-224"),
+    SLOClass("default", deadline_ms=50.0, target=0.9, priority=1),
+)
+
+
+def per_model_slos() -> None:
+    print("per-model SLOs on mixed traffic:")
+    # 70% of nominal capacity leaves no headroom for the model
+    # switches priority interleaving forces; 4k QPS keeps the default
+    # tier's queue honest while the llm tenant still gets priority.
+    report = simulate_controlled(
+        ControlScenario(
+            requests=4_000, qps=4_000.0,
+            slo_classes=TENANT_CLASSES, seed=3,
+        )
+    )
+    for ms in report.model_stats:
+        print(
+            f"  {ms.name:20s} offered={ms.offered:5d} "
+            f"attainment={ms.attainment:.3f} "
+            f"p99={1e3 * ms.latency_p99_s:.2f} ms"
+        )
+
+
+def correlated_spillover() -> None:
+    print("\ncorrelated two-fleet spike, with and without spillover:")
+    base = MultiFleetScenario(
+        fleets=(
+            ControlScenario(
+                mix="v1-224", qps=2_500.0, requests=3_000,
+                instances=1, max_batch=1, max_wait_ms=0.0,
+                shedding="deadline",
+                slo_classes=(
+                    SLOClass("only", deadline_ms=40.0, target=0.9),
+                ),
+            ),
+            ControlScenario(
+                mix="mixed", qps=1_000.0, requests=3_000,
+                instances=4, shedding="deadline",
+            ),
+        ),
+        modulator="diurnal", period_s=5.0, amplitude=0.6, seed=11,
+    )
+    for spillover in ("none", "deadline"):
+        report = simulate_multi_fleet(
+            dataclasses.replace(base, spillover=spillover)
+        )
+        print(
+            f"  spillover={spillover:8s} completed="
+            f"{report.completed_requests:5d} "
+            f"shed={report.shed_requests:4d} "
+            f"spilled={report.spilled_requests:4d} "
+            f"attainment={report.attainment:.3f}"
+        )
+
+
+def predictive_vs_reactive() -> None:
+    print("\npredictive vs reactive autoscaling on diurnal traffic:")
+    base = ControlScenario(
+        requests=10_000, arrival="diurnal", qps=4_000.0,
+        instances=8, autoscale="utilization", min_instances=1,
+        diurnal_period_s=1.0, diurnal_amplitude=0.8,
+        util_low=0.3, util_high=0.7, seed=0,
+    )
+    for governor in ("utilization", "predictive"):
+        report = simulate_controlled(
+            dataclasses.replace(base, autoscale=governor)
+        )
+        print(
+            f"  {governor:12s} attainment="
+            f"{report.slo_attainment:.4f} "
+            f"p99={1e3 * report.latency_p99_s:.1f} ms "
+            f"energy={1e3 * report.energy_joules:.1f} mJ "
+            f"mean-active={report.mean_active_instances:.2f}"
+        )
+
+
+if __name__ == "__main__":
+    per_model_slos()
+    correlated_spillover()
+    predictive_vs_reactive()

@@ -16,10 +16,13 @@ Commands:
   SLO flags (``--slo-classes``/``--shedding``/``--autoscale``) route
   the run through the control plane.
 * ``control`` — SLO-aware control plane over the serving fleet:
-  deadline/priority classes, admission control and load shedding,
-  DVFS-heterogeneous fleets with energy accounting, autoscaling
-  governors, and energy-vs-attainment governor sweeps with Pareto
-  marking.
+  deadline/priority classes (bindable to individual zoo models via
+  ``model=`` for multi-tenant SLOs), admission control and load
+  shedding, DVFS-heterogeneous fleets with energy accounting,
+  autoscaling governors (incl. the forecast-driven ``predictive``
+  one), correlated multi-fleet co-simulation with cross-fleet
+  spillover (``--multi-fleet-qps``), and energy-vs-attainment
+  governor sweeps with Pareto marking.
 * ``info`` — print the library's headline reproduction summary.
 * ``report`` — check every reproduced claim against the paper.
 
@@ -56,12 +59,18 @@ Examples::
     repro control --policy deadline-aware --shedding deadline
     repro control --arrival diurnal --diurnal-period 30 \
         --autoscale utilization --min-instances 1
+    repro control --arrival diurnal --autoscale predictive
+    repro control --slo-classes \
+        "llm:deadline=5ms:model=mobilenet-v1-224,default:deadline=50"
+    repro control --multi-fleet-qps 2000,800 --modulator diurnal \
+        --spillover deadline --shedding deadline
     repro control --sweep-voltages 0.6,0.7,0.8 --sweep-fleet-sizes 1,2,4
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 
@@ -71,7 +80,9 @@ from .control import (
     GOVERNORS,
     SHEDDING_POLICIES,
     ControlScenario,
+    MultiFleetScenario,
     governor_sweep,
+    multi_fleet_sweep,
     pareto_frontier,
     parse_fleet_spec,
     parse_slo_classes,
@@ -81,8 +92,10 @@ from .control import (
 from .errors import ReproError
 from .eval import list_experiments, prepare_workload, run_experiment
 from .eval.control import (
+    multi_fleet_to_dict,
     render_control_report,
     render_control_sweep,
+    render_multi_fleet_report,
     report_to_dict,
 )
 from .eval.paper_data import PAPER_HEADLINE
@@ -203,7 +216,10 @@ def _add_slo_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--slo-classes", default=None,
         metavar="NAME:DEADLINE_MS[:TARGET[:PRIO[:SHARE]]],...",
-        help="SLO classes (default: interactive/standard/batch tiers)",
+        help="SLO classes (default: interactive/standard/batch "
+             "tiers); fields may also be key=value — incl. model=, "
+             "which binds the class to one zoo model's traffic, "
+             "e.g. llm:deadline=5ms:model=mobilenet-v1-224",
     )
     parser.add_argument(
         "--shedding", default=None, choices=sorted(SHEDDING_POLICIES),
@@ -337,6 +353,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="voltage ladder for --autoscale dvfs (default: 0.6,0.7,0.8)",
     )
     control_parser.add_argument(
+        "--multi-fleet-qps", default=None, metavar="Q,Q,...",
+        help="co-simulate one fleet per offered rate, their arrivals "
+             "correlated through a shared traffic modulator "
+             "(replicates the base scenario per fleet)",
+    )
+    control_parser.add_argument(
+        "--modulator", default="diurnal",
+        choices=["diurnal", "burst"],
+        help="shared multi-fleet rate modulator (default: diurnal; "
+             "uses --diurnal-period/--diurnal-amplitude or "
+             "--burst-factor)",
+    )
+    control_parser.add_argument(
+        "--spillover", default="none",
+        choices=["none", "deadline"],
+        help="cross-fleet spillover: fleets at rho > 1 forward shed, "
+             "deadline-feasible requests to the sibling with the most "
+             "headroom (default: none)",
+    )
+    control_parser.add_argument(
+        "--spillover-hop-ms", type=float, default=0.5,
+        help="forwarding latency a spilled request pays (default: 0.5)",
+    )
+    control_parser.add_argument(
         "--sweep-governors", default=None, metavar="G,G,...",
         help="compare these autoscaling governors on the same traffic",
     )
@@ -441,14 +481,19 @@ def _read_trace(path: str) -> tuple[float, ...]:
         ) from None
 
 
-def _write_json(path: str, reports) -> None:
-    payload = {"reports": [report_to_dict(r) for r in reports]}
+def _write_json_payload(path: str, payload: dict) -> None:
     try:
         with open(path, "w") as handle:
             json.dump(payload, handle, indent=2)
             handle.write("\n")
     except OSError as exc:
         raise ReproError(f"cannot write JSON to {path}: {exc}") from exc
+
+
+def _write_json(path: str, reports) -> None:
+    _write_json_payload(
+        path, {"reports": [report_to_dict(r) for r in reports]}
+    )
 
 
 def _read_trace_arg(args) -> tuple[float, ...] | None:
@@ -460,6 +505,23 @@ def _read_trace_arg(args) -> tuple[float, ...] | None:
     if args.arrival == "trace" and trace is None:
         raise ReproError("--arrival trace requires --trace-file")
     return trace
+
+
+def _check_diurnal_amplitude(args) -> None:
+    """Reject a full-swing amplitude with the flag's own name before
+    the scenario machinery reports it in dataclass terms (the same
+    bound :class:`~repro.serve.arrival.DiurnalArrivals` enforces)."""
+    uses_diurnal = args.arrival == "diurnal" or (
+        getattr(args, "multi_fleet_qps", None)
+        and getattr(args, "modulator", None) == "diurnal"
+    )
+    if uses_diurnal and not 0.0 <= args.diurnal_amplitude < 1.0:
+        raise ReproError(
+            f"--diurnal-amplitude must be in [0, 1) "
+            f"(got {args.diurnal_amplitude}): amplitude 1.0 drives "
+            "the trough rate to exactly 0 — use 0.999 for a "
+            "near-quiet night"
+        )
 
 
 def _control_scenario(args, trace) -> ControlScenario:
@@ -508,6 +570,7 @@ def _control_scenario(args, trace) -> ControlScenario:
 
 def _serve(args, out) -> None:
     trace = _read_trace_arg(args)
+    _check_diurnal_amplitude(args)
     if args.slo_classes or args.shedding or args.autoscale:
         if args.sweep_policies or args.sweep_instances or args.curve_qps:
             raise ReproError(
@@ -570,8 +633,53 @@ def _serve(args, out) -> None:
         _write_json(args.json_path, reports)
 
 
+def _multi_fleet(args, base, cache, out) -> None:
+    if args.arrival != "poisson":
+        raise ReproError(
+            "--arrival has no effect with --multi-fleet-qps: member "
+            "arrivals come from the shared --modulator (diurnal|burst)"
+        )
+    rates = _parse_grid(args.multi_fleet_qps, float)
+    # Member fields the co-simulation ignores (seed, per-fleet arrival
+    # shape) are pinned to their defaults: they must neither suggest an
+    # effect they don't have nor perturb the cache content key — the
+    # modulator owns the traffic shape at the MultiFleetScenario level.
+    fields = ControlScenario.__dataclass_fields__
+    ignored = {
+        name: fields[name].default
+        for name in (
+            "burst_factor", "diurnal_period_s", "diurnal_amplitude"
+        )
+    }
+    scenario = MultiFleetScenario(
+        fleets=tuple(
+            dataclasses.replace(
+                base, qps=qps, seed=0, trace=None, **ignored
+            )
+            for qps in rates
+        ),
+        modulator=args.modulator,
+        period_s=args.diurnal_period_s,
+        amplitude=args.diurnal_amplitude,
+        burst_factor=args.burst_factor,
+        spillover=args.spillover,
+        spillover_hop_ms=args.spillover_hop_ms,
+        seed=args.seed,
+    )
+    report = multi_fleet_sweep(
+        [scenario], jobs=args.jobs, cache=cache
+    )[0]
+    print(render_multi_fleet_report(report), file=out)
+    if args.json_path:
+        _write_json_payload(
+            args.json_path,
+            {"multi_fleet": multi_fleet_to_dict(report)},
+        )
+
+
 def _control(args, out) -> None:
     trace = _read_trace_arg(args)
+    _check_diurnal_amplitude(args)
     base = _control_scenario(args, trace)
     cache = _cache_from(args)
     voltage_sweep = args.sweep_voltages or args.sweep_fleet_sizes
@@ -581,6 +689,14 @@ def _control(args, out) -> None:
             "--sweep-voltages/--sweep-fleet-sizes frontier; run them "
             "separately"
         )
+    if args.multi_fleet_qps:
+        if args.sweep_governors or voltage_sweep:
+            raise ReproError(
+                "--multi-fleet-qps cannot be combined with governor "
+                "or frontier sweeps; run them separately"
+            )
+        _multi_fleet(args, base, cache, out)
+        return
     if args.sweep_governors:
         governors = [g for g in args.sweep_governors.split(",") if g]
         reports = governor_sweep(

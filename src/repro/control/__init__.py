@@ -7,6 +7,14 @@ do to the tail (admission control and load shedding), how much *energy*
 does the fleet burn at each DVFS operating point, and can an autoscaler
 buy the same SLO attainment for fewer joules?
 
+The tenancy layer scales the same questions out to *multi-tenant,
+multi-fleet* deployments: SLO classes bindable to individual zoo
+models (:class:`~repro.control.slo.SLOClass.model`), N fleets whose
+traffic is correlated through one latent diurnal/burst modulator with
+cross-fleet spillover (:mod:`repro.control.tenancy`), and a
+forecast-driven governor that scales ahead of the ramp instead of
+behind it (:mod:`repro.control.predict`).
+
 Quick start::
 
     from repro.control import ControlScenario, simulate_controlled
@@ -33,7 +41,15 @@ from .hetero import (
     idle_power_w,
     parse_fleet_spec,
 )
-from .simulator import ControlHooks, ControlScenario, simulate_controlled
+from .predict import HoltForecaster, PredictiveGovernor
+from .simulator import (
+    ControlHooks,
+    ControlScenario,
+    build_control_fleet,
+    execute_controlled,
+    simulate_controlled,
+    simulate_controlled_detailed,
+)
 from .slo import (
     DEFAULT_SLO_CLASSES,
     SHEDDING_POLICIES,
@@ -50,8 +66,14 @@ from .slo import (
 from .sweep import (
     control_sweep,
     governor_sweep,
+    multi_fleet_sweep,
     pareto_frontier,
     static_frontier_sweep,
+)
+from .tenancy import (
+    MultiFleetReport,
+    MultiFleetScenario,
+    simulate_multi_fleet,
 )
 
 __all__ = [
@@ -76,13 +98,22 @@ __all__ = [
     "UtilizationBandGovernor",
     "QueueDelayGovernor",
     "DVFSGovernor",
+    "HoltForecaster",
+    "PredictiveGovernor",
     "GOVERNORS",
     "make_governor",
     "ControlHooks",
     "ControlScenario",
+    "build_control_fleet",
+    "execute_controlled",
     "simulate_controlled",
+    "simulate_controlled_detailed",
+    "MultiFleetScenario",
+    "MultiFleetReport",
+    "simulate_multi_fleet",
     "control_sweep",
     "governor_sweep",
+    "multi_fleet_sweep",
     "static_frontier_sweep",
     "pareto_frontier",
 ]

@@ -250,14 +250,6 @@ class DVFSGovernor(Governor):
         return 0
 
 
-#: Governor name -> class, for the CLI and sweeps ("none" = no loop).
-GOVERNORS = {
-    UtilizationBandGovernor.name: UtilizationBandGovernor,
-    QueueDelayGovernor.name: QueueDelayGovernor,
-    DVFSGovernor.name: DVFSGovernor,
-}
-
-
 def make_governor(
     name: str,
     tick_s: float,
@@ -270,6 +262,9 @@ def make_governor(
     ladder: tuple[OperatingPoint, ...] = (),
     dvfs_model: DVFSModel | None = None,
     profile_clock_hz: float = 1.0e9,
+    mean_service_s: float = 1e-3,
+    forecast_alpha: float = 0.5,
+    forecast_beta: float = 0.2,
 ) -> Governor:
     """Instantiate a governor by name (see :data:`GOVERNORS`)."""
     common = (tick_s, min_instances, max_instances, warmup_s)
@@ -287,7 +282,32 @@ def make_governor(
             profile_clock_hz=profile_clock_hz,
             low=util_low, high=util_high,
         )
+    if name == PredictiveGovernor.name:
+        # Sized for the reactive band's midpoint, so the predictive and
+        # utilization governors target the same steady-state fleet and
+        # differ only in *when* they move.
+        return PredictiveGovernor(
+            *common,
+            mean_service_s=mean_service_s,
+            target_util=0.5 * (util_low + util_high),
+            alpha=forecast_alpha,
+            beta=forecast_beta,
+        )
     known = ", ".join(sorted(GOVERNORS))
     raise ConfigError(
         f"unknown autoscale governor {name!r} (known: {known})"
     )
+
+
+# Imported after Governor exists: predict subclasses it, and every
+# import path routes through the package __init__, which executes this
+# module (and therefore the registration below) exactly once.
+from .predict import PredictiveGovernor  # noqa: E402
+
+#: Governor name -> class, for the CLI and sweeps ("none" = no loop).
+GOVERNORS = {
+    UtilizationBandGovernor.name: UtilizationBandGovernor,
+    QueueDelayGovernor.name: QueueDelayGovernor,
+    DVFSGovernor.name: DVFSGovernor,
+    PredictiveGovernor.name: PredictiveGovernor,
+}

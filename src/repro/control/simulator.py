@@ -58,14 +58,21 @@ from .slo import (
     make_shedder,
 )
 
-__all__ = ["ControlScenario", "ControlHooks", "simulate_controlled"]
+__all__ = [
+    "ControlScenario",
+    "ControlHooks",
+    "build_control_fleet",
+    "execute_controlled",
+    "simulate_controlled",
+    "simulate_controlled_detailed",
+]
 
 #: Default offered load (fraction of full-fleet capacity), as in serve.
 _DEFAULT_LOAD = 0.7
 
 #: Sizing governors start from the minimum fleet; pure-DVFS keeps all
 #: instances powered and only moves their frequency.
-_SIZING_GOVERNORS = ("utilization", "queue-delay")
+_SIZING_GOVERNORS = ("utilization", "queue-delay", "predictive")
 
 
 @dataclass(frozen=True)
@@ -94,6 +101,8 @@ class ControlScenario:
         target_delay_ms: Setpoint for the queue-delay governor.
         dvfs_ladder: Voltage ladder for the DVFS governor (each run at
             its f_max), nominal-first or any order.
+        forecast_alpha / forecast_beta: Holt level/trend smoothing for
+            the ``predictive`` governor.
     """
 
     mix: str = "mixed"
@@ -123,6 +132,8 @@ class ControlScenario:
     dvfs_ladder: tuple[float, ...] = (0.6, 0.7, 0.8)
     diurnal_period_s: float = extension_field(60.0)
     diurnal_amplitude: float = extension_field(0.8)
+    forecast_alpha: float = extension_field(0.5)
+    forecast_beta: float = extension_field(0.2)
 
     def __post_init__(self) -> None:
         if self.requests < 1:
@@ -183,8 +194,15 @@ class ControlHooks(EngineHooks):
     def __init__(self, shedder, governor=None) -> None:
         self.shedder = shedder
         self.governor = governor
+        # A forecasting governor watches the offered rate itself; bind
+        # its observer once so non-predictive runs pay nothing extra.
+        self._observe_arrival = getattr(
+            governor, "observe_arrival", None
+        )
 
     def on_arrival(self, request, instance, now, engine) -> bool:
+        if self._observe_arrival is not None:
+            self._observe_arrival(now)
         admitted, victim = self.shedder.admit(request, instance, now)
         if victim is not None:
             victim.shed = True
@@ -229,21 +247,81 @@ def _class_stats(
                     if latencies
                     else 0.0
                 ),
+                model=cls.model,
             )
         )
     return tuple(stats)
 
 
-def simulate_controlled(scenario: ControlScenario) -> ServingReport:
-    """Run one controlled scenario to completion.
+def _model_stats(
+    slo_classes: tuple[SLOClass, ...],
+    model_buckets: dict,
+    class_buckets: dict,
+) -> tuple[ClassStats, ...]:
+    """Per-model (tenant) aggregates, sorted by model name.
 
-    Deterministic for a given scenario; safe to cache and to fan out
-    across worker processes.  Returns a :class:`ServingReport` with the
-    control-plane fields (energy, shedding, per-class attainment)
-    filled in; ``requests`` is the *completed* count and
-    ``offered_requests`` the admitted + shed total.
+    Each model's row reuses the :class:`ClassStats` shape: offered /
+    shed / met / p99 aggregate the model's whole request population;
+    ``deadline_ms`` and ``target`` are offered-weighted means over the
+    classes the model's traffic drew (exact when the model is bound to
+    a single class) and ``priority`` is the most urgent one seen.
     """
-    dvfs_model = DVFSModel()
+    bound: dict[str, list[SLOClass]] = {}
+    for cls in slo_classes:
+        if cls.model is not None:
+            bound.setdefault(cls.model, []).append(cls)
+    unbound = [cls for cls in slo_classes if cls.model is None]
+    stats = []
+    for model in sorted(model_buckets):
+        offered, met, latencies = model_buckets[model]
+        completed = len(latencies)
+        classes = bound.get(model, unbound)
+        weights = [
+            class_buckets.get(cls.name, (0,))[0] for cls in classes
+        ]
+        if not sum(weights):
+            weights = [1] * len(classes)
+        total = sum(weights)
+        deadline = sum(
+            w * cls.deadline_ms for w, cls in zip(weights, classes)
+        ) / total
+        target = sum(
+            w * cls.target for w, cls in zip(weights, classes)
+        ) / total
+        stats.append(
+            ClassStats(
+                name=model,
+                priority=min(cls.priority for cls in classes),
+                deadline_ms=deadline,
+                target=target,
+                offered=offered,
+                shed=offered - completed,
+                completed=completed,
+                met=met,
+                attainment=met / offered if offered else 0.0,
+                latency_p99_s=(
+                    float(np.percentile(latencies, 99))
+                    if latencies
+                    else 0.0
+                ),
+                model=model,
+            )
+        )
+    return tuple(stats)
+
+
+def build_control_fleet(
+    scenario: ControlScenario, dvfs_model: DVFSModel | None = None
+):
+    """Materialize the scenario's fleet: ``(fleet, mix, capacity)``.
+
+    Each instance is configured to its ``(ArchConfig, OperatingPoint)``
+    spec; ``capacity`` is the sum of per-instance service rates at the
+    scenario's mix.  Split out of :func:`simulate_controlled` so
+    multi-fleet scenarios (:mod:`repro.control.tenancy`) can size and
+    run each member fleet with injected arrival streams.
+    """
+    dvfs_model = dvfs_model if dvfs_model is not None else DVFSModel()
     specs = scenario.fleet_specs
     mix = build_mix(
         scenario.mix, scenario.config, scenario.weight_bandwidth
@@ -263,65 +341,77 @@ def simulate_controlled(scenario: ControlScenario) -> ServingReport:
         configure_instance(instance, spec, dvfs_model, mix, own)
         service = (own or mix).mean_service_seconds()
         capacity += 1.0 / (service * instance.latency_scale)
+    return fleet, mix, capacity
 
-    qps = scenario.qps if scenario.qps is not None else (
-        _DEFAULT_LOAD * capacity
-    )
-    arrivals = make_arrivals(
-        scenario.arrival,
-        qps,
-        burst_factor=scenario.burst_factor,
-        trace=scenario.trace,
-        diurnal_period_s=scenario.diurnal_period_s,
-        diurnal_amplitude=scenario.diurnal_amplitude,
-    )
-    n = scenario.requests
-    if scenario.arrival == "trace":
-        n = min(n, len(scenario.trace))
 
-    rng = np.random.default_rng(scenario.seed)
-    times = arrivals.times(n, rng)
-    requests = build_requests(
-        mix, times, rng, slo_classes=scenario.slo_classes
+def _build_governor(scenario, fleet, mix, dvfs_model, tick_s):
+    """The scenario's governor over ``fleet`` (None for ``"none"``),
+    with sizing governors started from the minimum fleet."""
+    if scenario.autoscale == "none":
+        return None
+    warmup_s = float(
+        np.mean([p.setup_seconds for p in mix.profiles])
     )
+    max_instances = (
+        scenario.max_instances
+        if scenario.max_instances is not None
+        else len(fleet)
+    )
+    ladder = tuple(
+        dvfs_model.operating_point(v) for v in scenario.dvfs_ladder
+    )
+    governor = make_governor(
+        scenario.autoscale,
+        tick_s=tick_s,
+        min_instances=scenario.min_instances,
+        max_instances=min(max_instances, len(fleet)),
+        warmup_s=warmup_s,
+        util_low=scenario.util_low,
+        util_high=scenario.util_high,
+        target_delay_s=scenario.target_delay_ms * 1e-3,
+        ladder=ladder,
+        dvfs_model=dvfs_model,
+        profile_clock_hz=mix.profiles[0].clock_hz,
+        mean_service_s=mix.mean_service_seconds(),
+        forecast_alpha=scenario.forecast_alpha,
+        forecast_beta=scenario.forecast_beta,
+    )
+    if scenario.autoscale in _SIZING_GOVERNORS:
+        for instance in fleet:
+            if instance.index >= scenario.min_instances:
+                instance.active = False
+                instance.powered_since = None
+    governor.reset(fleet)
+    return governor
 
+
+def execute_controlled(
+    scenario: ControlScenario,
+    fleet: Fleet,
+    mix,
+    capacity: float,
+    qps: float,
+    times: np.ndarray,
+    requests: list,
+    dvfs_model: DVFSModel | None = None,
+) -> ServingReport:
+    """Drive one prepared fleet over an already-built request stream.
+
+    The tail half of :func:`simulate_controlled`: wires the control
+    hooks, runs the engine to drain, and aggregates the report.
+    Multi-fleet simulation reuses it per member fleet with correlated
+    (and spillover-merged) streams the caller generated.
+    """
+    dvfs_model = dvfs_model if dvfs_model is not None else DVFSModel()
+    n = len(requests)
     window_end = float(times[-1])
     for instance in fleet:
         instance.window_end = window_end
 
-    governor = None
     tick_s = scenario.tick_ms * 1e-3
-    if scenario.autoscale != "none":
-        warmup_s = float(
-            np.mean([p.setup_seconds for p in mix.profiles])
-        )
-        max_instances = (
-            scenario.max_instances
-            if scenario.max_instances is not None
-            else len(fleet)
-        )
-        ladder = tuple(
-            dvfs_model.operating_point(v) for v in scenario.dvfs_ladder
-        )
-        governor = make_governor(
-            scenario.autoscale,
-            tick_s=tick_s,
-            min_instances=scenario.min_instances,
-            max_instances=min(max_instances, len(fleet)),
-            warmup_s=warmup_s,
-            util_low=scenario.util_low,
-            util_high=scenario.util_high,
-            target_delay_s=scenario.target_delay_ms * 1e-3,
-            ladder=ladder,
-            dvfs_model=dvfs_model,
-            profile_clock_hz=mix.profiles[0].clock_hz,
-        )
-        if scenario.autoscale in _SIZING_GOVERNORS:
-            for instance in fleet:
-                if instance.index >= scenario.min_instances:
-                    instance.active = False
-                    instance.powered_since = None
-        governor.reset(fleet)
+    governor = _build_governor(
+        scenario, fleet, mix, dvfs_model, tick_s
+    )
 
     policy = make_policy(scenario.policy)
     policy.reset()
@@ -338,7 +428,12 @@ def simulate_controlled(scenario: ControlScenario) -> ServingReport:
     )
     run = engine.run(requests)
 
-    summary = summarize_requests(requests, track_classes=True)
+    track_models = any(
+        cls.model is not None for cls in scenario.slo_classes
+    )
+    summary = summarize_requests(
+        requests, track_classes=True, track_models=track_models
+    )
     completed = summary.completed
     latencies = summary.latencies
     waits = summary.waits
@@ -372,12 +467,21 @@ def simulate_controlled(scenario: ControlScenario) -> ServingReport:
         capacity_qps=float(capacity),
         makespan_s=end_time,
         sustained_qps=completed / end_time if end_time > 0 else 0.0,
-        latency_mean_s=float(latencies.mean()),
-        latency_p50_s=float(np.percentile(latencies, 50)),
-        latency_p95_s=float(np.percentile(latencies, 95)),
-        latency_p99_s=float(np.percentile(latencies, 99)),
-        latency_max_s=float(latencies.max()),
-        mean_wait_s=float(waits.mean()),
+        # An all-shed overload run completes nothing: report explicit
+        # zeros instead of feeding empty arrays through mean/percentile
+        # (NaN + RuntimeWarning in the report).
+        latency_mean_s=float(latencies.mean()) if completed else 0.0,
+        latency_p50_s=(
+            float(np.percentile(latencies, 50)) if completed else 0.0
+        ),
+        latency_p95_s=(
+            float(np.percentile(latencies, 95)) if completed else 0.0
+        ),
+        latency_p99_s=(
+            float(np.percentile(latencies, 99)) if completed else 0.0
+        ),
+        latency_max_s=float(latencies.max()) if completed else 0.0,
+        mean_wait_s=float(waits.mean()) if completed else 0.0,
         mean_batch_size=(
             completed / total_batches if total_batches else 0.0
         ),
@@ -402,6 +506,15 @@ def simulate_controlled(scenario: ControlScenario) -> ServingReport:
         class_stats=_class_stats(
             scenario.slo_classes, summary.class_buckets
         ),
+        model_stats=(
+            _model_stats(
+                scenario.slo_classes,
+                summary.model_buckets,
+                summary.class_buckets,
+            )
+            if track_models
+            else ()
+        ),
         autoscale_events=run.tick_actions,
         mean_active_instances=(
             sum(i.powered_seconds for i in fleet) / end_time
@@ -409,3 +522,54 @@ def simulate_controlled(scenario: ControlScenario) -> ServingReport:
             else 0.0
         ),
     )
+
+
+def simulate_controlled_detailed(
+    scenario: ControlScenario,
+) -> tuple[ServingReport, list]:
+    """Like :func:`simulate_controlled`, also returning the drained
+    request objects (windowed tail analyses, e.g. p99 over a diurnal
+    ramp, need per-request outcomes the aggregate report folds away).
+    """
+    dvfs_model = DVFSModel()
+    fleet, mix, capacity = build_control_fleet(scenario, dvfs_model)
+
+    qps = scenario.qps if scenario.qps is not None else (
+        _DEFAULT_LOAD * capacity
+    )
+    arrivals = make_arrivals(
+        scenario.arrival,
+        qps,
+        burst_factor=scenario.burst_factor,
+        trace=scenario.trace,
+        diurnal_period_s=scenario.diurnal_period_s,
+        diurnal_amplitude=scenario.diurnal_amplitude,
+    )
+    n = scenario.requests
+    if scenario.arrival == "trace":
+        n = min(n, len(scenario.trace))
+
+    rng = np.random.default_rng(scenario.seed)
+    times = arrivals.times(n, rng)
+    requests = build_requests(
+        mix, times, rng, slo_classes=scenario.slo_classes
+    )
+    report = execute_controlled(
+        scenario, fleet, mix, capacity, qps, times, requests,
+        dvfs_model=dvfs_model,
+    )
+    return report, requests
+
+
+def simulate_controlled(scenario: ControlScenario) -> ServingReport:
+    """Run one controlled scenario to completion.
+
+    Deterministic for a given scenario; safe to cache and to fan out
+    across worker processes.  Returns a :class:`ServingReport` with the
+    control-plane fields (energy, shedding, per-class attainment, and —
+    with model-bound SLO classes — per-model ``model_stats``) filled
+    in; ``requests`` is the *completed* count and ``offered_requests``
+    the admitted + shed total.
+    """
+    report, _ = simulate_controlled_detailed(scenario)
+    return report

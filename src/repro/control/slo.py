@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ConfigError
+from ..parallel.cache import extension_field, restore_extended
 from ..serve.fleet import Instance, Request
 
 __all__ = [
@@ -49,6 +50,13 @@ class SLOClass:
             encodes "p99 under the deadline"; shed requests are misses).
         priority: Priority class; lower values preempt higher ones.
         share: Traffic-sampling weight (normalized across classes).
+        model: Optional zoo-model (tenant) binding.  A bound class
+            applies only to that model's requests — deadlines,
+            priorities, and shares follow the *model* a request
+            carries, the multi-tenant contract — while unbound classes
+            form the default pool for every model without a binding of
+            its own.  Extension field: unbound specs keep their
+            pre-existing cache content keys.
     """
 
     name: str
@@ -56,6 +64,7 @@ class SLOClass:
     target: float = 0.99
     priority: int = 0
     share: float = 1.0
+    model: str | None = extension_field(None)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -70,6 +79,11 @@ class SLOClass:
             )
         if self.share <= 0:
             raise ConfigError(f"share must be positive ({self.share})")
+        if self.model is not None and not self.model:
+            raise ConfigError(
+                "SLO class model binding must be a non-empty name "
+                "(omit it for an unbound class)"
+            )
 
     @property
     def deadline_s(self) -> float:
@@ -89,31 +103,102 @@ DEFAULT_SLO_CLASSES: tuple[SLOClass, ...] = (
 )
 
 
-def parse_slo_classes(text: str) -> tuple[SLOClass, ...]:
-    """Parse a CLI class spec: ``name:deadline_ms:target:priority:share``
-    entries separated by commas (later fields optional)."""
-    classes = []
-    for entry in (e for e in text.split(",") if e.strip()):
-        parts = entry.strip().split(":")
-        if not 2 <= len(parts) <= 5:
-            raise ConfigError(
-                f"cannot parse SLO class {entry!r} (expected "
-                "name:deadline_ms[:target[:priority[:share]]])"
-            )
-        try:
-            classes.append(
-                SLOClass(
-                    name=parts[0],
-                    deadline_ms=float(parts[1]),
-                    target=float(parts[2]) if len(parts) > 2 else 0.99,
-                    priority=int(parts[3]) if len(parts) > 3 else 0,
-                    share=float(parts[4]) if len(parts) > 4 else 1.0,
+#: key=value field names accepted by :func:`parse_slo_classes`
+#: (canonical name -> SLOClass field).
+_SPEC_KEYS = {
+    "deadline": "deadline_ms",
+    "deadline_ms": "deadline_ms",
+    "target": "target",
+    "priority": "priority",
+    "prio": "priority",
+    "share": "share",
+    "model": "model",
+}
+
+#: Positional field order after the class name (the legacy spec form).
+_SPEC_POSITIONAL = ("deadline_ms", "target", "priority", "share")
+
+
+def _parse_spec_entry(entry: str) -> SLOClass:
+    """One class entry: a name followed by ``:``-separated fields,
+    each positional (legacy order) or ``key=value``."""
+    parts = entry.strip().split(":")
+    name, fields = parts[0], parts[1:]
+    if not fields:
+        raise ConfigError(
+            f"cannot parse SLO class {entry!r} (expected "
+            "name:deadline_ms[:target[:priority[:share]]] or "
+            "name:key=value fields incl. deadline=, model=)"
+        )
+    kwargs: dict = {}
+    position = 0
+    for field in fields:
+        if "=" in field:
+            key, _, value = field.partition("=")
+            target_field = _SPEC_KEYS.get(key.strip())
+            if target_field is None:
+                known = ", ".join(sorted(_SPEC_KEYS))
+                raise ConfigError(
+                    f"unknown SLO class field {key!r} in {entry!r} "
+                    f"(known: {known})"
                 )
+            position = len(_SPEC_POSITIONAL)  # key=value ends positional
+        else:
+            if position >= len(_SPEC_POSITIONAL):
+                raise ConfigError(
+                    f"cannot parse SLO class {entry!r} (positional "
+                    "fields must precede key=value fields and number "
+                    f"at most {len(_SPEC_POSITIONAL)})"
+                )
+            target_field, value = _SPEC_POSITIONAL[position], field
+            position += 1
+        if target_field in kwargs:
+            raise ConfigError(
+                f"duplicate field {target_field!r} in SLO class "
+                f"{entry!r}"
             )
+        value = value.strip()
+        try:
+            if target_field == "model":
+                kwargs["model"] = value
+            elif target_field == "deadline_ms":
+                if value.endswith("ms"):
+                    value = value[:-2]
+                kwargs["deadline_ms"] = float(value)
+            elif target_field == "priority":
+                kwargs["priority"] = int(value)
+            else:
+                kwargs[target_field] = float(value)
         except ValueError:
             raise ConfigError(
-                f"cannot parse SLO class {entry!r} (non-numeric field)"
+                f"cannot parse SLO class {entry!r} (non-numeric "
+                f"{target_field})"
             ) from None
+    if "deadline_ms" not in kwargs:
+        raise ConfigError(
+            f"SLO class {entry!r} needs a deadline "
+            "(deadline_ms positionally or deadline=)"
+        )
+    return SLOClass(name=name, **kwargs)
+
+
+def parse_slo_classes(text: str) -> tuple[SLOClass, ...]:
+    """Parse a CLI class spec.
+
+    Entries are separated by commas; each entry is a class name
+    followed by ``:``-separated fields — positionally
+    ``name:deadline_ms[:target[:priority[:share]]]`` (the legacy
+    form), or ``key=value`` fields (``deadline``/``deadline_ms`` —
+    an ``ms`` suffix is accepted — ``target``, ``priority``/``prio``,
+    ``share``, and ``model``, which binds the class to one zoo model's
+    traffic)::
+
+        interactive:5,batch:100:0.9:2
+        llm:deadline=5ms:model=mobilenet-v1-224,default:deadline=50
+    """
+    classes = []
+    for entry in (e for e in text.split(",") if e.strip()):
+        classes.append(_parse_spec_entry(entry))
     if not classes:
         raise ConfigError("SLO class spec is empty")
     names = [c.name for c in classes]
@@ -128,6 +213,12 @@ class ClassStats:
 
     ``attainment`` is met / offered — shed requests count as misses, so
     an admission controller cannot game the metric by dropping load.
+
+    ``model`` carries the class's tenant binding, and per-*model*
+    aggregate rows (``ServingReport.model_stats``) reuse this shape
+    with ``name == model``; there ``deadline_ms``/``target`` are
+    offered-weighted means over the classes the model's traffic drew
+    and ``priority`` is the most urgent one seen.
     """
 
     name: str
@@ -140,6 +231,12 @@ class ClassStats:
     met: int
     attainment: float
     latency_p99_s: float
+    model: str | None = None
+
+    def __setstate__(self, state: dict) -> None:
+        # Stats unpickled from caches written before ``model`` existed
+        # backfill its default (see restore_extended).
+        restore_extended(self, state)
 
     @property
     def satisfied(self) -> bool:

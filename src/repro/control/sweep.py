@@ -20,13 +20,37 @@ from ..parallel.executor import ParallelExecutor
 from ..serve.simulator import ServingReport
 from .hetero import InstanceSpec
 from .simulator import ControlScenario, simulate_controlled
+from .tenancy import MultiFleetReport, MultiFleetScenario, simulate_multi_fleet
 
 __all__ = [
     "control_sweep",
     "governor_sweep",
+    "multi_fleet_sweep",
     "static_frontier_sweep",
     "pareto_frontier",
 ]
+
+
+def multi_fleet_sweep(
+    scenarios: Sequence[MultiFleetScenario],
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+) -> list[MultiFleetReport]:
+    """Simulate many multi-fleet scenarios, fanned out and cached.
+
+    A :class:`MultiFleetScenario` is a frozen dataclass of primitives
+    (with nested member scenarios), so the persistent cache keys it
+    exactly like single-fleet control points — the CLI's warm reruns
+    are served from disk.
+    """
+    if not scenarios:
+        raise ConfigError("multi_fleet_sweep needs at least one scenario")
+    executor = ParallelExecutor(jobs=jobs, cache=cache)
+    return executor.map_cached(
+        "multi_fleet_point",
+        simulate_multi_fleet,
+        [(s,) for s in scenarios],
+    )
 
 
 def control_sweep(

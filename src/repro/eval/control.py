@@ -21,17 +21,40 @@ from .serving_format import report_title, utilization_chart
 __all__ = [
     "render_control_report",
     "render_control_sweep",
+    "render_multi_fleet_report",
+    "multi_fleet_to_dict",
     "report_to_dict",
 ]
 
 
+def _class_stats_dict(cs) -> dict:
+    """One ClassStats as JSON, dropping the ``model`` key when unbound
+    so pre-tenancy report payloads stay byte-identical (the engine
+    parity goldens compare them unregenerated)."""
+    payload = dataclasses.asdict(cs)
+    if payload.get("model") is None:
+        payload.pop("model", None)
+    return payload
+
+
 def report_to_dict(report: ServingReport) -> dict:
     """A JSON-serializable view of one report, including the derived
-    metrics (offered load, mean utilizations, overall attainment)."""
+    metrics (offered load, mean utilizations, overall attainment).
+
+    Fields grown after reports started living in caches and goldens
+    (``model_stats``) are omitted while at their defaults, mirroring
+    :func:`repro.parallel.cache.extension_field`'s key treatment.
+    """
     payload = dataclasses.asdict(report)
     payload["class_stats"] = [
-        dataclasses.asdict(cs) for cs in report.class_stats
+        _class_stats_dict(cs) for cs in report.class_stats
     ]
+    if report.model_stats:
+        payload["model_stats"] = [
+            _class_stats_dict(cs) for cs in report.model_stats
+        ]
+    else:
+        payload.pop("model_stats", None)
     payload["offered_load"] = report.offered_load
     payload["mean_utilization"] = report.mean_utilization
     payload["mean_utilization_busy"] = report.mean_utilization_busy
@@ -39,8 +62,43 @@ def report_to_dict(report: ServingReport) -> dict:
     return payload
 
 
+def _attainment_table(title: str, stats, first_column: str) -> str:
+    """Per-class / per-model attainment rows (one ClassStats shape)."""
+    return render_table(
+        title,
+        [
+            first_column,
+            "Prio",
+            "Deadline ms",
+            "Target",
+            "Offered",
+            "Shed",
+            "Met",
+            "Attainment",
+            "p99 ms",
+            "OK",
+        ],
+        [
+            [
+                cs.name,
+                cs.priority,
+                round(cs.deadline_ms, 3),
+                round(cs.target, 4),
+                cs.offered,
+                cs.shed,
+                cs.met,
+                round(cs.attainment, 4),
+                _ms(cs.latency_p99_s),
+                "yes" if cs.satisfied else "NO",
+            ]
+            for cs in stats
+        ],
+    )
+
+
 def render_control_report(report: ServingReport) -> str:
-    """One controlled run: headline, per-class SLOs, energy, shedding."""
+    """One controlled run: headline, per-class (and, with model-bound
+    classes, per-model) SLOs, energy, shedding."""
     headline = render_table(
         report_title("Control report", report),
         ["Metric", "Value"],
@@ -68,40 +126,24 @@ def render_control_report(report: ServingReport) -> str:
             ],
         ],
     )
-    classes = render_table(
-        "Per-class SLO attainment",
-        [
-            "Class",
-            "Prio",
-            "Deadline ms",
-            "Target",
-            "Offered",
-            "Shed",
-            "Met",
-            "Attainment",
-            "p99 ms",
-            "OK",
-        ],
-        [
-            [
-                cs.name,
-                cs.priority,
-                cs.deadline_ms,
-                cs.target,
-                cs.offered,
-                cs.shed,
-                cs.met,
-                round(cs.attainment, 4),
-                _ms(cs.latency_p99_s),
-                "yes" if cs.satisfied else "NO",
-            ]
-            for cs in report.class_stats
-        ],
+    sections = [
+        headline,
+        _attainment_table(
+            "Per-class SLO attainment", report.class_stats, "Class"
+        ),
+    ]
+    if report.model_stats:
+        sections.append(
+            _attainment_table(
+                "Per-model SLO attainment", report.model_stats, "Model"
+            )
+        )
+    sections.append(
+        utilization_chart(
+            report, "Per-instance utilization (of makespan)"
+        )
     )
-    utilization = utilization_chart(
-        report, "Per-instance utilization (of makespan)"
-    )
-    return "\n\n".join([headline, classes, utilization])
+    return "\n\n".join(sections)
 
 
 def render_control_sweep(
@@ -148,3 +190,83 @@ def render_control_sweep(
         ],
         rows,
     )
+
+
+def multi_fleet_to_dict(report) -> dict:
+    """A JSON-serializable view of one
+    :class:`~repro.control.tenancy.MultiFleetReport`: the aggregate
+    fields plus each member fleet's full report dict."""
+    # Field by field, not dataclasses.asdict: asdict would deep-convert
+    # every nested ServingReport only to be overwritten below.
+    payload = {
+        f.name: getattr(report, f.name)
+        for f in dataclasses.fields(report)
+        if f.name != "fleets"
+    }
+    payload["offered_load"] = list(report.offered_load)
+    payload["fleets"] = [
+        report_to_dict(fleet) for fleet in report.fleets
+    ]
+    payload["conserved"] = report.conserved
+    return payload
+
+
+def render_multi_fleet_report(report) -> str:
+    """One correlated multi-fleet run: per-fleet rows + the aggregate.
+
+    Per-fleet columns read off each member's engine-local report (its
+    offered count includes received spill-ins); the aggregate block
+    accounts end to end per original request, so spilled-and-served
+    traffic counts once, at its final outcome.
+    """
+    rows = [
+        [
+            f"#{k}",
+            fleet.mix,
+            fleet.instances,
+            round(rho, 3),
+            fleet.offered_requests,
+            fleet.requests,
+            fleet.shed_requests,
+            round(fleet.slo_attainment or 0.0, 4),
+            _ms(fleet.latency_p99_s),
+            _mj(fleet.energy_joules),
+        ]
+        for k, (fleet, rho) in enumerate(
+            zip(report.fleets, report.offered_load)
+        )
+    ]
+    fleets = render_table(
+        f"Multi-fleet report ({len(report.fleets)} fleets, "
+        f"modulator={report.modulator}, spillover={report.spillover})",
+        [
+            "Fleet",
+            "Mix",
+            "Inst",
+            "rho",
+            "Offered",
+            "Done",
+            "Shed",
+            "Attainment",
+            "p99 ms",
+            "mJ",
+        ],
+        rows,
+    )
+    aggregate = render_table(
+        "Aggregate (end-to-end per original request)",
+        ["Metric", "Value"],
+        [
+            ["offered requests", report.offered_requests],
+            ["completed requests", report.completed_requests],
+            ["terminally shed", report.shed_requests],
+            ["spilled requests", report.spilled_requests],
+            ["spill completed", report.spill_completed],
+            ["spill met deadline", report.spill_met],
+            ["SLO attainment", round(report.attainment, 4)],
+            ["latency p99 (ms)", _ms(report.latency_p99_s)],
+            ["energy (mJ)", _mj(report.energy_joules)],
+            ["conserved", "yes" if report.conserved else "NO"],
+        ],
+    )
+    return "\n\n".join([fleets, aggregate])

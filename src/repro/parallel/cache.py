@@ -38,6 +38,7 @@ __all__ = [
     "canonical",
     "extension_field",
     "make_key",
+    "restore_extended",
 ]
 
 #: Bump to invalidate every previously stored entry.
@@ -58,6 +59,28 @@ def extension_field(default: Any) -> Any:
     return dataclasses.field(
         default=default, metadata={"cache_extension": True}
     )
+
+
+def restore_extended(obj: Any, state: dict) -> None:
+    """``__setstate__`` body for result dataclasses grown new fields.
+
+    A warm cache can hold values pickled before a field existed;
+    default unpickling would restore an instance missing the new
+    attribute, crashing the first ``dataclasses.asdict`` (or any
+    access) downstream.  Backfilling absent defaulted fields keeps
+    those entries fully usable — the value-side counterpart of
+    :func:`extension_field`'s key stability.  Works for frozen
+    dataclasses: ``__dict__`` is written directly, bypassing the
+    blocked ``__setattr__``.
+    """
+    for f in dataclasses.fields(obj):
+        if f.name in state:
+            continue
+        if f.default is not dataclasses.MISSING:
+            state[f.name] = f.default
+        elif f.default_factory is not dataclasses.MISSING:
+            state[f.name] = f.default_factory()
+    obj.__dict__.update(state)
 
 
 def canonical(obj: Any) -> Any:

@@ -26,8 +26,10 @@ from .arrival import (
     BurstyArrivals,
     DiurnalArrivals,
     PoissonArrivals,
+    SharedModulator,
     TraceArrivals,
     make_arrivals,
+    thin_nhpp,
 )
 from .engine import Engine, EngineHooks, EngineRun
 from .fleet import Batch, Fleet, Instance, Request
@@ -60,7 +62,9 @@ __all__ = [
     "BurstyArrivals",
     "DiurnalArrivals",
     "TraceArrivals",
+    "SharedModulator",
     "make_arrivals",
+    "thin_nhpp",
     "Engine",
     "EngineHooks",
     "EngineRun",

@@ -13,6 +13,7 @@ bit-reproducible.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 
 import numpy as np
@@ -24,8 +25,46 @@ __all__ = [
     "BurstyArrivals",
     "DiurnalArrivals",
     "TraceArrivals",
+    "SharedModulator",
     "make_arrivals",
+    "thin_nhpp",
 ]
+
+
+def thin_nhpp(
+    n: int,
+    peak_rate: float,
+    rate_at,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Lewis-Shedler thinning: ``n`` arrivals of a non-homogeneous
+    Poisson process with instantaneous rate ``rate_at(t)``.
+
+    Candidates arrive Poisson at ``peak_rate`` (which must dominate
+    ``rate_at`` everywhere) and each is accepted with probability
+    ``rate_at(t) / peak_rate`` — exact, and bit-reproducible for a
+    seeded generator.  Candidate time always advances, so the loop
+    cannot stall even through a zero-rate stretch; a non-positive rate
+    is rejected outright (``rng.random() * peak <= 0`` would otherwise
+    accept the measure-zero draw ``random() == 0.0``, placing an
+    arrival at an instant of zero intensity).
+    """
+    if n < 1:
+        raise ConfigError(f"need at least one arrival ({n})")
+    if peak_rate <= 0:
+        raise ConfigError(
+            f"peak_rate must be positive ({peak_rate})"
+        )
+    out = np.empty(n)
+    t = 0.0
+    produced = 0
+    while produced < n:
+        t += rng.exponential(1.0 / peak_rate)
+        lam = rate_at(t)
+        if lam > 0.0 and rng.random() * peak_rate <= lam:
+            out[produced] = t
+            produced += 1
+    return out
 
 
 @dataclass(frozen=True)
@@ -159,10 +198,14 @@ class DiurnalArrivals:
     Attributes:
         rate_qps: Mean arrival rate over a full cycle.
         period_s: Length of one day/night cycle in simulated seconds.
-        amplitude: Peak-to-mean swing in [0, 1]: the peak rate is
+        amplitude: Peak-to-mean swing in [0, 1): the peak rate is
             ``(1 + amplitude) * rate_qps`` and the trough
-            ``(1 - amplitude) * rate_qps`` (1 = the night goes fully
-            quiet; 0 = plain Poisson).
+            ``(1 - amplitude) * rate_qps`` (0 = plain Poisson).
+            Exactly 1.0 is rejected: it drives the trough rate to
+            exactly zero, where the thinning acceptance test
+            ``u * peak <= 0`` could still fire on the measure-zero
+            draw ``u == 0.0`` — an arrival at an instant of zero
+            intensity.  Model a near-dead night with 0.999 instead.
     """
 
     rate_qps: float
@@ -178,9 +221,11 @@ class DiurnalArrivals:
             raise ConfigError(
                 f"period_s must be positive ({self.period_s})"
             )
-        if not 0.0 <= self.amplitude <= 1.0:
+        if not 0.0 <= self.amplitude < 1.0:
             raise ConfigError(
-                f"amplitude must be in [0, 1] ({self.amplitude})"
+                f"amplitude must be in [0, 1) ({self.amplitude}); "
+                "amplitude 1.0 drives the trough rate to exactly 0 — "
+                "use 0.999 for a near-quiet night"
             )
 
     @property
@@ -195,23 +240,172 @@ class DiurnalArrivals:
         )
 
     def times(self, n: int, rng: np.random.Generator) -> np.ndarray:
-        if n < 1:
-            raise ConfigError(f"need at least one arrival ({n})")
         peak = self.rate_qps * (1.0 + self.amplitude)
-        omega = 2.0 * np.pi / self.period_s
-        rate = self.rate_qps
-        amplitude = self.amplitude
-        cos = np.cos
-        out = np.empty(n)
-        t = 0.0
-        produced = 0
-        while produced < n:
-            t += rng.exponential(1.0 / peak)
-            lam = rate * (1.0 - amplitude * cos(omega * t))
-            if rng.random() * peak <= lam:
-                out[produced] = t
-                produced += 1
-        return out
+        return thin_nhpp(n, peak, self.rate_at, rng)
+
+
+class _BurstPath:
+    """One sampled trajectory of the MMPP-2 modulating state.
+
+    Dwell segments are drawn lazily, strictly in time order, from the
+    path's own generator — so the trajectory is a pure function of that
+    generator's seed no matter which fleet queries it first, or how far
+    apart the fleets' candidate clocks run.
+    """
+
+    __slots__ = (
+        "_rng", "_base_factor", "_burst_factor", "_mean_dwell",
+        "_base_dwell", "_ends", "_factors", "_horizon",
+    )
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        burst_factor: float,
+        burst_share: float,
+        mean_dwell_s: float,
+    ) -> None:
+        # Factors preserve a dwell-weighted mean of 1 (same algebra as
+        # BurstyArrivals._state_rates with rate_qps = 1).
+        base = 1.0 / (
+            (1.0 - burst_share) + burst_factor * burst_share
+        )
+        self._base_factor = base
+        self._burst_factor = base * burst_factor
+        self._mean_dwell = mean_dwell_s
+        self._base_dwell = mean_dwell_s * (1.0 - burst_share) / burst_share
+        self._rng = rng
+        in_burst = rng.random() < burst_share
+        first_end = rng.exponential(
+            mean_dwell_s if in_burst else self._base_dwell
+        )
+        self._ends = [first_end]
+        self._factors = [
+            self._burst_factor if in_burst else self._base_factor
+        ]
+        self._horizon = first_end
+
+    def _extend_to(self, t: float) -> None:
+        while self._horizon <= t:
+            in_burst = self._factors[-1] == self._base_factor
+            dwell = self._rng.exponential(
+                self._mean_dwell if in_burst else self._base_dwell
+            )
+            self._horizon += dwell
+            self._ends.append(self._horizon)
+            self._factors.append(
+                self._burst_factor if in_burst else self._base_factor
+            )
+
+    def factor(self, t: float) -> float:
+        """The modulating factor at absolute time ``t`` (t >= 0)."""
+        self._extend_to(t)
+        # Queries advance nearly monotonically within one fleet but
+        # restart at ~0 for the next fleet, so bisect instead of
+        # remembering a cursor.
+        return self._factors[bisect_right(self._ends, t)]
+
+
+@dataclass(frozen=True)
+class SharedModulator:
+    """The latent rate factor a group of correlated fleets shares.
+
+    Multi-fleet traffic is correlated through one modulating factor
+    ``m(t)`` with dwell-weighted mean 1: fleet ``k`` sees instantaneous
+    rate ``rate_k * m(t)``, realized by Lewis-Shedler thinning on an
+    *independent substream* of the scenario's master seed — so a
+    regional diurnal swing or burst hits every fleet at the same
+    simulated instant while the fleets' arrival jitter stays
+    independent.
+
+    Attributes:
+        kind: ``"diurnal"`` (deterministic day/night sinusoid, trough
+            at t=0) or ``"burst"`` (one sampled MMPP-2 state path).
+        period_s / amplitude: Diurnal cycle length and swing
+            (amplitude in [0, 1), as in :class:`DiurnalArrivals`).
+        burst_factor / burst_share / mean_dwell_s: MMPP-2 parameters
+            (as in :class:`BurstyArrivals`).
+    """
+
+    kind: str = "diurnal"
+    period_s: float = 60.0
+    amplitude: float = 0.8
+    burst_factor: float = 4.0
+    burst_share: float = 0.2
+    mean_dwell_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("diurnal", "burst"):
+            raise ConfigError(
+                f"unknown modulator kind {self.kind!r} "
+                "(known: diurnal, burst)"
+            )
+        if self.kind == "diurnal":
+            # Reuse the diurnal validation (incl. the amplitude==1.0
+            # zero-trough rejection) without generating anything.
+            DiurnalArrivals(
+                1.0, period_s=self.period_s, amplitude=self.amplitude
+            )
+        else:
+            BurstyArrivals(
+                1.0,
+                burst_factor=self.burst_factor,
+                burst_share=self.burst_share,
+                mean_dwell_s=self.mean_dwell_s,
+            )
+
+    def peak_factor(self) -> float:
+        """An upper bound on ``m(t)``, for the thinning candidate rate."""
+        if self.kind == "diurnal":
+            return 1.0 + self.amplitude
+        base = 1.0 / (
+            (1.0 - self.burst_share)
+            + self.burst_factor * self.burst_share
+        )
+        return base * self.burst_factor
+
+    def build_path(self, rng: np.random.Generator):
+        """Materialize one trajectory: a callable ``m(t)``.
+
+        Diurnal modulation is a deterministic sinusoid (``rng`` is
+        untouched); the burst path consumes ``rng`` — pass a substream
+        reserved for the latent state so fleet substreams stay
+        independent of it.
+        """
+        if self.kind == "diurnal":
+            omega = 2.0 * np.pi / self.period_s
+            amplitude = self.amplitude
+
+            def factor(t: float) -> float:
+                return 1.0 - amplitude * np.cos(omega * t)
+
+            return factor
+        return _BurstPath(
+            rng,
+            self.burst_factor,
+            self.burst_share,
+            self.mean_dwell_s,
+        ).factor
+
+    def fleet_times(
+        self,
+        n: int,
+        rate_qps: float,
+        path,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """``n`` arrivals for one fleet at mean rate ``rate_qps``,
+        thinned against the shared path on the fleet's own substream."""
+        if rate_qps <= 0:
+            raise ConfigError(
+                f"rate_qps must be positive ({rate_qps})"
+            )
+        peak = rate_qps * self.peak_factor()
+
+        def rate_at(t: float) -> float:
+            return rate_qps * path(t)
+
+        return thin_nhpp(n, peak, rate_at, rng)
 
 
 @dataclass(frozen=True)

@@ -309,6 +309,42 @@ class Engine:
         return EngineRun(events=events, tick_actions=tick_actions)
 
 
+def _class_pools(
+    mix: ScenarioMix, slo_classes: tuple
+) -> dict[str, tuple[list[int], np.ndarray]]:
+    """Per-model class-draw pools for model-bound SLO classes.
+
+    Each mix model maps to ``(class positions, cumulative shares)``:
+    the classes bound to it when any are, else the unbound defaults.
+    """
+    unbound = [
+        i
+        for i, cls in enumerate(slo_classes)
+        if not getattr(cls, "model", None)
+    ]
+    pools: dict[str, tuple[list[int], np.ndarray]] = {}
+    for name in mix.model_names:
+        members = [
+            i
+            for i, cls in enumerate(slo_classes)
+            if getattr(cls, "model", None) == name
+        ] or unbound
+        if not members:
+            raise ConfigError(
+                f"model {name!r} has no applicable SLO class: every "
+                "class is bound to another model — bind one with "
+                "model= or add an unbound default class"
+            )
+        pools[name] = (
+            members,
+            np.cumsum(
+                [slo_classes[i].share for i in members],
+                dtype=np.float64,
+            ),
+        )
+    return pools
+
+
 def build_requests(
     mix: ScenarioMix,
     times: np.ndarray,
@@ -323,6 +359,16 @@ def build_requests(
     legacy per-request sampling loops used, so fixed seeds reproduce).
     The inverse-CDF draws are vectorized: one uniform block replaces
     2 x n Python-level generator calls on the same bit stream.
+
+    A class bound to a model (``SLOClass.model``) applies only to that
+    model's requests: each model draws its class from the classes bound
+    to it, falling back to the unbound (tenant-default) classes when
+    none are.  The uniform block is identical either way, so adding a
+    binding never perturbs another model's draws.
+
+    Raises:
+        ConfigError: If bindings leave some mix model with no
+            applicable class.
     """
     n = len(times)
     weights = np.asarray(mix.weights, dtype=np.float64)
@@ -340,7 +386,31 @@ def build_requests(
         ),
         len(cum_weights) - 1,
     ).tolist()
-    if slo_classes is not None:
+    profiles = mix.profiles
+    if slo_classes is not None and any(
+        getattr(cls, "model", None) for cls in slo_classes
+    ):
+        # One vectorized inverse-CDF draw per pool (the bound-class
+        # counterpart of the unbound branch below): requests are
+        # grouped by the model they drew, and each group's uniforms
+        # map through that model's cumulative shares at once.
+        pools = _class_pools(mix, slo_classes)
+        model_arr = np.asarray(model_idx)
+        class_arr = np.empty(n, dtype=np.int64)
+        for position, profile in enumerate(profiles):
+            members, cum = pools[profile.name]
+            mask = model_arr == position
+            if not mask.any():
+                continue
+            drawn = np.minimum(
+                np.searchsorted(
+                    cum, u_class[mask] * cum[-1], side="right"
+                ),
+                len(members) - 1,
+            )
+            class_arr[mask] = np.asarray(members)[drawn]
+        class_idx = class_arr.tolist()
+    elif slo_classes is not None:
         shares = np.asarray(
             [cls.share for cls in slo_classes], dtype=np.float64
         )
@@ -351,7 +421,6 @@ def build_requests(
             ),
             len(cum_shares) - 1,
         ).tolist()
-    profiles = mix.profiles
     requests = []
     append = requests.append
     for i in range(n):
@@ -388,13 +457,20 @@ class RequestSummary:
 
     Attributes:
         completed: Requests that finished (offered minus shed).
-        latencies: Arrival-to-completion seconds, arrival order
-            (``[0.0]`` placeholder when nothing completed).
+        latencies: Arrival-to-completion seconds, arrival order —
+            genuinely *empty* when nothing completed (an all-shed
+            overload run); report builders must special-case
+            ``completed == 0`` instead of feeding the array to
+            ``mean``/``percentile`` (NaN + RuntimeWarning).
         waits: Arrival-to-launch seconds, same shape.
         model_counts: Sorted ``(model, completed)`` pairs.
         max_finish: Latest completion (``-inf`` when none).
         class_buckets: SLO-class name -> ``[offered, met, latencies]``
             (``None`` unless class tracking was requested).
+        model_buckets: Model name -> ``[offered, met, latencies]``
+            over *all* of the model's requests including shed ones
+            (``None`` unless model tracking was requested) — the
+            per-tenant view behind per-model SLO reporting.
     """
 
     completed: int
@@ -403,10 +479,13 @@ class RequestSummary:
     model_counts: tuple
     max_finish: float
     class_buckets: dict | None
+    model_buckets: dict | None = None
 
 
 def summarize_requests(
-    requests: Sequence[Request], track_classes: bool = False
+    requests: Sequence[Request],
+    track_classes: bool = False,
+    track_models: bool = False,
 ) -> RequestSummary:
     """Aggregate a drained run in one pass over the requests.
 
@@ -421,6 +500,9 @@ def summarize_requests(
     waits: list[float] = []
     counts: dict[str, int] = {}
     buckets: dict[str, list] | None = {} if track_classes else None
+    model_buckets: dict[str, list] | None = (
+        {} if track_models else None
+    )
     unserved = 0
     max_finish = float("-inf")
     for request in requests:
@@ -429,6 +511,11 @@ def summarize_requests(
             if bucket is None:
                 bucket = buckets[request.slo] = [0, 0, []]
             bucket[0] += 1
+        if track_models:
+            mbucket = model_buckets.get(request.model)
+            if mbucket is None:
+                mbucket = model_buckets[request.model] = [0, 0, []]
+            mbucket[0] += 1
         if request.shed:
             continue
         finish = request.finish
@@ -443,23 +530,25 @@ def summarize_requests(
         counts[model] = counts.get(model, 0) + 1
         if finish > max_finish:
             max_finish = finish
+        met = finish <= request.deadline
         if track_classes:
-            bucket[1] += finish <= request.deadline
+            bucket[1] += met
             bucket[2].append(latency)
+        if track_models:
+            mbucket[1] += met
+            mbucket[2].append(latency)
     if unserved:
         raise ConfigError(
             f"simulation ended with {unserved} unserved requests"
         )
-    completed = len(latencies)
-    if not latencies:
-        latencies = waits = [0.0]
     return RequestSummary(
-        completed=completed,
+        completed=len(latencies),
         latencies=np.array(latencies),
         waits=np.array(waits),
         model_counts=tuple(sorted(counts.items())),
         max_finish=max_finish,
         class_buckets=buckets,
+        model_buckets=model_buckets,
     )
 
 

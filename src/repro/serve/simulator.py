@@ -23,10 +23,11 @@ import numpy as np
 
 from ..arch.params import EDEA_CONFIG, ArchConfig
 from ..errors import ConfigError
-from ..parallel.cache import extension_field
+from ..parallel.cache import extension_field, restore_extended
 from .arrival import make_arrivals
 from .engine import (
     Engine,
+    EngineHooks,
     build_requests,
     realized_offered_qps,
     summarize_requests,
@@ -151,6 +152,15 @@ class ServingReport:
     class_stats: tuple = ()
     autoscale_events: int = 0
     mean_active_instances: float | None = None
+    #: Per-model (tenant) aggregates, filled only when the scenario
+    #: binds SLO classes to models (kept empty otherwise so the JSON
+    #: form of pre-existing reports is byte-stable).
+    model_stats: tuple = ()
+
+    def __setstate__(self, state: dict) -> None:
+        # Reports unpickled from caches written before a field existed
+        # backfill its default (see restore_extended).
+        restore_extended(self, state)
 
     @property
     def offered_load(self) -> float:
@@ -182,11 +192,23 @@ class ServingReport:
         return sum(cs.met for cs in self.class_stats) / offered
 
 
-def simulate(scenario: ServingScenario) -> ServingReport:
+def simulate(
+    scenario: ServingScenario,
+    hooks: EngineHooks | None = None,
+) -> ServingReport:
     """Run one serving scenario to completion.
 
     Deterministic for a given scenario; safe to cache and to fan out
     across worker processes.
+
+    Args:
+        scenario: The frozen scenario description.
+        hooks: Optional custom :class:`~repro.serve.engine.EngineHooks`
+            (e.g. an admission controller); the default runs the plain
+            data plane.  A shedding hook makes the report's completed
+            count diverge from the offered one — all throughput and
+            batch statistics are computed from requests that actually
+            *entered* a batch, never from shed traffic.
     """
     mix = build_mix(
         scenario.mix, scenario.config, scenario.weight_bandwidth
@@ -223,13 +245,18 @@ def simulate(scenario: ServingScenario) -> ServingReport:
         policy,
         max_batch=scenario.max_batch,
         max_wait_s=scenario.max_wait_ms * 1e-3,
+        hooks=hooks,
     )
     engine.run(requests)
 
     summary = summarize_requests(requests)
+    completed = summary.completed
     latencies = summary.latencies
     waits = summary.waits
-    makespan = summary.max_finish
+    # An all-shed run (a shedding hook under heavy overload) completes
+    # nothing: report explicit zeros instead of feeding empty arrays to
+    # mean/percentile (NaN + RuntimeWarning) or a -inf max_finish.
+    makespan = summary.max_finish if completed else 0.0
     total_batches = sum(i.batches for i in fleet)
 
     return ServingReport(
@@ -237,20 +264,30 @@ def simulate(scenario: ServingScenario) -> ServingReport:
         arrival=scenario.arrival,
         policy=scenario.policy,
         instances=scenario.instances,
-        requests=n,
+        requests=completed,
         offered_qps=realized_offered_qps(
             scenario.arrival, times, n, qps
         ),
         capacity_qps=float(capacity),
         makespan_s=makespan,
-        sustained_qps=n / makespan if makespan > 0 else 0.0,
-        latency_mean_s=float(latencies.mean()),
-        latency_p50_s=float(np.percentile(latencies, 50)),
-        latency_p95_s=float(np.percentile(latencies, 95)),
-        latency_p99_s=float(np.percentile(latencies, 99)),
-        latency_max_s=float(latencies.max()),
-        mean_wait_s=float(waits.mean()),
-        mean_batch_size=n / total_batches if total_batches else 0.0,
+        sustained_qps=completed / makespan if makespan > 0 else 0.0,
+        latency_mean_s=float(latencies.mean()) if completed else 0.0,
+        latency_p50_s=(
+            float(np.percentile(latencies, 50)) if completed else 0.0
+        ),
+        latency_p95_s=(
+            float(np.percentile(latencies, 95)) if completed else 0.0
+        ),
+        latency_p99_s=(
+            float(np.percentile(latencies, 99)) if completed else 0.0
+        ),
+        latency_max_s=float(latencies.max()) if completed else 0.0,
+        mean_wait_s=float(waits.mean()) if completed else 0.0,
+        # Shed requests never enter a batch: the mean batch size is
+        # completed (served) work per launch, not offered work.
+        mean_batch_size=(
+            completed / total_batches if total_batches else 0.0
+        ),
         setups=sum(i.setups for i in fleet),
         utilization=tuple(
             i.busy_seconds / makespan if makespan > 0 else 0.0
@@ -264,4 +301,5 @@ def simulate(scenario: ServingScenario) -> ServingReport:
             for i in fleet
         ),
         offered_requests=n,
+        shed_requests=n - completed,
     )

@@ -67,6 +67,54 @@ class TestSLOClass:
             parse_slo_classes(text)
 
 
+class TestModelBoundSpecs:
+    def test_parse_key_value_fields_with_model_binding(self):
+        classes = parse_slo_classes(
+            "llm:deadline=5ms:model=mobilenet-v1-224:share=0.4,"
+            "default:deadline=50:prio=1"
+        )
+        assert classes[0] == SLOClass(
+            "llm", 5.0, share=0.4, model="mobilenet-v1-224"
+        )
+        assert classes[1] == SLOClass("default", 50.0, priority=1)
+        assert classes[1].model is None
+
+    def test_positional_fields_may_precede_key_value(self):
+        (cls,) = parse_slo_classes("rt:5:0.95:model=edge-tiny")
+        assert cls == SLOClass(
+            "rt", 5.0, target=0.95, model="edge-tiny"
+        )
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a:deadline=5:deadline=9",  # duplicate field
+            "a:model=m",  # no deadline
+            "a:unknown=1:deadline=5",  # unknown key
+            "a:deadline=5:2",  # positional after key=value
+            "a:deadline=xms",  # non-numeric
+        ],
+    )
+    def test_parse_rejects_malformed_key_value(self, text):
+        with pytest.raises(ConfigError):
+            parse_slo_classes(text)
+
+    def test_unbound_class_key_is_stable(self):
+        """The model binding is an extension field: unbound classes
+        (every pre-existing spec) keep their canonical form, so warm
+        caches keyed before multi-tenancy stay valid."""
+        from repro.parallel.cache import canonical
+
+        fields = dict(canonical(SLOClass("x", 5.0))[1])
+        assert "model" not in fields
+        fields = dict(canonical(SLOClass("x", 5.0, model="m"))[1])
+        assert fields["model"] == "m"
+
+    def test_model_binding_validation(self):
+        with pytest.raises(ConfigError):
+            SLOClass("x", 5.0, model="")
+
+
 class TestShedders:
     def test_registry_round_trip(self):
         for name in SHEDDING_POLICIES:

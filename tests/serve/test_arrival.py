@@ -114,6 +114,145 @@ class TestDiurnal:
             DiurnalArrivals(100.0).times(0, np.random.default_rng(0))
 
 
+class TestDiurnalFullSwing:
+    """Regression: amplitude == 1.0 drives the trough rate to exactly
+    0, where the thinning acceptance ``u * peak <= 0`` could still
+    fire on the measure-zero draw ``u == 0.0`` — an arrival at an
+    instant of zero intensity.  The dataclass now rejects exactly 1.0
+    (the CLI mirrors it under the flag's own name) and 0.999 stays a
+    valid, non-stalling near-quiet night."""
+
+    def test_amplitude_one_rejected(self):
+        with pytest.raises(ConfigError, match=r"\[0, 1\)"):
+            DiurnalArrivals(100.0, amplitude=1.0)
+
+    def test_amplitude_one_rejected_via_factory(self):
+        with pytest.raises(ConfigError, match=r"\[0, 1\)"):
+            make_arrivals("diurnal", 100.0, diurnal_amplitude=1.0)
+
+    def test_near_one_amplitude_generates_without_stall(self):
+        proc = DiurnalArrivals(
+            500.0, period_s=5.0, amplitude=0.999
+        )
+        times = proc.times(20_000, np.random.default_rng(3))
+        assert np.all(np.diff(times) >= 0)
+        # The thinned process still offers its configured mean rate.
+        realized = len(times) / times[-1]
+        assert realized == pytest.approx(500.0, rel=0.15)
+
+    def test_near_one_amplitude_empties_the_trough(self):
+        proc = DiurnalArrivals(
+            1000.0, period_s=10.0, amplitude=0.999
+        )
+        times = proc.times(20_000, np.random.default_rng(4))
+        phase = np.mod(times, 10.0)
+        # Deep night [0, P/16) + (15P/16, P): ~0.3% of a full cycle's
+        # arrivals land there at amplitude 0.999.
+        night = np.sum((phase < 0.625) | (phase > 9.375))
+        assert night / len(times) < 0.01
+
+
+class TestThinNHPP:
+    def test_zero_rate_stretches_produce_no_arrivals(self):
+        from repro.serve.arrival import thin_nhpp
+
+        # Rate is 0 on [1, 2): no arrival may land there, and the
+        # candidate clock must walk through without stalling.
+        def rate(t):
+            return 0.0 if 1.0 <= t % 2.0 < 2.0 else 200.0
+
+        times = thin_nhpp(2_000, 200.0, rate, np.random.default_rng(8))
+        phase = np.mod(times, 2.0)
+        assert not np.any((phase >= 1.0) & (phase < 2.0))
+
+    def test_validation(self):
+        from repro.serve.arrival import thin_nhpp
+
+        with pytest.raises(ConfigError):
+            thin_nhpp(0, 1.0, lambda t: 1.0, np.random.default_rng(0))
+        with pytest.raises(ConfigError):
+            thin_nhpp(1, 0.0, lambda t: 1.0, np.random.default_rng(0))
+
+
+class TestSharedModulator:
+    def _binned_correlation(self, kind: str) -> float:
+        from repro.serve.arrival import SharedModulator
+
+        mod = SharedModulator(
+            kind=kind, period_s=10.0, amplitude=0.9, burst_factor=6.0,
+            mean_dwell_s=0.2,
+        )
+        path = mod.build_path(np.random.default_rng([3, 0]))
+        a = mod.fleet_times(6_000, 800.0, path, np.random.default_rng([3, 1]))
+        b = mod.fleet_times(6_000, 400.0, path, np.random.default_rng([3, 2]))
+        span = min(a[-1], b[-1])
+        bins = np.linspace(0.0, span, 50)
+        ca, _ = np.histogram(a, bins)
+        cb, _ = np.histogram(b, bins)
+        return float(np.corrcoef(ca, cb)[0, 1])
+
+    @pytest.mark.parametrize("kind", ["diurnal", "burst"])
+    def test_fleets_share_the_latent_swing(self, kind):
+        assert self._binned_correlation(kind) > 0.8
+
+    def test_independent_seeds_decorrelate(self):
+        from repro.serve.arrival import SharedModulator
+
+        mod = SharedModulator(kind="burst", burst_factor=6.0,
+                              mean_dwell_s=0.2)
+        # Two *different* latent paths: same marginal process, no
+        # shared state — the correlation collapses.
+        a = mod.fleet_times(
+            6_000, 800.0,
+            mod.build_path(np.random.default_rng([3, 0])),
+            np.random.default_rng([3, 1]),
+        )
+        b = mod.fleet_times(
+            6_000, 800.0,
+            mod.build_path(np.random.default_rng([4, 0])),
+            np.random.default_rng([3, 2]),
+        )
+        span = min(a[-1], b[-1])
+        bins = np.linspace(0.0, span, 50)
+        ca, _ = np.histogram(a, bins)
+        cb, _ = np.histogram(b, bins)
+        assert abs(float(np.corrcoef(ca, cb)[0, 1])) < 0.5
+
+    def test_burst_path_is_query_order_invariant(self):
+        from repro.serve.arrival import SharedModulator
+
+        mod = SharedModulator(kind="burst", mean_dwell_s=0.05)
+        path_a = mod.build_path(np.random.default_rng([9, 0]))
+        path_b = mod.build_path(np.random.default_rng([9, 0]))
+        ts = [0.01, 5.0, 0.3, 2.0, 4.99, 0.7]
+        # Query far ahead first on one copy, in order on the other:
+        # the lazily extended trajectory must be identical.
+        ahead = [path_a(t) for t in ts]
+        in_order = [path_b(t) for t in sorted(ts)]
+        assert ahead == [
+            in_order[sorted(ts).index(t)] for t in ts
+        ]
+
+    def test_mean_factor_is_one(self):
+        from repro.serve.arrival import SharedModulator
+
+        mod = SharedModulator(kind="burst", burst_factor=4.0,
+                              burst_share=0.2, mean_dwell_s=0.05)
+        path = mod.build_path(np.random.default_rng([1, 0]))
+        grid = np.linspace(0.0, 50.0, 20_000)
+        assert np.mean([path(t) for t in grid]) == pytest.approx(
+            1.0, rel=0.15
+        )
+
+    def test_rejects_unknown_kind_and_full_swing(self):
+        from repro.serve.arrival import SharedModulator
+
+        with pytest.raises(ConfigError):
+            SharedModulator(kind="sawtooth")
+        with pytest.raises(ConfigError, match=r"\[0, 1\)"):
+            SharedModulator(kind="diurnal", amplitude=1.0)
+
+
 class TestTrace:
     def test_replays_prefix(self):
         proc = TraceArrivals((0.0, 0.5, 1.0, 2.5))
