@@ -1,0 +1,299 @@
+"""Verbatim snapshot of the PR-4 object-per-request serving kernel.
+
+The columnar engine (PR 6) replaced the ``Request`` dataclass, the
+per-object event loop, and the single-pass object ``summarize`` with
+arena-backed equivalents.  This module preserves the PR-4 machinery
+exactly as it shipped — one Python ``Request`` object per request,
+deque-of-objects instance queues, the merged-arrival event loop, and
+the O(n) object summarizer — so the engine benchmark can (a) measure
+the columnar kernel against the real predecessor on identical work and
+(b) assert the two produce bit-identical completion schedules.
+
+Nothing here is exported to the package; it exists only for
+``benchmarks/test_bench_engine.py`` and the exact-mode regression
+tests.  Profiles, policies, and arrival processes are shared with the
+live package (they were not changed by the columnar refactor).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.serve.profile import ScenarioMix, ServiceProfile
+
+_COMPLETE, _WAKE, _TICK = 1, 2, 3
+_EPS = 1e-12
+_INF = float("inf")
+
+
+@dataclass(slots=True)
+class PR4Request:
+    """The PR-4 per-request object (one Python object per request)."""
+
+    index: int
+    model: str
+    profile: ServiceProfile
+    arrival: float
+    start: float = -1.0
+    finish: float = -1.0
+    slo: str = ""
+    priority: int = 0
+    deadline: float = float("inf")
+    shed: bool = False
+
+
+@dataclass(slots=True)
+class PR4Instance:
+    """The PR-4 instance: a deque of request objects per queue."""
+
+    index: int
+    busy_until: float = 0.0
+    loaded_model: str | None = None
+    queue: deque = field(default_factory=deque)
+    busy_seconds: float = 0.0
+    served: int = 0
+    batches: int = 0
+    setups: int = 0
+    queued_seconds: float = 0.0
+    active: bool = True
+    latency_scale: float = 1.0
+    window_end: float | None = None
+    busy_seconds_window: float = 0.0
+    profiles: dict[str, ServiceProfile] | None = None
+
+    def enqueue(self, request, priority_aware: bool = False) -> None:
+        if priority_aware and self.queue:
+            key = (request.priority, request.index)
+            pos = len(self.queue)
+            for queued in reversed(self.queue):
+                if (queued.priority, queued.index) <= key:
+                    break
+                pos -= 1
+            if pos == len(self.queue):
+                self.queue.append(request)
+            else:
+                self.queue.insert(pos, request)
+        else:
+            self.queue.append(request)
+        self.queued_seconds += request.profile.per_image_seconds
+
+    def is_idle(self, now: float) -> bool:
+        return self.busy_until <= now
+
+    def profile_for(self, model: str) -> ServiceProfile | None:
+        if self.profiles is None:
+            return None
+        return self.profiles.get(model)
+
+    def pending_seconds(self, now: float) -> float:
+        pending = self.busy_until - now
+        if pending < 0.0:
+            pending = 0.0
+        queued = self.queued_seconds
+        if queued > 0.0:
+            pending += queued * self.latency_scale
+        return pending
+
+    def _accrue_busy(self, now: float, duration: float) -> None:
+        self.busy_seconds += duration
+        if self.window_end is not None:
+            start = min(now, self.window_end)
+            end = min(now + duration, self.window_end)
+            self.busy_seconds_window += max(0.0, end - start)
+
+    def launch_head(self, max_batch: int, now: float) -> float:
+        queue = self.queue
+        if not queue:
+            raise ConfigError("no queued requests to batch")
+        model = queue[0].model
+        members = [queue.popleft()]
+        while (
+            len(members) < max_batch
+            and queue
+            and queue[0].model == model
+        ):
+            members.append(queue.popleft())
+        return self._serve(members, now)
+
+    def _serve(self, requests, now: float) -> float:
+        queue = self.queue
+        queued_seconds = self.queued_seconds
+        for request in requests:
+            if queue and queue[0] is request:
+                queue.popleft()
+            queued_seconds -= request.profile.per_image_seconds
+        self.queued_seconds = queued_seconds if queue else 0.0
+        head = requests[0]
+        model = head.model
+        cold = self.loaded_model != model
+        profile = self.profile_for(model) or head.profile
+        setup = profile.setup_seconds if cold else 0.0
+        per_image = profile.per_image_seconds * self.latency_scale
+        base = now + setup
+        count = 0
+        for request in requests:
+            count += 1
+            request.start = now
+            request.finish = base + count * per_image
+        service = setup + count * per_image
+        self.busy_until = now + service
+        self._accrue_busy(now, service)
+        self.served += count
+        self.batches += 1
+        if cold:
+            self.setups += 1
+        self.loaded_model = model
+        return self.busy_until
+
+
+class PR4Fleet:
+    def __init__(self, instances: int) -> None:
+        self.instances = [PR4Instance(index=i) for i in range(instances)]
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def __iter__(self):
+        return iter(self.instances)
+
+    def __getitem__(self, index: int):
+        return self.instances[index]
+
+
+class PR4Engine:
+    """The PR-4 event loop, verbatim (hooks stripped to the no-op
+    serve-plane configuration the benchmark exercises)."""
+
+    def __init__(self, fleet, policy, max_batch, max_wait_s) -> None:
+        self.fleet = fleet
+        self.policy = policy
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self._heap: list = []
+        self._seq = 0
+
+    def _maybe_launch(self, instance, now: float) -> None:
+        if instance.busy_until > now or not instance.queue:
+            return
+        queue = instance.queue
+        head = queue[0]
+        max_batch = self.max_batch
+        deadline = head.arrival + self.max_wait_s
+        if now >= deadline - _EPS:
+            due = True
+        elif len(queue) >= max_batch:
+            model = head.model
+            count = 0
+            for queued in queue:
+                if queued.model != model:
+                    break
+                count += 1
+                if count == max_batch:
+                    break
+            due = count == max_batch
+        else:
+            due = False
+        self._seq += 1
+        if due:
+            finish = instance.launch_head(max_batch, now)
+            heappush(
+                self._heap,
+                (finish, self._seq, _COMPLETE, instance.index),
+            )
+        else:
+            heappush(
+                self._heap, (deadline, self._seq, _WAKE, instance.index)
+            )
+
+    def run(self, requests: Sequence) -> int:
+        instances = self.fleet.instances
+        policy = self.policy
+        heap = self._heap = []
+        n = len(requests)
+        self._seq = n
+        i = 0
+        events = 0
+        next_arrival = requests[0].arrival if n else _INF
+        while True:
+            if i < n and (not heap or next_arrival <= heap[0][0]):
+                request = requests[i]
+                i += 1
+                next_arrival = requests[i].arrival if i < n else _INF
+                events += 1
+                now = request.arrival
+                instance = instances[
+                    policy.choose(request, instances, now)
+                ]
+                instance.enqueue(request)
+                self._maybe_launch(instance, now)
+                continue
+            if not heap:
+                break
+            now, _, kind, payload = heappop(heap)
+            events += 1
+            instance = instances[payload]
+            self._maybe_launch(instance, now)
+        return events
+
+
+def pr4_build_requests(
+    mix: ScenarioMix,
+    times: np.ndarray,
+    rng: np.random.Generator,
+) -> list[PR4Request]:
+    """PR-4 ``build_requests`` (serve-plane form): vectorized model
+    draws, then one Python object per request."""
+    n = len(times)
+    weights = np.asarray(mix.weights, dtype=np.float64)
+    cum_weights = np.cumsum(weights)
+    u_model = rng.random(n)
+    model_idx = np.minimum(
+        np.searchsorted(
+            cum_weights, u_model * cum_weights[-1], side="right"
+        ),
+        len(cum_weights) - 1,
+    ).tolist()
+    profiles = mix.profiles
+    requests = []
+    append = requests.append
+    for i in range(n):
+        profile = profiles[model_idx[i]]
+        append(
+            PR4Request(
+                index=i,
+                model=profile.name,
+                profile=profile,
+                arrival=float(times[i]),
+            )
+        )
+    return requests
+
+
+def pr4_summarize(requests: Sequence) -> dict:
+    """PR-4 single-pass object summarizer (serve-plane fields)."""
+    latencies: list[float] = []
+    waits: list[float] = []
+    counts: dict[str, int] = {}
+    max_finish = float("-inf")
+    for request in requests:
+        finish = request.finish
+        arrival = request.arrival
+        latencies.append(finish - arrival)
+        waits.append(request.start - arrival)
+        model = request.model
+        counts[model] = counts.get(model, 0) + 1
+        if finish > max_finish:
+            max_finish = finish
+    return {
+        "completed": len(latencies),
+        "latencies": np.array(latencies),
+        "waits": np.array(waits),
+        "model_counts": tuple(sorted(counts.items())),
+        "max_finish": max_finish,
+    }

@@ -4,7 +4,13 @@ The benchmarks regenerate every table and figure of the paper's
 evaluation.  The measured experiments (Figs. 11/12) run on the full-width
 (1.0) MobileNetV1 workload, prepared once per session: brief training on
 synthetic data, int8 quantization, and one verified accelerator run.
+
+Every benchmark's ``extra_info`` additionally records the process's
+peak RSS, so memory claims (like the engine's flat-arena scaling) are
+machine-checkable from the emitted benchmark JSON alongside wall-clock.
 """
+
+import resource
 
 import pytest
 
@@ -17,3 +23,24 @@ def full_workload():
     return prepare_workload(
         width_multiplier=1.0, num_samples=48, train_epochs=1, batch_size=12
     )
+
+
+@pytest.fixture(autouse=True)
+def _record_peak_rss(request):
+    """Record peak RSS (MiB) into every benchmark's ``extra_info``.
+
+    ``ru_maxrss`` is a process-lifetime high-water mark (KiB on
+    Linux), so the value is an upper bound per test — but regressions
+    that leak memory proportional to workload size still surface in
+    the emitted JSON.
+    """
+    yield
+    if "benchmark" in request.fixturenames:
+        try:
+            benchmark = request.getfixturevalue("benchmark")
+        except Exception:
+            # The benchmark fixture tears down before autouse fixtures
+            # when its test failed; nothing to annotate then.
+            return
+        rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        benchmark.extra_info["peak_rss_mib"] = round(rss_kib / 1024, 1)

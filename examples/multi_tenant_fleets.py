@@ -110,7 +110,11 @@ def predictive_vs_reactive() -> None:
         )
 
 
-if __name__ == "__main__":
+def main() -> None:
     per_model_slos()
     correlated_spillover()
     predictive_vs_reactive()
+
+
+if __name__ == "__main__":
+    main()

@@ -205,6 +205,12 @@ def _add_traffic_flags(parser: argparse.ArgumentParser) -> None:
         "--seed", type=int, default=0, help="simulation seed",
     )
     parser.add_argument(
+        "--stats", default="exact", choices=["exact", "sketch"],
+        help="latency statistics mode: exact retains every latency, "
+             "sketch streams them through a t-digest with flat memory "
+             "(default: exact)",
+    )
+    parser.add_argument(
         "--json", default=None, metavar="PATH", dest="json_path",
         help="also write the report(s) as machine-readable JSON",
     )
@@ -547,6 +553,7 @@ def _control_scenario(args, trace) -> ControlScenario:
         shedding=args.shedding or "none",
         queue_threshold=args.queue_threshold,
         autoscale=args.autoscale or "none",
+        stats=getattr(args, "stats", "exact"),
     )
     if getattr(args, "fleet", None):
         kwargs["fleet"] = parse_fleet_spec(args.fleet)
@@ -596,6 +603,7 @@ def _serve(args, out) -> None:
         seed=args.seed,
         diurnal_period_s=args.diurnal_period_s,
         diurnal_amplitude=args.diurnal_amplitude,
+        stats=args.stats,
     )
     cache = _cache_from(args)
     if args.curve_qps and (args.sweep_policies or args.sweep_instances):

@@ -48,6 +48,7 @@ from ..serve.engine import (
 from ..serve.fleet import Fleet
 from ..serve.policies import make_policy
 from ..serve.profile import DEFAULT_WEIGHT_BANDWIDTH, build_mix
+from ..serve.sketch import StreamingLatencyStats
 from ..serve.simulator import ServingReport
 from .autoscale import GOVERNORS, make_governor
 from .hetero import InstanceSpec, configure_instance
@@ -134,6 +135,7 @@ class ControlScenario:
     diurnal_amplitude: float = extension_field(0.8)
     forecast_alpha: float = extension_field(0.5)
     forecast_beta: float = extension_field(0.2)
+    stats: str = extension_field("exact")
 
     def __post_init__(self) -> None:
         if self.requests < 1:
@@ -156,6 +158,11 @@ class ControlScenario:
             raise ConfigError(f"qps must be positive ({self.qps})")
         if self.tick_ms <= 0:
             raise ConfigError(f"tick_ms must be positive ({self.tick_ms})")
+        if self.stats not in ("exact", "sketch"):
+            raise ConfigError(
+                f"unknown stats mode {self.stats!r} "
+                "(known: exact, sketch)"
+            )
         # The diurnal knobs are validated by DiurnalArrivals when the
         # arrival process is built, like burst_factor by BurstyArrivals.
         if self.autoscale not in ("none", *GOVERNORS):
@@ -222,6 +229,18 @@ class ControlHooks(EngineHooks):
             instance.close_power_interval(now)
 
 
+def _bucket_latency_stats(latencies) -> tuple[int, float]:
+    """``(completed, p99_s)`` of a summary bucket's latency entry —
+    an array/list in exact mode, a sketch in sketch mode."""
+    if isinstance(latencies, StreamingLatencyStats):
+        count = latencies.count
+        return count, (latencies.quantile(0.99) if count else 0.0)
+    count = len(latencies)
+    return count, (
+        float(np.percentile(latencies, 99)) if count else 0.0
+    )
+
+
 def _class_stats(
     slo_classes: tuple[SLOClass, ...], buckets: dict
 ) -> tuple[ClassStats, ...]:
@@ -230,7 +249,7 @@ def _class_stats(
     stats = []
     for cls in slo_classes:
         offered, met, latencies = buckets.get(cls.name, (0, 0, []))
-        completed = len(latencies)
+        completed, p99 = _bucket_latency_stats(latencies)
         stats.append(
             ClassStats(
                 name=cls.name,
@@ -242,11 +261,7 @@ def _class_stats(
                 completed=completed,
                 met=met,
                 attainment=met / offered if offered else 0.0,
-                latency_p99_s=(
-                    float(np.percentile(latencies, 99))
-                    if latencies
-                    else 0.0
-                ),
+                latency_p99_s=p99,
                 model=cls.model,
             )
         )
@@ -274,7 +289,7 @@ def _model_stats(
     stats = []
     for model in sorted(model_buckets):
         offered, met, latencies = model_buckets[model]
-        completed = len(latencies)
+        completed, p99 = _bucket_latency_stats(latencies)
         classes = bound.get(model, unbound)
         weights = [
             class_buckets.get(cls.name, (0,))[0] for cls in classes
@@ -299,11 +314,7 @@ def _model_stats(
                 completed=completed,
                 met=met,
                 attainment=met / offered if offered else 0.0,
-                latency_p99_s=(
-                    float(np.percentile(latencies, 99))
-                    if latencies
-                    else 0.0
-                ),
+                latency_p99_s=p99,
                 model=model,
             )
         )
@@ -432,11 +443,12 @@ def execute_controlled(
         cls.model is not None for cls in scenario.slo_classes
     )
     summary = summarize_requests(
-        requests, track_classes=True, track_models=track_models
+        requests,
+        track_classes=True,
+        track_models=track_models,
+        stats=scenario.stats,
     )
     completed = summary.completed
-    latencies = summary.latencies
-    waits = summary.waits
 
     end_time = max(
         window_end,
@@ -470,18 +482,18 @@ def execute_controlled(
         # An all-shed overload run completes nothing: report explicit
         # zeros instead of feeding empty arrays through mean/percentile
         # (NaN + RuntimeWarning in the report).
-        latency_mean_s=float(latencies.mean()) if completed else 0.0,
+        latency_mean_s=summary.latency_mean() if completed else 0.0,
         latency_p50_s=(
-            float(np.percentile(latencies, 50)) if completed else 0.0
+            summary.latency_percentile(50) if completed else 0.0
         ),
         latency_p95_s=(
-            float(np.percentile(latencies, 95)) if completed else 0.0
+            summary.latency_percentile(95) if completed else 0.0
         ),
         latency_p99_s=(
-            float(np.percentile(latencies, 99)) if completed else 0.0
+            summary.latency_percentile(99) if completed else 0.0
         ),
-        latency_max_s=float(latencies.max()) if completed else 0.0,
-        mean_wait_s=float(waits.mean()) if completed else 0.0,
+        latency_max_s=summary.latency_max() if completed else 0.0,
+        mean_wait_s=summary.wait_mean() if completed else 0.0,
         mean_batch_size=(
             completed / total_batches if total_batches else 0.0
         ),

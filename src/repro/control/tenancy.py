@@ -250,7 +250,7 @@ def simulate_multi_fleet(
     # path on its own substream, then draws its request content
     # (models, classes) from the same substream — exactly the
     # single-fleet draw order, per fleet.
-    home_requests: list[list[Request]] = []
+    home_requests = []
     for k, member in enumerate(scenario.fleets):
         rng = np.random.default_rng([scenario.seed, k + 1])
         fleet_times = modulator.fleet_times(
@@ -278,6 +278,9 @@ def simulate_multi_fleet(
     reports: list[ServingReport | None] = [None] * n_fleets
     # clone -> original, to fold sibling outcomes back per request.
     spilled: list[tuple[Request, Request]] = []
+    # Views are created on demand, so identity is per access; key
+    # forwarded originals by (fleet, index) instead of id().
+    forwarded: set[tuple[int, int]] = set()
     spill_ins: list[list[Request]] = [[] for _ in range(n_fleets)]
     # Donor class specs by name (first definition wins), so a receiver
     # can report spill-ins whose class it does not define itself.
@@ -286,7 +289,7 @@ def simulate_multi_fleet(
         for cls in member.slo_classes:
             class_specs.setdefault(cls.name, cls)
 
-    def run_member(k: int, requests: list[Request]) -> None:
+    def run_member(k: int, requests) -> None:
         fleet, mix, capacity = setups[k]
         member = replace(
             scenario.fleets[k], arrival=arrival_label
@@ -337,13 +340,14 @@ def simulate_multi_fleet(
                 deadline=request.deadline,
             )
             spilled.append((clone, request))
+            forwarded.add((k, request.index))
             spill_ins[target].append(clone)
 
     # Receivers then play home traffic merged with their spill-ins in
     # arrival order (stable: home requests keep their relative order).
     for k in receivers:
         merged = sorted(
-            home_requests[k] + spill_ins[k],
+            [*home_requests[k], *spill_ins[k]],
             key=lambda request: request.arrival,
         )
         for i, request in enumerate(merged):
@@ -351,7 +355,6 @@ def simulate_multi_fleet(
         run_member(k, merged)
 
     # End-to-end accounting per original request.
-    forwarded = {id(original) for _, original in spilled}
     completed = met = terminally_shed = 0
     spill_completed = spill_met = 0
     final_latencies: list[float] = []
@@ -363,7 +366,7 @@ def simulate_multi_fleet(
                 final_latencies.append(
                     request.finish - request.arrival
                 )
-            elif id(request) not in forwarded:
+            elif (k, request.index) not in forwarded:
                 terminally_shed += 1
     for clone, original in spilled:
         if clone.shed:

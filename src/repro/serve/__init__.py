@@ -31,8 +31,10 @@ from .arrival import (
     make_arrivals,
     thin_nhpp,
 )
+from .arena import RequestArena
 from .engine import Engine, EngineHooks, EngineRun
 from .fleet import Batch, Fleet, Instance, Request
+from .sketch import StreamingLatencyStats, TDigest
 from .policies import (
     POLICIES,
     AffinityPolicy,
@@ -69,6 +71,9 @@ __all__ = [
     "EngineHooks",
     "EngineRun",
     "Request",
+    "RequestArena",
+    "TDigest",
+    "StreamingLatencyStats",
     "Batch",
     "Instance",
     "Fleet",

@@ -22,6 +22,7 @@ from ..errors import ConfigError
 
 __all__ = [
     "PoissonArrivals",
+    "iter_arrival_times",
     "BurstyArrivals",
     "DiurnalArrivals",
     "TraceArrivals",
@@ -92,6 +93,31 @@ class PoissonArrivals:
         if n < 1:
             raise ConfigError(f"need at least one arrival ({n})")
         return np.cumsum(rng.exponential(1.0 / self.rate_qps, n))
+
+    def iter_times(
+        self, n: int, rng: np.random.Generator, chunk: int
+    ):
+        """Yield the same ``n`` timestamps as :meth:`times`, in chunks.
+
+        Bit-identical to the one-shot array: ``rng.exponential`` draws
+        chunk-by-chunk consume the bit stream exactly like one big
+        draw, and ``np.cumsum`` is a sequential left fold, so adding
+        the running carry to each chunk's first gap reproduces the
+        full cumulative sum float-for-float.  Memory is O(chunk).
+        """
+        if n < 1:
+            raise ConfigError(f"need at least one arrival ({n})")
+        scale = 1.0 / self.rate_qps
+        carry = 0.0
+        produced = 0
+        while produced < n:
+            m = min(chunk, n - produced)
+            gaps = rng.exponential(scale, m)
+            gaps[0] += carry
+            times = np.cumsum(gaps)
+            carry = float(times[-1])
+            produced += m
+            yield times
 
 
 @dataclass(frozen=True)
@@ -481,3 +507,21 @@ def make_arrivals(
         f"unknown arrival process {kind!r} "
         "(known: poisson, bursty, diurnal, trace)"
     )
+
+
+def iter_arrival_times(arrivals, n: int, rng, chunk: int):
+    """Chunked view of an arrival process for streaming consumers.
+
+    Processes that can generate incrementally (``iter_times``) do so
+    with O(chunk) memory; the rest materialize once via ``times`` and
+    are yielded in slices, so callers get a uniform chunk iterator
+    either way.  Currently only Poisson streams natively — the MMPP
+    and diurnal thinning constructions need the full horizon.
+    """
+    native = getattr(arrivals, "iter_times", None)
+    if native is not None:
+        yield from native(n, rng, chunk)
+        return
+    times = arrivals.times(n, rng)
+    for s in range(0, len(times), chunk):
+        yield times[s : s + chunk]

@@ -15,53 +15,10 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..errors import ConfigError
+from .arena import Request
 from .profile import ServiceProfile
 
 __all__ = ["Request", "Batch", "Instance", "Fleet"]
-
-
-@dataclass(slots=True)
-class Request:
-    """One inference request travelling through the serving system.
-
-    Attributes:
-        index: Submission order (also the tiebreaker in event ordering).
-        model: Zoo model name.
-        profile: Service profile of that model.
-        arrival: Arrival timestamp in seconds.
-        start: Service start (batch launch), -1 until served.
-        finish: Completion timestamp, -1 until served.
-        slo: SLO class name ("" outside the control plane).
-        priority: Priority class (lower value = more urgent).
-        deadline: Absolute completion deadline (inf = no deadline).
-        shed: True when the admission controller dropped the request.
-    """
-
-    index: int
-    model: str
-    profile: ServiceProfile
-    arrival: float
-    start: float = -1.0
-    finish: float = -1.0
-    slo: str = ""
-    priority: int = 0
-    deadline: float = float("inf")
-    shed: bool = False
-
-    @property
-    def latency(self) -> float:
-        """Arrival-to-completion latency."""
-        return self.finish - self.arrival
-
-    @property
-    def queue_wait(self) -> float:
-        """Arrival-to-launch wait."""
-        return self.start - self.arrival
-
-    @property
-    def met_deadline(self) -> bool:
-        """Completed at or before the deadline (shed never counts)."""
-        return not self.shed and 0 <= self.finish <= self.deadline
 
 
 @dataclass(frozen=True, slots=True)

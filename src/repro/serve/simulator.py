@@ -30,6 +30,7 @@ from .engine import (
     EngineHooks,
     build_requests,
     realized_offered_qps,
+    run_streaming_round_robin,
     summarize_requests,
 )
 from .fleet import Fleet
@@ -65,6 +66,17 @@ class ServingScenario:
         weight_bandwidth: External bandwidth for model switches.
         diurnal_period_s: One day/night cycle for diurnal traffic.
         diurnal_amplitude: Peak-to-mean swing of the diurnal rate.
+        stats: ``"exact"`` retains every latency and reports exact
+            percentiles (the PR-4 behaviour, bit-for-bit); ``"sketch"``
+            streams latencies through a t-digest
+            (:mod:`repro.serve.sketch`) so memory stays flat in
+            ``requests`` — and, for hook-free round-robin scenarios,
+            generates arrivals chunk-at-a-time too (the
+            million-request mode).  Streaming interleaves arrival and
+            model draws per chunk, so its RNG stream (and therefore
+            its request content) differs from exact mode at the same
+            seed; sketch-mode scenarios hash to distinct cache keys,
+            so cached exact reports are never shadowed.
     """
 
     mix: str = "mixed"
@@ -82,6 +94,7 @@ class ServingScenario:
     weight_bandwidth: float = DEFAULT_WEIGHT_BANDWIDTH
     diurnal_period_s: float = extension_field(60.0)
     diurnal_amplitude: float = extension_field(0.8)
+    stats: str = extension_field("exact")
 
     def __post_init__(self) -> None:
         if self.requests < 1:
@@ -96,6 +109,11 @@ class ServingScenario:
             )
         if self.qps is not None and self.qps <= 0:
             raise ConfigError(f"qps must be positive ({self.qps})")
+        if self.stats not in ("exact", "sketch"):
+            raise ConfigError(
+                f"unknown stats mode {self.stats!r} "
+                "(known: exact, sketch)"
+            )
         # The diurnal knobs are validated by DiurnalArrivals when the
         # arrival process is built, like burst_factor by BurstyArrivals.
 
@@ -230,6 +248,13 @@ def simulate(
         n = min(n, len(scenario.trace))
 
     rng = np.random.default_rng(scenario.seed)
+    if (
+        scenario.stats == "sketch"
+        and hooks is None
+        and scenario.policy == "round-robin"
+        and scenario.max_wait_ms > 0
+    ):
+        return _simulate_streaming(scenario, mix, arrivals, n, rng, qps, capacity)
     times = arrivals.times(n, rng)
     requests = build_requests(mix, times, rng)
 
@@ -249,10 +274,8 @@ def simulate(
     )
     engine.run(requests)
 
-    summary = summarize_requests(requests)
+    summary = summarize_requests(requests, stats=scenario.stats)
     completed = summary.completed
-    latencies = summary.latencies
-    waits = summary.waits
     # An all-shed run (a shedding hook under heavy overload) completes
     # nothing: report explicit zeros instead of feeding empty arrays to
     # mean/percentile (NaN + RuntimeWarning) or a -inf max_finish.
@@ -271,18 +294,18 @@ def simulate(
         capacity_qps=float(capacity),
         makespan_s=makespan,
         sustained_qps=completed / makespan if makespan > 0 else 0.0,
-        latency_mean_s=float(latencies.mean()) if completed else 0.0,
+        latency_mean_s=summary.latency_mean() if completed else 0.0,
         latency_p50_s=(
-            float(np.percentile(latencies, 50)) if completed else 0.0
+            summary.latency_percentile(50) if completed else 0.0
         ),
         latency_p95_s=(
-            float(np.percentile(latencies, 95)) if completed else 0.0
+            summary.latency_percentile(95) if completed else 0.0
         ),
         latency_p99_s=(
-            float(np.percentile(latencies, 99)) if completed else 0.0
+            summary.latency_percentile(99) if completed else 0.0
         ),
-        latency_max_s=float(latencies.max()) if completed else 0.0,
-        mean_wait_s=float(waits.mean()) if completed else 0.0,
+        latency_max_s=summary.latency_max() if completed else 0.0,
+        mean_wait_s=summary.wait_mean() if completed else 0.0,
         # Shed requests never enter a batch: the mean batch size is
         # completed (served) work per launch, not offered work.
         mean_batch_size=(
@@ -295,6 +318,84 @@ def simulate(
         ),
         served_per_instance=tuple(i.served for i in fleet),
         per_model_counts=summary.model_counts,
+        busy_window_s=window_end,
+        utilization_busy=tuple(
+            i.busy_seconds_window / window_end if window_end > 0 else 0.0
+            for i in fleet
+        ),
+        offered_requests=n,
+        shed_requests=n - completed,
+    )
+
+
+def _simulate_streaming(
+    scenario: ServingScenario,
+    mix,
+    arrivals,
+    n: int,
+    rng: np.random.Generator,
+    qps: float,
+    capacity: float,
+) -> ServingReport:
+    """The flat-memory round-robin mode behind ``stats="sketch"``.
+
+    Arrivals are generated chunk-at-a-time and fed through the same
+    vectorized round-robin kernel the exact fast path uses (see
+    :func:`repro.serve.engine.run_streaming_round_robin`); completed
+    latencies fold into a t-digest and are discarded.  Only hook-free
+    round-robin scenarios with a positive batching timeout qualify —
+    anything else takes the ordinary build-then-run path with sketch
+    summarization (still flat in *latency retention*, not in arrival
+    storage).
+    """
+    fleet = Fleet(scenario.instances)
+    stream = run_streaming_round_robin(
+        fleet,
+        mix,
+        arrivals,
+        n,
+        rng,
+        max_batch=scenario.max_batch,
+        max_wait_s=scenario.max_wait_ms * 1e-3,
+    )
+    completed = stream.completed
+    makespan = stream.max_finish if completed else 0.0
+    window_end = stream.window_end
+    total_batches = sum(i.batches for i in fleet)
+    return ServingReport(
+        mix=scenario.mix,
+        arrival=scenario.arrival,
+        policy=scenario.policy,
+        instances=scenario.instances,
+        requests=completed,
+        offered_qps=realized_offered_qps(
+            scenario.arrival, np.array([window_end]), n, qps
+        ),
+        capacity_qps=float(capacity),
+        makespan_s=makespan,
+        sustained_qps=completed / makespan if makespan > 0 else 0.0,
+        latency_mean_s=stream.latency.mean if completed else 0.0,
+        latency_p50_s=(
+            stream.latency.quantile(0.50) if completed else 0.0
+        ),
+        latency_p95_s=(
+            stream.latency.quantile(0.95) if completed else 0.0
+        ),
+        latency_p99_s=(
+            stream.latency.quantile(0.99) if completed else 0.0
+        ),
+        latency_max_s=stream.latency.max if completed else 0.0,
+        mean_wait_s=stream.wait_mean if completed else 0.0,
+        mean_batch_size=(
+            completed / total_batches if total_batches else 0.0
+        ),
+        setups=sum(i.setups for i in fleet),
+        utilization=tuple(
+            i.busy_seconds / makespan if makespan > 0 else 0.0
+            for i in fleet
+        ),
+        served_per_instance=tuple(i.served for i in fleet),
+        per_model_counts=stream.model_counts,
         busy_window_s=window_end,
         utilization_busy=tuple(
             i.busy_seconds_window / window_end if window_end > 0 else 0.0

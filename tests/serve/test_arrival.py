@@ -295,3 +295,47 @@ class TestFactory:
             make_arrivals("uniform", 10.0)
         with pytest.raises(ConfigError):
             make_arrivals("trace", 10.0)
+
+
+class TestChunkedGeneration:
+    """Chunked arrival generation is bit-identical to one-shot."""
+
+    def test_poisson_iter_times_matches_times(self):
+        arr = PoissonArrivals(120.0)
+        for n, chunk in ((10_000, 1024), (5_000, 5_000), (777, 256)):
+            one_shot = arr.times(n, np.random.default_rng(42))
+            chunks = list(
+                arr.iter_times(n, np.random.default_rng(42), chunk=chunk)
+            )
+            assert all(c.size <= chunk for c in chunks)
+            assert np.array_equal(np.concatenate(chunks), one_shot)
+
+    def test_iter_arrival_times_fallback_materializes(self):
+        """Processes without a native ``iter_times`` (here: bursty)
+        fall back to one-shot generation sliced into chunks."""
+        from repro.serve.arrival import iter_arrival_times
+
+        arr = BurstyArrivals(80.0, burst_factor=3.0)
+        one_shot = arr.times(4_000, np.random.default_rng(7))
+        chunks = list(
+            iter_arrival_times(
+                arr, 4_000, np.random.default_rng(7), chunk=512
+            )
+        )
+        assert np.array_equal(np.concatenate(chunks), one_shot)
+
+    def test_iter_arrival_times_prefers_native(self):
+        from repro.serve.arrival import iter_arrival_times
+
+        arr = PoissonArrivals(50.0)
+        native = np.concatenate(
+            list(arr.iter_times(2_000, np.random.default_rng(3), chunk=256))
+        )
+        generic = np.concatenate(
+            list(
+                iter_arrival_times(
+                    arr, 2_000, np.random.default_rng(3), chunk=256
+                )
+            )
+        )
+        assert np.array_equal(generic, native)
