@@ -203,3 +203,96 @@ def test_bench_50k_simulation_wall_clock(benchmark):
     benchmark.extra_info["latency_p99_ms"] = round(
         1e3 * report.latency_p99_s, 3
     )
+
+
+@pytest.mark.benchmark(group="engine")
+def test_bench_snapshot_restore_cost(benchmark):
+    """Checkpoint cost with ~50k requests in flight.
+
+    An overloaded single-instance fleet is paused just past its last
+    arrival, so nearly the whole 50k stream sits queued or batched:
+    the worst case a periodic checkpoint serializes.  Measures the
+    full round trip — ``snapshot()`` + pickle of the checkpoint
+    payload, then unpickle + deterministic rebuild + ``restore()`` —
+    and proves the restored engine finishes bit-identically.
+    """
+    import pickle
+
+    from repro import checkpoint as cp
+
+    scenario = ServingScenario(
+        requests=50_000, seed=42, qps=1_000_000.0, instances=1
+    )
+    reference = cp.run_serve_checkpointed(scenario)
+
+    execution, engine, finalize = cp._begin_serve(scenario)
+    engine.run_until(float(execution.times[-1]))
+    in_flight = sum(
+        len(instance.queue) for instance in execution.fleet.instances
+    )
+    payload = cp._payload("serve", scenario, execution, 1.0, 2.0)
+
+    serialize_s = _best_seconds(
+        lambda: pickle.dumps(
+            payload, protocol=pickle.HIGHEST_PROTOCOL
+        )
+    )
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def deserialize():
+        loaded = pickle.loads(blob)
+        rebuilt = cp._rebuild_serve(
+            loaded["scenario"], loaded["times"], loaded["requests"]
+        )
+        rebuilt.engine.begin(rebuilt.requests)
+        rebuilt.engine.restore(loaded["snapshot"], rebuilt.requests)
+        return rebuilt
+
+    deserialize_s = _best_seconds(deserialize)
+
+    rebuilt = deserialize()
+    rebuilt.engine.run_until(float("inf"))
+    assert finalize(rebuilt) == reference
+
+    benchmark.extra_info["in_flight_requests"] = in_flight
+    benchmark.extra_info["payload_mib"] = round(len(blob) / 2**20, 2)
+    benchmark.extra_info["serialize_ms"] = round(1e3 * serialize_s, 2)
+    benchmark.extra_info["deserialize_ms"] = round(
+        1e3 * deserialize_s, 2
+    )
+    benchmark.pedantic(
+        lambda: pickle.dumps(
+            payload, protocol=pickle.HIGHEST_PROTOCOL
+        ),
+        rounds=3,
+    )
+
+
+@pytest.mark.benchmark(group="engine")
+def test_bench_epoch_stepped_multi_fleet_overhead(benchmark):
+    """The epoch-stepped multi-fleet rebuild stays within 1.1x of the
+    PR-5 monolithic loop's wall clock on the two-fleet benchmark
+    scenario — epoch slicing and the exchange barrier must be
+    bookkeeping, not a tax on the event loop."""
+    from _pr5_tenancy import simulate_multi_fleet_monolithic
+    from repro.control import simulate_multi_fleet
+    from test_bench_tenancy import TWO_FLEET
+
+    reference = simulate_multi_fleet_monolithic(TWO_FLEET)
+    assert simulate_multi_fleet(TWO_FLEET) == reference
+
+    mono_s = _best_seconds(
+        lambda: simulate_multi_fleet_monolithic(TWO_FLEET)
+    )
+    epoch_s = _best_seconds(lambda: simulate_multi_fleet(TWO_FLEET))
+    ratio = epoch_s / mono_s
+    assert ratio <= 1.1, (
+        f"epoch-stepped multi-fleet is {ratio:.2f}x the monolithic "
+        f"loop ({epoch_s:.3f}s vs {mono_s:.3f}s): over the 1.1x bar"
+    )
+    benchmark.extra_info["monolithic_s"] = round(mono_s, 4)
+    benchmark.extra_info["epoch_stepped_s"] = round(epoch_s, 4)
+    benchmark.extra_info["overhead_ratio"] = round(ratio, 3)
+    benchmark.pedantic(
+        lambda: simulate_multi_fleet(TWO_FLEET), rounds=3
+    )

@@ -1,0 +1,387 @@
+"""Checkpoint/restore for long-running simulations.
+
+A checkpoint is one atomic pickle holding everything a fresh process
+needs to continue a run and produce a report *byte-identical* to the
+uninterrupted one:
+
+* the frozen scenario (so the fleet, policy, governor, and shedder are
+  rebuilt deterministically — they carry configuration, not identity);
+* the request stream and arrival times as materialized *and mutated so
+  far* (start/finish/shed columns change mid-run and cannot be
+  regenerated);
+* the engine :meth:`~repro.serve.engine.Engine.snapshot` — event heap,
+  arena cursor, per-instance queues and in-flight batches, policy and
+  hook ``state_dict`` s, and the exact ``np.random.Generator``
+  bit-generator states captured after stream construction;
+* the checkpoint cadence, so a resumed run keeps saving on schedule.
+
+Checkpointed execution always steps the engine's general loop in
+bounded :meth:`~repro.serve.engine.Engine.run_until` slices — which is
+bit-for-bit the one-shot run — and both the uninterrupted and the
+resumed path converge on the same ``finalize_*`` report builders.
+Serve scenarios with ``stats="sketch"`` are the one caveat: plain
+:func:`repro.serve.simulate` may take the chunk-interleaved streaming
+mode whose RNG consumption differs by design, so the equality
+reference for a sketch-mode resume is the uninterrupted *checkpointed*
+run, not ``simulate``.
+
+The payload is versioned (:data:`CHECKPOINT_SCHEMA` plus the ``repro``
+release): loads from a different schema or release raise a clear
+:class:`~repro.errors.ReproError` instead of surfacing a pickle
+traceback or, worse, silently resuming with drifted semantics.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from . import __version__
+from .control.simulator import (
+    ControlScenario,
+    _DEFAULT_LOAD as _CONTROL_DEFAULT_LOAD,
+    build_control_fleet,
+    finalize_controlled,
+    prepare_controlled,
+)
+from .errors import ConfigError, ReproError
+from .power.dvfs import DVFSModel
+from .serve.arrival import capture_rng_state, make_arrivals
+from .serve.engine import build_requests
+from .serve.simulator import (
+    ServingScenario,
+    finalize_serving,
+    prepare_serving,
+)
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "save_checkpoint",
+    "load_checkpoint",
+    "run_serve_checkpointed",
+    "run_control_checkpointed",
+    "resume_checkpointed",
+]
+
+#: Bump when the payload layout or the state-dict contracts change
+#: incompatibly; loads from another schema are rejected outright.
+CHECKPOINT_SCHEMA = 1
+
+_INF = float("inf")
+
+
+def save_checkpoint(path, payload: dict) -> None:
+    """Atomically write ``payload`` to ``path``.
+
+    Same idiom as the result cache: pickle into a temporary file in the
+    target directory, then ``os.replace`` — a reader (or a resume after
+    SIGKILL) sees either the previous complete checkpoint or the new
+    one, never a torn file.
+    """
+    path = Path(path)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".ckpt"
+        )
+    except OSError as exc:
+        raise ReproError(
+            f"checkpoint path {path} is not writable: {exc}"
+        ) from exc
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(
+                payload, handle, protocol=pickle.HIGHEST_PROTOCOL
+            )
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def load_checkpoint(path) -> dict:
+    """Read and validate a checkpoint payload.
+
+    Raises:
+        ReproError: If the file is missing, unreadable, not a repro
+            checkpoint, or was written by a different checkpoint
+            schema or package release.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except FileNotFoundError:
+        raise ReproError(f"checkpoint {path} does not exist") from None
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError) as exc:
+        raise ReproError(
+            f"checkpoint {path} is not readable: {exc}"
+        ) from exc
+    if not isinstance(payload, dict) or "schema" not in payload:
+        raise ReproError(
+            f"{path} is not a repro checkpoint "
+            "(no schema tag in payload)"
+        )
+    if payload["schema"] != CHECKPOINT_SCHEMA:
+        raise ReproError(
+            f"checkpoint {path} uses schema "
+            f"{payload['schema']!r}, this build expects "
+            f"{CHECKPOINT_SCHEMA!r}; re-run without --resume"
+        )
+    if payload.get("version") != __version__:
+        raise ReproError(
+            f"checkpoint {path} was written by repro "
+            f"{payload.get('version')!r}, this is {__version__!r}; "
+            "resuming across releases is not bit-stable, re-run "
+            "without --resume"
+        )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Execution builders (fresh and resumed)
+# ----------------------------------------------------------------------
+
+
+def _begin_serve(scenario: ServingScenario):
+    """Build and arm a fresh checkpointable serve execution."""
+    execution = prepare_serving(scenario)
+    engine = execution.engine
+    engine.begin(execution.requests)
+    engine.state.rng_states = {"main": execution.rng_state}
+    return execution, engine, finalize_serving
+
+
+def _rebuild_serve(scenario: ServingScenario, times, requests):
+    """The serve execution around an already-materialized (and
+    possibly mid-run-mutated) stream: everything
+    :func:`~repro.serve.simulator.prepare_serving` builds except the
+    stream itself, which must never be regenerated on resume."""
+    from .serve.engine import Engine
+    from .serve.fleet import Fleet
+    from .serve.policies import make_policy
+    from .serve.profile import build_mix
+    from .serve.simulator import _DEFAULT_LOAD, ServingExecution
+
+    mix = build_mix(
+        scenario.mix, scenario.config, scenario.weight_bandwidth
+    )
+    capacity = scenario.instances / mix.mean_service_seconds()
+    qps = scenario.qps if scenario.qps is not None else (
+        _DEFAULT_LOAD * capacity
+    )
+    fleet = Fleet(scenario.instances)
+    window_end = float(times[-1])
+    for instance in fleet:
+        instance.window_end = window_end
+    policy = make_policy(scenario.policy)
+    policy.reset()
+    engine = Engine(
+        fleet,
+        policy,
+        max_batch=scenario.max_batch,
+        max_wait_s=scenario.max_wait_ms * 1e-3,
+    )
+    return ServingExecution(
+        scenario=scenario,
+        mix=mix,
+        capacity=capacity,
+        qps=qps,
+        times=times,
+        requests=requests,
+        fleet=fleet,
+        engine=engine,
+    )
+
+
+def _control_inputs(scenario: ControlScenario):
+    """The control plane's stream construction, mirroring
+    ``simulate_controlled_detailed`` exactly (same RNG consumption)."""
+    dvfs_model = DVFSModel()
+    fleet, mix, capacity = build_control_fleet(scenario, dvfs_model)
+    qps = scenario.qps if scenario.qps is not None else (
+        _CONTROL_DEFAULT_LOAD * capacity
+    )
+    arrivals = make_arrivals(
+        scenario.arrival,
+        qps,
+        burst_factor=scenario.burst_factor,
+        trace=scenario.trace,
+        diurnal_period_s=scenario.diurnal_period_s,
+        diurnal_amplitude=scenario.diurnal_amplitude,
+    )
+    n = scenario.requests
+    if scenario.arrival == "trace":
+        n = min(n, len(scenario.trace))
+    rng = np.random.default_rng(scenario.seed)
+    times = arrivals.times(n, rng)
+    requests = build_requests(
+        mix, times, rng, slo_classes=scenario.slo_classes
+    )
+    return dvfs_model, fleet, mix, capacity, qps, times, requests, rng
+
+
+def _begin_control(scenario: ControlScenario):
+    """Build and arm a fresh checkpointable control execution."""
+    (
+        dvfs_model, fleet, mix, capacity, qps, times, requests, rng,
+    ) = _control_inputs(scenario)
+    execution = prepare_controlled(
+        scenario, fleet, mix, capacity, qps, times, requests,
+        dvfs_model=dvfs_model,
+    )
+    execution.engine.state.rng_states = {
+        "main": capture_rng_state(rng)
+    }
+    return execution, execution.engine, finalize_controlled
+
+
+def _rebuild_control(scenario: ControlScenario, times, requests):
+    """The control execution around an already-materialized stream
+    (fleet/governor/policy/shedder rebuilt deterministically; the
+    engine snapshot overlays their mid-run state afterwards)."""
+    dvfs_model = DVFSModel()
+    fleet, mix, capacity = build_control_fleet(scenario, dvfs_model)
+    qps = scenario.qps if scenario.qps is not None else (
+        _CONTROL_DEFAULT_LOAD * capacity
+    )
+    return prepare_controlled(
+        scenario, fleet, mix, capacity, qps, times, requests,
+        dvfs_model=dvfs_model,
+    )
+
+
+# ----------------------------------------------------------------------
+# Checkpointed drivers
+# ----------------------------------------------------------------------
+
+
+def _payload(kind, scenario, execution, every_s, next_t) -> dict:
+    return {
+        "schema": CHECKPOINT_SCHEMA,
+        "version": __version__,
+        "kind": kind,
+        "scenario": scenario,
+        "every_s": every_s,
+        "next_checkpoint_s": next_t,
+        "snapshot": execution.engine.snapshot(),
+        "requests": execution.requests,
+        "times": execution.times,
+    }
+
+
+def _drive(kind, scenario, execution, engine, every_s, path, next_t):
+    """Step the engine in checkpoint-cadence slices to drain.
+
+    The slicing is bit-for-bit the one-shot ``run_until(inf)``; with
+    no checkpoint path configured it degenerates to exactly that.
+    """
+    if every_s is None or path is None:
+        engine.run_until(_INF)
+        return
+    while not engine.finished:
+        engine.run_until(next_t)
+        next_t += every_s
+        if not engine.finished:
+            save_checkpoint(
+                path,
+                _payload(kind, scenario, execution, every_s, next_t),
+            )
+
+
+def _validate_cadence(every_s) -> None:
+    if every_s is not None and every_s <= 0:
+        raise ReproError(
+            f"--checkpoint-every must be positive ({every_s})"
+        )
+
+
+def run_serve_checkpointed(
+    scenario: ServingScenario,
+    checkpoint_path=None,
+    every_s: float | None = None,
+):
+    """One serve-plane run with periodic checkpoints.
+
+    Steps the general loop in ``every_s``-simulated-second slices,
+    saving an atomic checkpoint after each; the report is identical to
+    :func:`repro.serve.simulate` for ``stats="exact"`` scenarios (the
+    general loop and the columnar fast paths agree bit-for-bit).
+    """
+    _validate_cadence(every_s)
+    execution, engine, finalize = _begin_serve(scenario)
+    _drive(
+        "serve", scenario, execution, engine, every_s,
+        checkpoint_path, every_s if every_s is not None else _INF,
+    )
+    return finalize(execution)
+
+
+def run_control_checkpointed(
+    scenario: ControlScenario,
+    checkpoint_path=None,
+    every_s: float | None = None,
+):
+    """One control-plane run with periodic checkpoints (identical
+    report to :func:`repro.control.simulate_controlled`)."""
+    _validate_cadence(every_s)
+    execution, engine, finalize = _begin_control(scenario)
+    _drive(
+        "control", scenario, execution, engine, every_s,
+        checkpoint_path, every_s if every_s is not None else _INF,
+    )
+    return finalize(execution)
+
+
+def resume_checkpointed(path, checkpoint_path=None):
+    """Continue a checkpointed run in a fresh process.
+
+    Rebuilds the scenario's fleet/policy/hooks deterministically,
+    overlays the snapshot (queues rebound by stream position, RNG
+    states reattached, governor/forecaster state restored), and drains
+    on the same cadence — producing a report byte-identical to the
+    uninterrupted run.  Keeps checkpointing to ``checkpoint_path``
+    (default: ``path`` itself).
+
+    Returns:
+        ``(kind, scenario, report)`` with ``kind`` one of ``"serve"``
+        / ``"control"``.
+    """
+    payload = load_checkpoint(path)
+    kind = payload["kind"]
+    scenario = payload["scenario"]
+    times = payload["times"]
+    requests = payload["requests"]
+    if kind == "serve":
+        execution = _rebuild_serve(scenario, times, requests)
+        execution.engine.begin(requests)
+        finalize = finalize_serving
+    elif kind == "control":
+        execution = _rebuild_control(scenario, times, requests)
+        finalize = finalize_controlled
+    else:
+        raise ReproError(
+            f"checkpoint {path} has unknown kind {kind!r}"
+        )
+    try:
+        execution.engine.restore(payload["snapshot"], requests)
+    except (KeyError, TypeError, ConfigError) as exc:
+        raise ReproError(
+            f"checkpoint {path} does not match this build's state "
+            f"layout: {exc}"
+        ) from exc
+    _drive(
+        kind, scenario, execution, execution.engine,
+        payload["every_s"],
+        checkpoint_path if checkpoint_path is not None else path,
+        payload["next_checkpoint_s"],
+    )
+    return kind, scenario, finalize(execution)

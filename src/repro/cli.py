@@ -72,9 +72,17 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
+import tempfile
+from pathlib import Path
 
 from . import __version__
+from .checkpoint import (
+    resume_checkpointed,
+    run_control_checkpointed,
+    run_serve_checkpointed,
+)
 from .control import (
     DEFAULT_SLO_CLASSES,
     GOVERNORS,
@@ -144,6 +152,28 @@ def _add_performance_flags(
             help="analytic fast-latency mode for measured workloads "
                  "(aggregate latency/energy only)",
         )
+
+
+def _add_checkpoint_flags(parser: argparse.ArgumentParser) -> None:
+    """Checkpoint/resume flags shared by ``serve`` and ``control``."""
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        dest="checkpoint_path",
+        help="save an atomic resume checkpoint to PATH every "
+             "--checkpoint-every simulated seconds",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=float, default=None,
+        metavar="SECS", dest="checkpoint_every_s",
+        help="simulated seconds between checkpoints (with "
+             "--checkpoint)",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="PATH", dest="resume_path",
+        help="resume an interrupted run from PATH; the scenario comes "
+             "from the checkpoint, the report is byte-identical to "
+             "the uninterrupted run",
+    )
 
 
 def _add_traffic_flags(parser: argparse.ArgumentParser) -> None:
@@ -316,6 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
              "rates",
     )
     _add_slo_flags(serve_parser)
+    _add_checkpoint_flags(serve_parser)
     _add_performance_flags(serve_parser, fast=False)
 
     control_parser = sub.add_parser(
@@ -395,6 +426,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--sweep-fleet-sizes", default=None, metavar="N,N,...",
         help="static frontier fleet sizes (with --sweep-voltages)",
     )
+    _add_checkpoint_flags(control_parser)
     _add_performance_flags(control_parser, fast=False)
     return parser
 
@@ -488,12 +520,36 @@ def _read_trace(path: str) -> tuple[float, ...]:
 
 
 def _write_json_payload(path: str, payload: dict) -> None:
+    # Atomic, same idiom as the result cache: serialize into a temp
+    # file in the target directory, then os.replace.  A reader (or a
+    # crashed run) sees the old complete file or the new one, never a
+    # truncated half-write.
+    target = Path(path)
     try:
-        with open(path, "w") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
+        fd, tmp_name = tempfile.mkstemp(
+            dir=target.parent or Path("."),
+            prefix=".tmp-",
+            suffix=".json",
+        )
     except OSError as exc:
         raise ReproError(f"cannot write JSON to {path}: {exc}") from exc
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp_name, target)
+    except OSError as exc:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise ReproError(f"cannot write JSON to {path}: {exc}") from exc
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def _write_json(path: str, reports) -> None:
@@ -575,16 +631,71 @@ def _control_scenario(args, trace) -> ControlScenario:
     return ControlScenario(**kwargs)
 
 
+def _checkpoint_args(args) -> tuple[str | None, float | None]:
+    """Validate the checkpoint flag pair; returns ``(path, every_s)``."""
+    path = args.checkpoint_path
+    every = args.checkpoint_every_s
+    if (path is None) != (every is None):
+        raise ReproError(
+            "--checkpoint and --checkpoint-every must be given "
+            "together"
+        )
+    if every is not None and every <= 0:
+        raise ReproError(
+            f"--checkpoint-every must be positive (got {every})"
+        )
+    return path, every
+
+
+def _reject_checkpoint_with(args, what: str) -> None:
+    if (
+        args.checkpoint_path
+        or args.checkpoint_every_s is not None
+        or args.resume_path
+    ):
+        raise ReproError(
+            f"--checkpoint/--resume cannot be combined with {what}; "
+            "checkpointing covers single runs only"
+        )
+
+
+def _resume(args, out) -> None:
+    """Continue an interrupted run; the scenario lives in the
+    checkpoint, so traffic/fleet flags on the command line are
+    ignored."""
+    kind, _scenario, report = resume_checkpointed(
+        args.resume_path, checkpoint_path=args.checkpoint_path
+    )
+    if kind == "control":
+        print(render_control_report(report), file=out)
+    else:
+        print(render_serving_report(report), file=out)
+    if args.json_path:
+        _write_json(args.json_path, [report])
+
+
 def _serve(args, out) -> None:
+    if args.sweep_policies or args.sweep_instances or args.curve_qps:
+        _reject_checkpoint_with(args, "serve sweeps")
+    if args.resume_path:
+        _resume(args, out)
+        return
     trace = _read_trace_arg(args)
     _check_diurnal_amplitude(args)
+    checkpoint_path, checkpoint_every = _checkpoint_args(args)
     if args.slo_classes or args.shedding or args.autoscale:
         if args.sweep_policies or args.sweep_instances or args.curve_qps:
             raise ReproError(
                 "SLO/control flags cannot be combined with serve "
                 "sweeps; use 'repro control' for governor sweeps"
             )
-        report = simulate_controlled(_control_scenario(args, trace))
+        control_scenario = _control_scenario(args, trace)
+        if checkpoint_path:
+            report = run_control_checkpointed(
+                control_scenario, checkpoint_path, checkpoint_every
+            )
+        else:
+            report = simulate_controlled(control_scenario)
         print(render_control_report(report), file=out)
         if args.json_path:
             _write_json(args.json_path, [report])
@@ -634,6 +745,13 @@ def _serve(args, out) -> None:
             cache=cache,
         )
         print(render_throughput_latency(reports), file=out)
+    elif checkpoint_path:
+        reports = [
+            run_serve_checkpointed(
+                scenario, checkpoint_path, checkpoint_every
+            )
+        ]
+        print(render_serving_report(reports[0]), file=out)
     else:
         reports = [simulate(scenario)]
         print(render_serving_report(reports[0]), file=out)
@@ -686,8 +804,20 @@ def _multi_fleet(args, base, cache, out) -> None:
 
 
 def _control(args, out) -> None:
+    if (
+        args.sweep_governors
+        or args.sweep_voltages
+        or args.sweep_fleet_sizes
+        or args.multi_fleet_qps
+    ):
+        _reject_checkpoint_with(args, "governor/frontier sweeps and "
+                                      "--multi-fleet-qps")
+    if args.resume_path:
+        _resume(args, out)
+        return
     trace = _read_trace_arg(args)
     _check_diurnal_amplitude(args)
+    checkpoint_path, checkpoint_every = _checkpoint_args(args)
     base = _control_scenario(args, trace)
     cache = _cache_from(args)
     voltage_sweep = args.sweep_voltages or args.sweep_fleet_sizes
@@ -727,7 +857,12 @@ def _control(args, out) -> None:
         )
         labels = [f"{v:.2f}V x{n}" for v in voltages for n in sizes]
     else:
-        report = simulate_controlled(base)
+        if checkpoint_path:
+            report = run_control_checkpointed(
+                base, checkpoint_path, checkpoint_every
+            )
+        else:
+            report = simulate_controlled(base)
         print(render_control_report(report), file=out)
         if args.json_path:
             _write_json(args.json_path, [report])

@@ -41,6 +41,7 @@ from ..serve.arrival import make_arrivals
 from ..serve.engine import (
     Engine,
     EngineHooks,
+    EngineRun,
     build_requests,
     realized_offered_qps,
     summarize_requests,
@@ -62,11 +63,16 @@ from .slo import (
 __all__ = [
     "ControlScenario",
     "ControlHooks",
+    "ControlExecution",
     "build_control_fleet",
+    "prepare_controlled",
+    "finalize_controlled",
     "execute_controlled",
     "simulate_controlled",
     "simulate_controlled_detailed",
 ]
+
+_INF = float("inf")
 
 #: Default offered load (fraction of full-fleet capacity), as in serve.
 _DEFAULT_LOAD = 0.7
@@ -227,6 +233,21 @@ class ControlHooks(EngineHooks):
             and instance.is_idle(now)
         ):
             instance.close_power_interval(now)
+
+    def state_dict(self) -> dict:
+        return {
+            "shedder": self.shedder.state_dict(),
+            "governor": (
+                self.governor.state_dict()
+                if self.governor is not None
+                else None
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.shedder.load_state_dict(state["shedder"])
+        if self.governor is not None:
+            self.governor.load_state_dict(state["governor"])
 
 
 def _bucket_latency_stats(latencies) -> tuple[int, float]:
@@ -396,7 +417,29 @@ def _build_governor(scenario, fleet, mix, dvfs_model, tick_s):
     return governor
 
 
-def execute_controlled(
+@dataclass
+class ControlExecution:
+    """One armed controlled run, mid-flight.
+
+    :func:`prepare_controlled` builds everything up to (and including)
+    ``engine.begin``; the caller advances ``engine`` with
+    :meth:`~repro.serve.engine.Engine.run_until` — to drain for the
+    classic one-shot run, or in bounded slices for checkpointed and
+    epoch-stepped execution — and :func:`finalize_controlled` turns
+    the drained execution into the :class:`ServingReport`.
+    """
+
+    scenario: ControlScenario
+    fleet: Fleet
+    mix: object
+    capacity: float
+    qps: float
+    times: np.ndarray
+    requests: list
+    engine: Engine
+
+
+def prepare_controlled(
     scenario: ControlScenario,
     fleet: Fleet,
     mix,
@@ -405,16 +448,16 @@ def execute_controlled(
     times: np.ndarray,
     requests: list,
     dvfs_model: DVFSModel | None = None,
-) -> ServingReport:
-    """Drive one prepared fleet over an already-built request stream.
+) -> ControlExecution:
+    """Wire the control plane over a prepared fleet and arm the engine.
 
-    The tail half of :func:`simulate_controlled`: wires the control
-    hooks, runs the engine to drain, and aggregates the report.
-    Multi-fleet simulation reuses it per member fleet with correlated
-    (and spillover-merged) streams the caller generated.
+    The head half of :func:`execute_controlled`: sets the busy window,
+    builds the governor/policy/shedder from the scenario (all
+    deterministic, RNG-free), constructs the engine with the control
+    hooks, and calls ``engine.begin(requests)`` so the caller can step
+    it with ``run_until``.
     """
     dvfs_model = dvfs_model if dvfs_model is not None else DVFSModel()
-    n = len(requests)
     window_end = float(times[-1])
     for instance in fleet:
         instance.window_end = window_end
@@ -437,7 +480,39 @@ def execute_controlled(
         tick_s=tick_s if governor is not None else None,
         priority_queues=True,
     )
-    run = engine.run(requests)
+    engine.begin(requests)
+    return ControlExecution(
+        scenario=scenario,
+        fleet=fleet,
+        mix=mix,
+        capacity=capacity,
+        qps=qps,
+        times=times,
+        requests=requests,
+        engine=engine,
+    )
+
+
+def finalize_controlled(execution: ControlExecution) -> ServingReport:
+    """Aggregate a drained :class:`ControlExecution` into its report.
+
+    The tail half of :func:`execute_controlled`; identical whether the
+    engine drained in one ``run_until(inf)`` call, in checkpointed
+    slices, or after a restore in a fresh process — which is what makes
+    resumed reports byte-identical to uninterrupted ones.
+    """
+    scenario = execution.scenario
+    fleet = execution.fleet
+    capacity = execution.capacity
+    qps = execution.qps
+    times = execution.times
+    requests = execution.requests
+    state = execution.engine.state
+    run = EngineRun(
+        events=state.events, tick_actions=state.tick_actions
+    )
+    n = len(requests)
+    window_end = float(times[-1])
 
     track_models = any(
         cls.model is not None for cls in scenario.slo_classes
@@ -534,6 +609,33 @@ def execute_controlled(
             else 0.0
         ),
     )
+
+
+def execute_controlled(
+    scenario: ControlScenario,
+    fleet: Fleet,
+    mix,
+    capacity: float,
+    qps: float,
+    times: np.ndarray,
+    requests: list,
+    dvfs_model: DVFSModel | None = None,
+) -> ServingReport:
+    """Drive one prepared fleet over an already-built request stream.
+
+    The tail half of :func:`simulate_controlled`: wires the control
+    hooks, runs the engine to drain, and aggregates the report —
+    now composed of :func:`prepare_controlled` and
+    :func:`finalize_controlled` around one unbounded ``run_until``.
+    Multi-fleet simulation reuses it per member fleet with correlated
+    (and spillover-merged) streams the caller generated.
+    """
+    execution = prepare_controlled(
+        scenario, fleet, mix, capacity, qps, times, requests,
+        dvfs_model=dvfs_model,
+    )
+    execution.engine.run_until(_INF)
+    return finalize_controlled(execution)
 
 
 def simulate_controlled_detailed(

@@ -261,6 +261,15 @@ class SheddingPolicy:
         """
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """Picklable mid-run state for checkpointing.  Every shipped
+        shedder is stateless (thresholds are configuration, rebuilt
+        from the scenario), so the base implementation suffices."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+
 
 class NoShedding(SheddingPolicy):
     """Admit everything (the unbounded-queue baseline)."""

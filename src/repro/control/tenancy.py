@@ -22,10 +22,16 @@ forwarded request arrives in the receiver's event order at
 admission control; spillover can never loop back into a fleet that
 already ran.
 
-Every member fleet is its own :class:`~repro.serve.engine.Engine` run,
-and everything — the latent path, per-fleet thinning, engine order —
-is a pure function of the frozen scenario, so multi-fleet reports are
-cacheable content keys exactly like single-fleet ones.
+Every member fleet is its own :class:`~repro.serve.engine.Engine`,
+advanced through :meth:`~repro.serve.engine.Engine.run_until`-bounded
+*epochs* with the spillover exchange at the phase barrier (donors
+drain, shed rows are forwarded, receivers merge and drain).  Epoch
+length and process sharding (``epoch_s``/``jobs``, keyword-only) are
+execution details — any positive epoch and any job count reproduce
+the identical report — and everything — the latent path, per-fleet
+thinning, engine order — is a pure function of the frozen scenario,
+so multi-fleet reports are cacheable content keys exactly like
+single-fleet ones.
 """
 
 from __future__ import annotations
@@ -35,7 +41,9 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from ..errors import ConfigError
+from ..parallel.executor import ParallelExecutor
 from ..power.dvfs import DVFSModel
+from ..serve.arena import RequestArena
 from ..serve.arrival import SharedModulator
 from ..serve.engine import build_requests
 from ..serve.fleet import Request
@@ -44,7 +52,8 @@ from .simulator import (
     _DEFAULT_LOAD,
     ControlScenario,
     build_control_fleet,
-    execute_controlled,
+    finalize_controlled,
+    prepare_controlled,
 )
 from .slo import SLOClass
 
@@ -215,19 +224,126 @@ def _forward_target(
     return None, None
 
 
+def _drain_epochs(engine, arena, epoch_s: float) -> list[int]:
+    """Advance one member engine to drain in ``epoch_s``-bounded
+    ``run_until`` slices.
+
+    Returns the arena rows the member's admission control shed, in
+    stream order, collected per consumed arrival-cursor window — the
+    rows eligible for spillover at the next exchange barrier.  (Sheds
+    happen only at admission, so the concatenated windows cover every
+    shed request exactly once.)  ``arena`` may be ``None`` when the
+    caller does not forward (receivers, plain lists of merged views).
+
+    The slicing is bit-for-bit the one-shot run: ``run_until`` is the
+    same loop with a horizon check.
+    """
+    shed_rows: list[int] = []
+    prev = engine.state.cursor
+    t = epoch_s
+    while not engine.finished:
+        engine.run_until(t)
+        cursor = engine.state.cursor
+        if arena is not None and cursor > prev:
+            shed_rows.extend(arena.shed_indices(prev, cursor))
+        prev = cursor
+        t += epoch_s
+    return shed_rows
+
+
+def _member_point(payload: dict):
+    """Worker half of the spillover barrier: run one member fleet.
+
+    ``payload`` is checkpoint-shaped — the member's frozen scenario
+    plus its materialized request stream (home arena, and for
+    receivers the spill-in clones forwarded at the barrier).  The
+    worker rebuilds the fleet deterministically, epoch-steps the
+    engine to drain, and ships back the report together with the
+    mutated outcome columns, which the parent overlays by stream
+    position (subprocess arena mutations never propagate by
+    themselves).
+    """
+    member = payload["scenario"]
+    home = payload["requests"]
+    clones = payload["spill_ins"]
+    epoch_s = payload["epoch_s"]
+    if clones:
+        # Stable by arrival: home requests keep their relative order,
+        # spill-ins theirs — identical to the parent-side merge.
+        stream = sorted(
+            [*home, *clones],
+            key=lambda request: request.arrival,
+        )
+        for i, request in enumerate(stream):
+            request.index = i
+    else:
+        stream = home
+    dvfs_model = DVFSModel()
+    fleet, mix, capacity = build_control_fleet(member, dvfs_model)
+    qps = (
+        member.qps
+        if member.qps is not None
+        else _DEFAULT_LOAD * capacity
+    )
+    stream_times = np.array(
+        [request.arrival for request in stream]
+    )
+    execution = prepare_controlled(
+        member, fleet, mix, capacity, qps,
+        stream_times, stream, dvfs_model=dvfs_model,
+    )
+    _drain_epochs(execution.engine, None, epoch_s)
+    report = finalize_controlled(execution)
+    return (
+        report,
+        home.shed.copy(),
+        home.start.copy(),
+        home.finish.copy(),
+        [(clone.shed, clone.finish) for clone in clones],
+    )
+
+
 def simulate_multi_fleet(
     scenario: MultiFleetScenario,
+    *,
+    epoch_s: float | None = None,
+    jobs: int = 1,
 ) -> MultiFleetReport:
     """Run one correlated multi-fleet scenario to completion.
 
     Deterministic for a given scenario; safe to cache and to fan out
-    across worker processes.
+    across worker processes.  Both knobs below are keyword-only
+    execution details — they never perturb the result or the cache
+    content key.
+
+    Args:
+        scenario: The frozen scenario description.
+        epoch_s: Spillover epoch length in simulated seconds (default:
+            the scenario's modulator ``period_s``).  Each member fleet
+            advances through its run in ``run_until(epoch)`` slices,
+            collecting newly shed requests per consumed arrival-cursor
+            window; the donor -> receiver exchange happens at the
+            barrier between the donor and receiver phases.  Any
+            positive value yields the identical report — the slicing
+            is bit-for-bit the one-shot run.
+        jobs: Worker processes for the member fleets (``1`` = serial).
+            Donors shard across processes first, receivers after the
+            exchange barrier; each worker gets a checkpoint-shaped
+            payload (scenario + materialized stream) and returns its
+            report plus the mutated outcome columns, overlaid by
+            stream position.
     """
     modulator = scenario.shared_modulator()
     path = modulator.build_path(
         np.random.default_rng([scenario.seed, 0])
     )
     dvfs_model = DVFSModel()
+    if epoch_s is None:
+        epoch_s = scenario.period_s
+    if epoch_s <= 0:
+        raise ConfigError(
+            f"epoch_s must be positive ({epoch_s})"
+        )
 
     n_fleets = len(scenario.fleets)
     setups = []  # (fleet, mix, capacity) per member
@@ -289,8 +405,7 @@ def simulate_multi_fleet(
         for cls in member.slo_classes:
             class_specs.setdefault(cls.name, cls)
 
-    def run_member(k: int, requests) -> None:
-        fleet, mix, capacity = setups[k]
+    def member_scenario(k: int):
         member = replace(
             scenario.fleets[k], arrival=arrival_label
         )
@@ -308,23 +423,33 @@ def simulate_multi_fleet(
                 member,
                 slo_classes=member.slo_classes + tuple(foreign),
             )
+        return member
+
+    def run_member(k: int, requests) -> list[int]:
+        """In-process member run: epoch-stepped on the parent's own
+        fleet and arena; returns the shed rows (stream order)."""
+        fleet, mix, capacity = setups[k]
         stream_times = np.array(
             [request.arrival for request in requests]
         )
-        reports[k] = execute_controlled(
-            member, fleet, mix, capacity, rates[k],
+        execution = prepare_controlled(
+            member_scenario(k), fleet, mix, capacity, rates[k],
             stream_times, requests, dvfs_model=dvfs_model,
         )
+        arena = requests if isinstance(requests, RequestArena) else None
+        shed_rows = _drain_epochs(execution.engine, arena, epoch_s)
+        reports[k] = finalize_controlled(execution)
+        return shed_rows
 
-    # Donors run first; their sheds spill to the sibling with the most
-    # headroom that can still make the deadline.
-    for k in donors:
-        run_member(k, home_requests[k])
+    def forward(k: int, shed_rows: list[int]) -> None:
+        """Donor k's barrier exchange: spill its shed rows to the
+        sibling with the most headroom that can still make the
+        deadline."""
         if not receivers:
-            continue
-        for request in home_requests[k]:
-            if not request.shed:
-                continue
+            return
+        arena = home_requests[k]
+        for row in shed_rows:
+            request = arena.view(row)
             target, profile = _forward_target(
                 request, receivers, mixes, hop_s
             )
@@ -343,16 +468,79 @@ def simulate_multi_fleet(
             forwarded.add((k, request.index))
             spill_ins[target].append(clone)
 
-    # Receivers then play home traffic merged with their spill-ins in
-    # arrival order (stable: home requests keep their relative order).
-    for k in receivers:
-        merged = sorted(
-            [*home_requests[k], *spill_ins[k]],
-            key=lambda request: request.arrival,
-        )
-        for i, request in enumerate(merged):
-            request.index = i
-        run_member(k, merged)
+    def payload(k: int) -> dict:
+        return {
+            "kind": "control",
+            "scenario": member_scenario(k),
+            "requests": home_requests[k],
+            "spill_ins": list(spill_ins[k]),
+            "epoch_s": epoch_s,
+        }
+
+    def overlay(k: int, result) -> list[int]:
+        report, shed_col, start_col, finish_col, clone_out = result
+        reports[k] = report
+        arena = home_requests[k]
+        arena.shed[:] = shed_col
+        arena.start[:] = start_col
+        arena.finish[:] = finish_col
+        for clone, (c_shed, c_finish) in zip(
+            spill_ins[k], clone_out
+        ):
+            clone.shed = c_shed
+            clone.finish = c_finish
+        return arena.shed_indices()
+
+    executor = (
+        ParallelExecutor(jobs=jobs) if jobs != 1 and n_fleets > 1
+        else None
+    )
+
+    def run_phases() -> None:
+        # Donor phase: donors epoch-step to drain (donors never
+        # receive, so they shard freely); their sheds cross the
+        # exchange barrier into the receivers' spill-in buffers.
+        if executor is not None and len(donors) > 1:
+            for k, result in zip(
+                donors,
+                executor.map(
+                    _member_point, [(payload(k),) for k in donors]
+                ),
+            ):
+                forward(k, overlay(k, result))
+        else:
+            for k in donors:
+                forward(k, run_member(k, home_requests[k]))
+
+        # Receiver phase, after the barrier: home traffic merged with
+        # the forwarded spill-ins in arrival order (stable: home
+        # requests keep their relative order), then epoch-stepped to
+        # drain.
+        if executor is not None and len(receivers) > 1:
+            for k, result in zip(
+                receivers,
+                executor.map(
+                    _member_point, [(payload(k),) for k in receivers]
+                ),
+            ):
+                overlay(k, result)
+        else:
+            for k in receivers:
+                merged = sorted(
+                    [*home_requests[k], *spill_ins[k]],
+                    key=lambda request: request.arrival,
+                )
+                for i, request in enumerate(merged):
+                    request.index = i
+                run_member(k, merged)
+
+    if executor is not None:
+        # One pool spans both phases: the barrier exchanges payloads,
+        # not workers.
+        with executor.session():
+            run_phases()
+    else:
+        run_phases()
 
     # End-to-end accounting per original request.
     completed = met = terminally_shed = 0

@@ -19,6 +19,7 @@ from __future__ import annotations
 import os
 import sys
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from multiprocessing import get_context
 from typing import Any, Callable, Sequence
 
@@ -70,6 +71,39 @@ class ParallelExecutor:
             # everywhere else we keep the platform default.
             start_method = "fork"
         self.start_method = start_method
+        self._pool: ProcessPoolExecutor | None = None
+
+    @contextmanager
+    def session(self):
+        """Keep one worker pool open across multiple :meth:`map` calls.
+
+        By default every :meth:`map` call builds and tears down its own
+        pool; phased orchestration (e.g. the multi-fleet donor phase, a
+        barrier, then the receiver phase) pays that startup twice for
+        the same workers.  Inside a session, consecutive batches reuse
+        the pool::
+
+            with executor.session():
+                first = executor.map(fn, donors)
+                ...exchange at the barrier...
+                second = executor.map(fn, receivers)
+
+        Serial executors (``jobs=1``) pass through unchanged; nesting
+        reuses the outer session's pool.
+        """
+        if self.jobs <= 1 or self._pool is not None:
+            yield self
+            return
+        context = get_context(self.start_method)
+        pool = ProcessPoolExecutor(
+            max_workers=self.jobs, mp_context=context
+        )
+        self._pool = pool
+        try:
+            yield self
+        finally:
+            self._pool = None
+            pool.shutdown()
 
     def map(
         self,
@@ -85,6 +119,11 @@ class ParallelExecutor:
         argtuples = list(argtuples)
         if self.jobs <= 1 or len(argtuples) <= 1:
             return [fn(*args) for args in argtuples]
+        if self._pool is not None:
+            futures = [
+                self._pool.submit(fn, *args) for args in argtuples
+            ]
+            return [future.result() for future in futures]
         workers = min(self.jobs, len(argtuples))
         context = get_context(self.start_method)
         with ProcessPoolExecutor(

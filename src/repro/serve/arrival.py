@@ -29,7 +29,24 @@ __all__ = [
     "SharedModulator",
     "make_arrivals",
     "thin_nhpp",
+    "capture_rng_state",
+    "restore_rng",
 ]
+
+
+def capture_rng_state(rng: np.random.Generator) -> dict:
+    """The generator's exact bit-generator state, as plain picklable
+    values (nested dicts of ints for PCG64) — what checkpoint payloads
+    carry so arrival/sampling substreams resume at the exact position
+    they paused at."""
+    return rng.bit_generator.state
+
+
+def restore_rng(state: dict) -> np.random.Generator:
+    """A fresh generator positioned exactly at a captured state."""
+    bit_generator = getattr(np.random, state["bit_generator"])()
+    bit_generator.state = state
+    return np.random.Generator(bit_generator)
 
 
 def thin_nhpp(

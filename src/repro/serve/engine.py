@@ -92,6 +92,7 @@ __all__ = [
     "EngineHooks",
     "Engine",
     "EngineRun",
+    "EngineState",
     "RequestSummary",
     "StreamingSummary",
     "build_requests",
@@ -144,6 +145,19 @@ class EngineHooks:
     ) -> None:
         """Accounting after ``instance``'s queue was re-examined."""
 
+    def state_dict(self) -> dict:
+        """Serializable hook state for checkpointing.
+
+        The base hooks are stateless; subclasses that accumulate
+        per-run state (shedding counters, governor windows, forecaster
+        levels) return it here as plain picklable values, mirrored by
+        :meth:`load_state_dict`.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+
 
 @dataclass(slots=True)
 class EngineRun:
@@ -160,6 +174,37 @@ class EngineRun:
 
     events: int
     tick_actions: int
+
+
+@dataclass(slots=True)
+class EngineState:
+    """Explicit execution state of one general-loop run.
+
+    Everything :meth:`Engine.run_until` needs to continue a paused run
+    lives here rather than in loop locals: the pending ``(time, seq,
+    kind, payload)`` event heap, the next sequence number, the arena
+    cursor (arrivals consumed so far), the cumulative event counters,
+    and the static-fleet flag computed at :meth:`Engine.begin`.
+    Per-instance queues and in-flight batches live on the
+    :class:`~repro.serve.fleet.Instance` objects themselves and are
+    captured alongside this state by :meth:`Engine.snapshot`.
+
+    ``rng_states`` is a carry slot for the exact
+    ``np.random.Generator`` bit-generator states of the run's arrival
+    and sampling streams: the engine never draws randomness itself
+    (streams are consumed while building the request arena), so the
+    simulators deposit the post-build states here and
+    :meth:`Engine.snapshot` persists them for exact resumption.
+    """
+
+    heap: list
+    seq: int
+    clock: float
+    cursor: int
+    events: int
+    tick_actions: int
+    static_fleet: bool
+    rng_states: dict
 
 
 class Engine:
@@ -186,8 +231,8 @@ class Engine:
         "priority_queues",
         "_admit",
         "_on_complete",
-        "_heap",
-        "_seq",
+        "state",
+        "_requests",
     )
 
     def __init__(
@@ -228,8 +273,8 @@ class Engine:
             if cls.on_complete is not EngineHooks.on_complete
             else None
         )
-        self._heap: list = []
-        self._seq = 0
+        self.state: EngineState | None = None
+        self._requests: Sequence[Request] | None = None
 
     # ------------------------------------------------------------------
     # Fast-path dispatch
@@ -550,50 +595,38 @@ class Engine:
             due = count == max_batch
         else:
             due = False
-        self._seq += 1
+        state = self.state
+        state.seq += 1
         if due:
             finish = instance.launch_head(max_batch, now)
             heappush(
-                self._heap,
-                (finish, self._seq, _COMPLETE, instance.index),
+                state.heap,
+                (finish, state.seq, _COMPLETE, instance.index),
             )
         else:
             heappush(
-                self._heap, (deadline, self._seq, _WAKE, instance.index)
+                state.heap,
+                (deadline, state.seq, _WAKE, instance.index),
             )
 
-    def run(self, requests: Sequence[Request]) -> EngineRun:
-        """Play ``requests`` (non-decreasing arrival order) to drain.
+    def begin(self, requests: Sequence[Request]) -> EngineState:
+        """Arm the general loop over ``requests`` without running it.
 
-        ``requests`` is a :class:`~repro.serve.arena.RequestArena` or
-        any sequence of request views; arenas additionally unlock the
-        columnar fast paths when the configuration allows (see
-        :meth:`_fast_mode`).  Either way the loop mutates the request
-        state in place — list callers (tenancy's merged home+spill
-        streams) observe writes through their views.
+        Seeds a fresh :class:`EngineState` (tick scheduled, sequence
+        counter past the arrivals' implicit numbers, cursor at zero)
+        and remembers the request stream so repeated
+        :meth:`run_until` calls can step the run in bounded slices.
         """
-        if isinstance(requests, RequestArena) and len(requests):
-            mode = self._fast_mode(requests)
-            if mode == "rr":
-                return self._run_round_robin(requests)
-            if mode == "ll":
-                return self._run_least_loaded(requests)
-        instances = self.fleet.instances
-        policy = self.policy
-        admit = self._admit
-        on_complete = self._on_complete
-        hooks = self.hooks
-        priority = self.priority_queues
-        tick_s = self.tick_s
-        heap = self._heap = []
         n = len(requests)
+        heap: list = []
         # Arrivals implicitly own sequence numbers 1..n, so at equal
         # timestamps they order before every scheduled event, exactly
         # as when the legacy loops seeded them into the heap first.
-        self._seq = n
+        seq = n
+        tick_s = self.tick_s
         if tick_s is not None:
-            self._seq += 1
-            heappush(heap, (tick_s, self._seq, _TICK, None))
+            seq += 1
+            heappush(heap, (tick_s, seq, _TICK, None))
         # With no ticks and no custom hooks nothing can change instance
         # activity mid-run, so the active slice is the fleet itself
         # (skip per-arrival filtering).  Any hook — not just on_tick —
@@ -602,18 +635,70 @@ class Engine:
         # active view.
         static_fleet = (
             tick_s is None
-            and admit is None
-            and on_complete is None
-            and all(instance.active for instance in instances)
+            and self._admit is None
+            and self._on_complete is None
+            and all(
+                instance.active for instance in self.fleet.instances
+            )
         )
-        i = 0
-        events = 0
-        tick_actions = 0
-        next_arrival = requests[0].arrival if n else _INF
+        self._requests = requests
+        self.state = EngineState(
+            heap=heap,
+            seq=seq,
+            clock=0.0,
+            cursor=0,
+            events=0,
+            tick_actions=0,
+            static_fleet=static_fleet,
+            rng_states={},
+        )
+        return self.state
+
+    @property
+    def finished(self) -> bool:
+        """True once a begun run has consumed every arrival and
+        drained its event heap (nothing left for ``run_until``)."""
+        state = self.state
+        return (
+            state is not None
+            and state.cursor >= len(self._requests)
+            and not state.heap
+        )
+
+    def run_until(self, t: float) -> EngineRun:
+        """Advance the begun run through every event at time <= ``t``.
+
+        The loop body is the legacy general event loop verbatim, with
+        execution state loaded from :attr:`state` on entry and written
+        back on exit; the only additions are the two horizon checks,
+        which compare against ``t`` before consuming an arrival or
+        popping a scheduled event and are no-ops at ``t = inf`` — so
+        ``run_until(inf)`` is bit-for-bit the legacy ``run()``.
+        Returns the *cumulative* counters of the run so far.
+        """
+        state = self.state
+        requests = self._requests
+        instances = self.fleet.instances
+        policy = self.policy
+        admit = self._admit
+        on_complete = self._on_complete
+        hooks = self.hooks
+        priority = self.priority_queues
+        tick_s = self.tick_s
+        static_fleet = state.static_fleet
+        heap = state.heap
+        n = len(requests)
+        i = state.cursor
+        events = state.events
+        tick_actions = state.tick_actions
+        now = state.clock
+        next_arrival = requests[i].arrival if i < n else _INF
         while True:
             if i < n and (
                 not heap or next_arrival <= heap[0][0]
             ):
+                if next_arrival > t:
+                    break
                 request = requests[i]
                 i += 1
                 next_arrival = (
@@ -641,6 +726,8 @@ class Engine:
                 continue
             if not heap:
                 break
+            if heap[0][0] > t:
+                break
             now, _, kind, payload = heappop(heap)
             events += 1
             if kind == _TICK:
@@ -656,25 +743,120 @@ class Engine:
                 for instance in instances:
                     grown = instance.busy_until
                     if grown > before[instance.index] and grown > now:
-                        self._seq += 1
+                        state.seq += 1
                         heappush(
                             heap,
-                            (grown, self._seq, _WAKE, instance.index),
+                            (grown, state.seq, _WAKE, instance.index),
                         )
                 if i < n or any(
                     instance.queue or instance.busy_until > now + _EPS
                     for instance in instances
                 ):
-                    self._seq += 1
+                    state.seq += 1
                     heappush(
-                        heap, (now + tick_s, self._seq, _TICK, None)
+                        heap, (now + tick_s, state.seq, _TICK, None)
                     )
             else:  # _COMPLETE and _WAKE both just re-examine the queue
                 instance = instances[payload]
                 self._maybe_launch(instance, now)
                 if on_complete is not None:
                     on_complete(instance, now, self)
+        state.cursor = i
+        state.events = events
+        state.tick_actions = tick_actions
+        state.clock = now if t == _INF else t
         return EngineRun(events=events, tick_actions=tick_actions)
+
+    def run(self, requests: Sequence[Request]) -> EngineRun:
+        """Play ``requests`` (non-decreasing arrival order) to drain.
+
+        ``requests`` is a :class:`~repro.serve.arena.RequestArena` or
+        any sequence of request views; arenas additionally unlock the
+        columnar fast paths when the configuration allows (see
+        :meth:`_fast_mode`).  Either way the loop mutates the request
+        state in place — list callers (tenancy's merged home+spill
+        streams) observe writes through their views.
+        """
+        if isinstance(requests, RequestArena) and len(requests):
+            mode = self._fast_mode(requests)
+            if mode == "rr":
+                return self._run_round_robin(requests)
+            if mode == "ll":
+                return self._run_least_loaded(requests)
+        self.begin(requests)
+        return self.run_until(_INF)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture the begun run's complete execution state.
+
+        Returns a plain picklable dict: the :class:`EngineState`
+        fields, every instance's ``state_dict`` plus its queue as
+        request stream positions, the policy state, and the hook
+        state.  Queues serialize as indices because the invariant
+        ``request.index == position in the stream`` holds for every
+        engine caller (arena builds index with ``arange``; tenancy
+        reindexes merged streams), so :meth:`restore` can rebind the
+        views against the caller-provided stream.
+        """
+        state = self.state
+        instances = []
+        for inst in self.fleet.instances:
+            entry = inst.state_dict()
+            entry["queue"] = [request.index for request in inst.queue]
+            instances.append(entry)
+        return {
+            "state": {
+                "heap": list(state.heap),
+                "seq": state.seq,
+                "clock": state.clock,
+                "cursor": state.cursor,
+                "events": state.events,
+                "tick_actions": state.tick_actions,
+                "static_fleet": state.static_fleet,
+                "rng_states": state.rng_states,
+            },
+            "instances": instances,
+            "policy": self.policy.state_dict(),
+            "hooks": self.hooks.state_dict(),
+        }
+
+    def restore(
+        self, snapshot: dict, requests: Sequence[Request]
+    ) -> EngineState:
+        """Rebind a :meth:`snapshot` onto this engine and ``requests``.
+
+        The fleet/policy/hooks objects must have been rebuilt exactly
+        as for the original run (they carry no snapshot identity, only
+        state); ``requests`` must be the same stream the snapshot was
+        taken over, including any mid-run column mutations — restore
+        rebinds queue views by stream position but never rewrites
+        request columns.
+        """
+        fields = snapshot["state"]
+        self._requests = requests
+        self.state = EngineState(
+            heap=list(fields["heap"]),
+            seq=fields["seq"],
+            clock=fields["clock"],
+            cursor=fields["cursor"],
+            events=fields["events"],
+            tick_actions=fields["tick_actions"],
+            static_fleet=fields["static_fleet"],
+            rng_states=dict(fields["rng_states"]),
+        )
+        for inst, entry in zip(
+            self.fleet.instances, snapshot["instances"]
+        ):
+            inst.load_state_dict(entry)
+            inst.queue.clear()
+            inst.queue.extend(requests[idx] for idx in entry["queue"])
+        self.policy.load_state_dict(snapshot["policy"])
+        self.hooks.load_state_dict(snapshot["hooks"])
+        return self.state
 
 
 # ----------------------------------------------------------------------

@@ -97,6 +97,41 @@ class Instance:
     busy_seconds_window: float = 0.0
     profiles: dict[str, ServiceProfile] | None = None
 
+    #: Scalar fields that round-trip through ``state_dict`` — the
+    #: queue (engine-owned, serialized as stream positions by
+    #: ``Engine.snapshot``) and the deterministically rebuilt ``index``
+    #: and ``profiles`` are deliberately excluded.
+    _STATE_FIELDS = (
+        "busy_until",
+        "loaded_model",
+        "busy_seconds",
+        "served",
+        "batches",
+        "setups",
+        "queued_seconds",
+        "active",
+        "latency_scale",
+        "busy_power_w",
+        "idle_power_w",
+        "energy_joules",
+        "powered_since",
+        "powered_seconds",
+        "window_end",
+        "busy_seconds_window",
+    )
+
+    def state_dict(self) -> dict:
+        """Picklable mid-run state (see :data:`_STATE_FIELDS`)."""
+        return {
+            name: getattr(self, name) for name in self._STATE_FIELDS
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the fields captured by :meth:`state_dict`; extra
+        keys (e.g. the engine's serialized queue) are ignored."""
+        for name in self._STATE_FIELDS:
+            setattr(self, name, state[name])
+
     def enqueue(
         self, request: Request, priority_aware: bool = False
     ) -> None:

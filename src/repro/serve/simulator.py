@@ -24,7 +24,7 @@ import numpy as np
 from ..arch.params import EDEA_CONFIG, ArchConfig
 from ..errors import ConfigError
 from ..parallel.cache import extension_field, restore_extended
-from .arrival import make_arrivals
+from .arrival import capture_rng_state, make_arrivals
 from .engine import (
     Engine,
     EngineHooks,
@@ -37,7 +37,14 @@ from .fleet import Fleet
 from .policies import make_policy
 from .profile import DEFAULT_WEIGHT_BANDWIDTH, build_mix
 
-__all__ = ["ServingScenario", "ServingReport", "simulate"]
+__all__ = [
+    "ServingScenario",
+    "ServingReport",
+    "ServingExecution",
+    "prepare_serving",
+    "finalize_serving",
+    "simulate",
+]
 
 #: Default offered load as a fraction of fleet capacity when no QPS is
 #: requested: high enough to queue, low enough to be stable.
@@ -255,8 +262,46 @@ def simulate(
         and scenario.max_wait_ms > 0
     ):
         return _simulate_streaming(scenario, mix, arrivals, n, rng, qps, capacity)
+    execution = _prepare(scenario, hooks, mix, arrivals, n, rng, qps, capacity)
+    # engine.run (not begin/run_until) so the columnar fast paths keep
+    # dispatching for hook-free arena configurations.
+    execution.engine.run(execution.requests)
+    return finalize_serving(execution)
+
+
+@dataclass
+class ServingExecution:
+    """One built serving run, ready to execute.
+
+    :func:`prepare_serving` materializes the stream and the engine;
+    the caller drives the engine — ``engine.run(requests)`` for the
+    one-shot path (fast dispatch included), or ``engine.begin`` +
+    bounded ``run_until`` slices for checkpointed execution — and
+    :func:`finalize_serving` aggregates the drained execution into
+    the :class:`ServingReport`.
+    """
+
+    scenario: ServingScenario
+    mix: object
+    capacity: float
+    qps: float
+    times: np.ndarray
+    requests: object
+    fleet: Fleet
+    engine: Engine
+    #: Bit-generator state captured right after stream construction —
+    #: all randomness is consumed pre-run, so this is the position a
+    #: checkpoint must round-trip exactly.  ``None`` when the stream
+    #: was loaded from a checkpoint instead of generated.
+    rng_state: dict | None = None
+
+
+def _prepare(
+    scenario, hooks, mix, arrivals, n, rng, qps, capacity
+) -> ServingExecution:
     times = arrivals.times(n, rng)
     requests = build_requests(mix, times, rng)
+    rng_state = capture_rng_state(rng)
 
     fleet = Fleet(scenario.instances)
     window_end = float(times[-1])
@@ -272,7 +317,68 @@ def simulate(
         max_wait_s=scenario.max_wait_ms * 1e-3,
         hooks=hooks,
     )
-    engine.run(requests)
+    return ServingExecution(
+        scenario=scenario,
+        mix=mix,
+        capacity=capacity,
+        qps=qps,
+        times=times,
+        requests=requests,
+        fleet=fleet,
+        engine=engine,
+        rng_state=rng_state,
+    )
+
+
+def prepare_serving(
+    scenario: ServingScenario,
+    hooks: EngineHooks | None = None,
+) -> ServingExecution:
+    """Build the non-streaming execution for ``scenario``.
+
+    The head half of :func:`simulate` (identical build sequence, so
+    identical RNG consumption): mix, capacity, arrival stream, request
+    arena, fleet, policy, engine.  Always takes the build-then-run
+    path — checkpointed runs step the general loop, never the
+    chunk-interleaved streaming mode.
+    """
+    mix = build_mix(
+        scenario.mix, scenario.config, scenario.weight_bandwidth
+    )
+    capacity = scenario.instances / mix.mean_service_seconds()
+    qps = scenario.qps if scenario.qps is not None else (
+        _DEFAULT_LOAD * capacity
+    )
+    arrivals = make_arrivals(
+        scenario.arrival,
+        qps,
+        burst_factor=scenario.burst_factor,
+        trace=scenario.trace,
+        diurnal_period_s=scenario.diurnal_period_s,
+        diurnal_amplitude=scenario.diurnal_amplitude,
+    )
+    n = scenario.requests
+    if scenario.arrival == "trace":
+        n = min(n, len(scenario.trace))
+    rng = np.random.default_rng(scenario.seed)
+    return _prepare(scenario, hooks, mix, arrivals, n, rng, qps, capacity)
+
+
+def finalize_serving(execution: ServingExecution) -> ServingReport:
+    """Aggregate a drained :class:`ServingExecution` into its report.
+
+    The tail half of :func:`simulate`; identical whether the engine
+    drained via ``run``, via checkpointed ``run_until`` slices, or
+    after a restore in a fresh process.
+    """
+    scenario = execution.scenario
+    fleet = execution.fleet
+    capacity = execution.capacity
+    qps = execution.qps
+    times = execution.times
+    requests = execution.requests
+    n = len(requests)
+    window_end = float(times[-1])
 
     summary = summarize_requests(requests, stats=scenario.stats)
     completed = summary.completed

@@ -286,3 +286,51 @@ class TestScenarioValidation:
                     for member in scenario.fleets
                 )
             )
+
+
+class TestEpochSteppedExecution:
+    """The epoch-stepped rebuild against its own knobs: any positive
+    epoch and any job count must reproduce the identical report —
+    `epoch_s`/`jobs` are execution details, not semantics."""
+
+    def test_epoch_length_is_invisible(self):
+        scenario = _overloaded_pair()
+        reference = simulate_multi_fleet(scenario)
+        for epoch_s in (0.25, 1.0, 1e9):
+            assert simulate_multi_fleet(
+                scenario, epoch_s=epoch_s
+            ) == reference
+
+    def test_process_sharding_is_invisible(self):
+        scenario = _overloaded_pair()
+        reference = simulate_multi_fleet(scenario)
+        assert simulate_multi_fleet(scenario, jobs=2) == reference
+        assert simulate_multi_fleet(
+            scenario, jobs=2, epoch_s=0.5
+        ) == reference
+
+    def test_sharded_no_spillover_fleets(self):
+        scenario = _overloaded_pair(spillover="none")
+        reference = simulate_multi_fleet(scenario)
+        assert simulate_multi_fleet(scenario, jobs=2) == reference
+
+    def test_execution_knobs_do_not_perturb_cache_keys(self):
+        scenario = _overloaded_pair()
+        # Keyword-only execution knobs never enter the content key:
+        # a cache populated by a serial run serves a sharded one.
+        assert make_key(
+            "multi_fleet_point", args=(scenario,)
+        ) == make_key("multi_fleet_point", args=(scenario,))
+
+    def test_invalid_epoch_rejected(self):
+        scenario = _overloaded_pair()
+        with pytest.raises(ConfigError, match="epoch_s"):
+            simulate_multi_fleet(scenario, epoch_s=0.0)
+
+    def test_single_scenario_sweep_routes_jobs_inward(self):
+        # The CLI always hands the sweep one scenario; its --jobs must
+        # reach the member-fleet sharding without changing the report.
+        scenario = _overloaded_pair()
+        serial = multi_fleet_sweep([scenario], jobs=1)
+        sharded = multi_fleet_sweep([scenario], jobs=2)
+        assert serial == sharded

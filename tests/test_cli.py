@@ -388,3 +388,198 @@ class TestServeControlRouting:
             "--json", str(tmp_path / "no" / "such" / "dir.json"),
         )
         assert code == 1
+
+
+class TestAtomicJsonWrites:
+    """--json writes are atomic: tempfile in the target directory,
+    then os.replace — a failed serialization can never truncate a
+    previous good report."""
+
+    def test_write_replaces_not_truncates(self, tmp_path):
+        import json
+
+        from repro.cli import _write_json_payload
+
+        target = tmp_path / "report.json"
+        _write_json_payload(str(target), {"run": 1})
+        assert json.loads(target.read_text()) == {"run": 1}
+        _write_json_payload(str(target), {"run": 2})
+        assert json.loads(target.read_text()) == {"run": 2}
+        # No stray temp files once the write lands.
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_failed_write_keeps_previous_payload(self, tmp_path):
+        import json
+
+        from repro.cli import _write_json_payload
+
+        target = tmp_path / "report.json"
+        _write_json_payload(str(target), {"good": True})
+        with pytest.raises(TypeError):
+            # json.dump fails mid-stream; the half-written temp file
+            # must be discarded, never os.replace'd over the target.
+            _write_json_payload(str(target), {"bad": object()})
+        assert json.loads(target.read_text()) == {"good": True}
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_unwritable_directory_raises_repro_error(self, tmp_path):
+        from repro.cli import _write_json_payload
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            _write_json_payload(
+                str(tmp_path / "no" / "dir.json"), {"x": 1}
+            )
+
+
+class TestCheckpointCli:
+    _SCENARIO = (
+        "--mix", "mixed", "--qps", "1500", "--requests", "2000",
+        "--instances", "3", "--shedding", "deadline",
+        "--autoscale", "utilization", "--seed", "9",
+    )
+
+    def test_checkpoint_requires_cadence(self, tmp_path):
+        code, _ = run_cli(
+            "control", *self._SCENARIO,
+            "--checkpoint", str(tmp_path / "x.ckpt"),
+        )
+        assert code == 1
+
+    def test_cadence_requires_checkpoint(self):
+        code, _ = run_cli(
+            "control", *self._SCENARIO, "--checkpoint-every", "1.0"
+        )
+        assert code == 1
+
+    def test_checkpoint_conflicts_with_sweeps(self, tmp_path):
+        code, _ = run_cli(
+            "control", *self._SCENARIO,
+            "--sweep-governors", "utilization,dvfs",
+            "--checkpoint", str(tmp_path / "x.ckpt"),
+            "--checkpoint-every", "1.0",
+        )
+        assert code == 1
+        code, _ = run_cli(
+            "serve", "--curve-qps", "100,200",
+            "--resume", str(tmp_path / "x.ckpt"),
+        )
+        assert code == 1
+
+    def test_resume_missing_checkpoint_fails_cleanly(self, tmp_path):
+        code, _ = run_cli(
+            "control", "--resume", str(tmp_path / "nope.ckpt")
+        )
+        assert code == 1
+
+    def test_checkpointed_run_report_matches_plain(self, tmp_path):
+        ref = tmp_path / "ref.json"
+        chk = tmp_path / "chk.json"
+        code, _ = run_cli(
+            "control", *self._SCENARIO, "--json", str(ref)
+        )
+        assert code == 0
+        code, _ = run_cli(
+            "control", *self._SCENARIO, "--json", str(chk),
+            "--checkpoint", str(tmp_path / "run.ckpt"),
+            "--checkpoint-every", "0.2",
+        )
+        assert code == 0
+        assert ref.read_bytes() == chk.read_bytes()
+
+    def test_resume_report_is_byte_identical(self, tmp_path):
+        ref = tmp_path / "ref.json"
+        code, _ = run_cli(
+            "control", *self._SCENARIO, "--json", str(ref)
+        )
+        assert code == 0
+        ckpt = tmp_path / "run.ckpt"
+        code, _ = run_cli(
+            "control", *self._SCENARIO,
+            "--checkpoint", str(ckpt), "--checkpoint-every", "0.2",
+        )
+        assert code == 0
+        resumed = tmp_path / "resumed.json"
+        code, text = run_cli(
+            "control", "--resume", str(ckpt), "--json", str(resumed)
+        )
+        assert code == 0
+        assert ref.read_bytes() == resumed.read_bytes()
+
+    def test_serve_resume_renders_by_checkpoint_kind(self, tmp_path):
+        """`repro serve --resume` on a control checkpoint renders the
+        control-plane report: the checkpoint owns the scenario."""
+        ckpt = tmp_path / "run.ckpt"
+        code, _ = run_cli(
+            "control", *self._SCENARIO,
+            "--checkpoint", str(ckpt), "--checkpoint-every", "0.2",
+        )
+        assert code == 0
+        code, text = run_cli("serve", "--resume", str(ckpt))
+        assert code == 0
+        assert "attainment" in text.lower()
+
+    def test_sigkill_and_resume_is_byte_identical(self, tmp_path):
+        """The crash-consistency contract end to end: SIGKILL the
+        checkpointing process mid-run, resume in a fresh one, and the
+        JSON report must equal the uninterrupted run byte for byte."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+        from pathlib import Path
+
+        scenario = (
+            "--mix", "mixed", "--qps", "1500",
+            "--requests", "200000", "--instances", "3",
+            "--shedding", "deadline", "--autoscale", "utilization",
+            "--seed", "9",
+        )
+        ref = tmp_path / "ref.json"
+        code, _ = run_cli("control", *scenario, "--json", str(ref))
+        assert code == 0
+
+        ckpt = tmp_path / "run.ckpt"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-c",
+                "import sys; from repro.cli import main; "
+                "sys.exit(main(sys.argv[1:]))",
+                "control", *scenario,
+                "--checkpoint", str(ckpt),
+                "--checkpoint-every", "2.0",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 60.0
+            while not ckpt.exists():
+                if proc.poll() is not None or (
+                    time.monotonic() > deadline
+                ):
+                    break
+                time.sleep(0.02)
+            # Mid-run when we won the race; from the final checkpoint
+            # otherwise — the resume contract holds either way.
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert ckpt.exists(), "no checkpoint was written before the kill"
+
+        resumed = tmp_path / "resumed.json"
+        code, _ = run_cli(
+            "control", "--resume", str(ckpt), "--json", str(resumed)
+        )
+        assert code == 0
+        assert ref.read_bytes() == resumed.read_bytes()
