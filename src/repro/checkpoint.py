@@ -151,16 +151,16 @@ def load_checkpoint(path) -> dict:
 # ----------------------------------------------------------------------
 
 
-def _begin_serve(scenario: ServingScenario):
+def _begin_serve(scenario: ServingScenario, obs=None):
     """Build and arm a fresh checkpointable serve execution."""
-    execution = prepare_serving(scenario)
+    execution = prepare_serving(scenario, obs=obs)
     engine = execution.engine
     engine.begin(execution.requests)
     engine.state.rng_states = {"main": execution.rng_state}
     return execution, engine, finalize_serving
 
 
-def _rebuild_serve(scenario: ServingScenario, times, requests):
+def _rebuild_serve(scenario: ServingScenario, times, requests, obs=None):
     """The serve execution around an already-materialized (and
     possibly mid-run-mutated) stream: everything
     :func:`~repro.serve.simulator.prepare_serving` builds except the
@@ -184,11 +184,21 @@ def _rebuild_serve(scenario: ServingScenario, times, requests):
         instance.window_end = window_end
     policy = make_policy(scenario.policy)
     policy.reset()
+    hooks = None
+    tick_s = None
+    if obs is not None and obs.active:
+        # Mirror prepare_serving's wiring so the restored snapshot's
+        # hook state lands on an identically shaped observer.
+        hooks = obs.wrap(None, pid=0)
+        obs.register_fleet(0, f"fleet ({scenario.mix})", fleet)
+        tick_s = obs.engine_tick_s(None)
     engine = Engine(
         fleet,
         policy,
         max_batch=scenario.max_batch,
         max_wait_s=scenario.max_wait_ms * 1e-3,
+        hooks=hooks,
+        tick_s=tick_s,
     )
     return ServingExecution(
         scenario=scenario,
@@ -229,14 +239,14 @@ def _control_inputs(scenario: ControlScenario):
     return dvfs_model, fleet, mix, capacity, qps, times, requests, rng
 
 
-def _begin_control(scenario: ControlScenario):
+def _begin_control(scenario: ControlScenario, obs=None):
     """Build and arm a fresh checkpointable control execution."""
     (
         dvfs_model, fleet, mix, capacity, qps, times, requests, rng,
     ) = _control_inputs(scenario)
     execution = prepare_controlled(
         scenario, fleet, mix, capacity, qps, times, requests,
-        dvfs_model=dvfs_model,
+        dvfs_model=dvfs_model, obs=obs,
     )
     execution.engine.state.rng_states = {
         "main": capture_rng_state(rng)
@@ -244,7 +254,7 @@ def _begin_control(scenario: ControlScenario):
     return execution, execution.engine, finalize_controlled
 
 
-def _rebuild_control(scenario: ControlScenario, times, requests):
+def _rebuild_control(scenario: ControlScenario, times, requests, obs=None):
     """The control execution around an already-materialized stream
     (fleet/governor/policy/shedder rebuilt deterministically; the
     engine snapshot overlays their mid-run state afterwards)."""
@@ -255,7 +265,7 @@ def _rebuild_control(scenario: ControlScenario, times, requests):
     )
     return prepare_controlled(
         scenario, fleet, mix, capacity, qps, times, requests,
-        dvfs_model=dvfs_model,
+        dvfs_model=dvfs_model, obs=obs,
     )
 
 
@@ -264,8 +274,8 @@ def _rebuild_control(scenario: ControlScenario, times, requests):
 # ----------------------------------------------------------------------
 
 
-def _payload(kind, scenario, execution, every_s, next_t) -> dict:
-    return {
+def _payload(kind, scenario, execution, every_s, next_t, obs=None) -> dict:
+    payload = {
         "schema": CHECKPOINT_SCHEMA,
         "version": __version__,
         "kind": kind,
@@ -276,9 +286,18 @@ def _payload(kind, scenario, execution, every_s, next_t) -> dict:
         "requests": execution.requests,
         "times": execution.times,
     }
+    # Telemetry configuration rides along (the recorded state itself
+    # is inside the snapshot's hook state) so a resume can verify it
+    # re-ran with matching flags.  Written only when active, keeping
+    # pre-telemetry payload layouts byte-compatible.
+    if obs is not None and obs.active:
+        payload["obs"] = obs.spec()
+    return payload
 
 
-def _drive(kind, scenario, execution, engine, every_s, path, next_t):
+def _drive(
+    kind, scenario, execution, engine, every_s, path, next_t, obs=None
+):
     """Step the engine in checkpoint-cadence slices to drain.
 
     The slicing is bit-for-bit the one-shot ``run_until(inf)``; with
@@ -293,7 +312,9 @@ def _drive(kind, scenario, execution, engine, every_s, path, next_t):
         if not engine.finished:
             save_checkpoint(
                 path,
-                _payload(kind, scenario, execution, every_s, next_t),
+                _payload(
+                    kind, scenario, execution, every_s, next_t, obs
+                ),
             )
 
 
@@ -308,6 +329,8 @@ def run_serve_checkpointed(
     scenario: ServingScenario,
     checkpoint_path=None,
     every_s: float | None = None,
+    *,
+    obs=None,
 ):
     """One serve-plane run with periodic checkpoints.
 
@@ -317,10 +340,11 @@ def run_serve_checkpointed(
     general loop and the columnar fast paths agree bit-for-bit).
     """
     _validate_cadence(every_s)
-    execution, engine, finalize = _begin_serve(scenario)
+    execution, engine, finalize = _begin_serve(scenario, obs)
     _drive(
         "serve", scenario, execution, engine, every_s,
         checkpoint_path, every_s if every_s is not None else _INF,
+        obs,
     )
     return finalize(execution)
 
@@ -329,19 +353,22 @@ def run_control_checkpointed(
     scenario: ControlScenario,
     checkpoint_path=None,
     every_s: float | None = None,
+    *,
+    obs=None,
 ):
     """One control-plane run with periodic checkpoints (identical
     report to :func:`repro.control.simulate_controlled`)."""
     _validate_cadence(every_s)
-    execution, engine, finalize = _begin_control(scenario)
+    execution, engine, finalize = _begin_control(scenario, obs)
     _drive(
         "control", scenario, execution, engine, every_s,
         checkpoint_path, every_s if every_s is not None else _INF,
+        obs,
     )
     return finalize(execution)
 
 
-def resume_checkpointed(path, checkpoint_path=None):
+def resume_checkpointed(path, checkpoint_path=None, *, obs=None):
     """Continue a checkpointed run in a fresh process.
 
     Rebuilds the scenario's fleet/policy/hooks deterministically,
@@ -351,21 +378,34 @@ def resume_checkpointed(path, checkpoint_path=None):
     uninterrupted run.  Keeps checkpointing to ``checkpoint_path``
     (default: ``path`` itself).
 
+    If the checkpoint was taken with telemetry active, ``obs`` must be
+    an :class:`~repro.obs.Observability` configured with the same
+    flags (and vice versa) — the recorded spans live inside the hook
+    state and need an identically shaped observer to land on, so a
+    mismatch raises :class:`~repro.errors.ReproError` up front rather
+    than producing a silently truncated trace.
+
     Returns:
         ``(kind, scenario, report)`` with ``kind`` one of ``"serve"``
         / ``"control"``.
     """
+    from .obs import Observability
+
     payload = load_checkpoint(path)
+    Observability.check_resume(
+        payload.get("obs"),
+        obs if obs is not None and obs.active else None,
+    )
     kind = payload["kind"]
     scenario = payload["scenario"]
     times = payload["times"]
     requests = payload["requests"]
     if kind == "serve":
-        execution = _rebuild_serve(scenario, times, requests)
+        execution = _rebuild_serve(scenario, times, requests, obs)
         execution.engine.begin(requests)
         finalize = finalize_serving
     elif kind == "control":
-        execution = _rebuild_control(scenario, times, requests)
+        execution = _rebuild_control(scenario, times, requests, obs)
         finalize = finalize_controlled
     else:
         raise ReproError(
@@ -383,5 +423,6 @@ def resume_checkpointed(path, checkpoint_path=None):
         payload["every_s"],
         checkpoint_path if checkpoint_path is not None else path,
         payload["next_checkpoint_s"],
+        obs,
     )
     return kind, scenario, finalize(execution)

@@ -25,9 +25,14 @@ Commands:
   governor sweeps with Pareto marking.
 * ``info`` — print the library's headline reproduction summary.
 * ``report`` — check every reproduced claim against the paper.
+* ``trace summary <path>`` — inspect a trace recorded with
+  ``--trace`` (event counts by phase/category/process, time span).
 
 ``serve`` and ``control`` accept ``--json PATH`` to also write the
-report(s) machine-readably for external tooling.
+report(s) machine-readably for external tooling, ``--trace PATH``
+to record per-request spans as Perfetto-loadable Chrome trace-event
+JSON, and ``--metrics-every SECS`` to sample rolling engine metrics
+on the tick cadence.
 
 Performance flags (each registered only where it has an effect):
 
@@ -95,6 +100,7 @@ from .control import (
     parse_fleet_spec,
     parse_slo_classes,
     simulate_controlled,
+    simulate_multi_fleet,
     static_frontier_sweep,
 )
 from .errors import ReproError
@@ -106,6 +112,7 @@ from .eval.control import (
     render_multi_fleet_report,
     report_to_dict,
 )
+from .eval.obs import engine_counters_dict, render_metrics_timeline
 from .eval.paper_data import PAPER_HEADLINE
 from .eval.report import render_table
 from .eval.serving import (
@@ -114,6 +121,7 @@ from .eval.serving import (
     render_throughput_latency,
 )
 from .eval.sweep import width_resolution_sweep
+from .obs import Observability, render_trace_summary, summarize_trace
 from .parallel import ParallelExecutor, ResultCache
 from .serve import (
     POLICIES,
@@ -173,6 +181,24 @@ def _add_checkpoint_flags(parser: argparse.ArgumentParser) -> None:
         help="resume an interrupted run from PATH; the scenario comes "
              "from the checkpoint, the report is byte-identical to "
              "the uninterrupted run",
+    )
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Telemetry flags shared by ``serve`` and ``control``."""
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH", dest="trace_path",
+        help="record per-request spans and engine events to PATH as "
+             "Chrome trace-event JSON (open in Perfetto or "
+             "chrome://tracing); distinct from --trace-file, which "
+             "feeds arrival timestamps in",
+    )
+    parser.add_argument(
+        "--metrics-every", type=float, default=None, metavar="SECS",
+        dest="metrics_every_s",
+        help="sample rolling engine metrics (rates, queue depth, "
+             "utilization, power) every SECS simulated seconds; "
+             "printed as a table and embedded in --json",
     )
 
 
@@ -347,6 +373,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_slo_flags(serve_parser)
     _add_checkpoint_flags(serve_parser)
+    _add_obs_flags(serve_parser)
     _add_performance_flags(serve_parser, fast=False)
 
     control_parser = sub.add_parser(
@@ -427,7 +454,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="static frontier fleet sizes (with --sweep-voltages)",
     )
     _add_checkpoint_flags(control_parser)
+    _add_obs_flags(control_parser)
     _add_performance_flags(control_parser, fast=False)
+
+    trace_parser = sub.add_parser(
+        "trace", help="inspect a trace recorded with --trace"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command")
+    trace_summary = trace_sub.add_parser(
+        "summary",
+        help="event counts, categories, and time span of one trace",
+    )
+    trace_summary.add_argument(
+        "path", metavar="PATH",
+        help="trace-event JSON written by serve/control --trace",
+    )
     return parser
 
 
@@ -552,10 +593,55 @@ def _write_json_payload(path: str, payload: dict) -> None:
         raise
 
 
-def _write_json(path: str, reports) -> None:
-    _write_json_payload(
-        path, {"reports": [report_to_dict(r) for r in reports]}
-    )
+def _write_json(path: str, reports, obs=None) -> None:
+    payload = {"reports": [report_to_dict(r) for r in reports]}
+    # Execution telemetry rides beside the reports, not inside them:
+    # report dicts stay byte-stable for the parity goldens and caches.
+    engine = [engine_counters_dict(r) for r in reports]
+    if any(entry is not None for entry in engine):
+        payload["engine"] = engine
+    if obs is not None:
+        metrics = obs.metrics_payload()
+        if metrics is not None:
+            payload["metrics"] = metrics
+    _write_json_payload(path, payload)
+
+
+def _obs_from(args):
+    """The run's :class:`~repro.obs.Observability`, or ``None`` when
+    neither telemetry flag was given."""
+    trace = getattr(args, "trace_path", None)
+    every = getattr(args, "metrics_every_s", None)
+    if trace is None and every is None:
+        return None
+    if every is not None and every <= 0:
+        raise ReproError(
+            f"--metrics-every must be positive (got {every})"
+        )
+    return Observability(trace=trace is not None, metrics_every_s=every)
+
+
+def _reject_obs_with(args, what: str) -> None:
+    if (
+        getattr(args, "trace_path", None)
+        or getattr(args, "metrics_every_s", None) is not None
+    ):
+        raise ReproError(
+            f"--trace/--metrics-every cannot be combined with {what}; "
+            "telemetry covers single runs (and --multi-fleet-qps) only"
+        )
+
+
+def _emit_obs(args, obs, out) -> None:
+    """Write the trace file and print the metrics tables, if recorded."""
+    if obs is None:
+        return
+    if args.trace_path:
+        obs.write_trace(args.trace_path)
+    metrics = obs.metrics_payload()
+    if metrics is not None:
+        print(file=out)
+        print(render_metrics_timeline(metrics), file=out)
 
 
 def _read_trace_arg(args) -> tuple[float, ...] | None:
@@ -662,27 +748,33 @@ def _reject_checkpoint_with(args, what: str) -> None:
 def _resume(args, out) -> None:
     """Continue an interrupted run; the scenario lives in the
     checkpoint, so traffic/fleet flags on the command line are
-    ignored."""
+    ignored.  Telemetry flags must match the checkpointing run's —
+    the recorded spans live in the checkpoint and land back on an
+    identically configured observer."""
+    obs = _obs_from(args)
     kind, _scenario, report = resume_checkpointed(
-        args.resume_path, checkpoint_path=args.checkpoint_path
+        args.resume_path, checkpoint_path=args.checkpoint_path, obs=obs
     )
     if kind == "control":
         print(render_control_report(report), file=out)
     else:
         print(render_serving_report(report), file=out)
+    _emit_obs(args, obs, out)
     if args.json_path:
-        _write_json(args.json_path, [report])
+        _write_json(args.json_path, [report], obs)
 
 
 def _serve(args, out) -> None:
     if args.sweep_policies or args.sweep_instances or args.curve_qps:
         _reject_checkpoint_with(args, "serve sweeps")
+        _reject_obs_with(args, "serve sweeps")
     if args.resume_path:
         _resume(args, out)
         return
     trace = _read_trace_arg(args)
     _check_diurnal_amplitude(args)
     checkpoint_path, checkpoint_every = _checkpoint_args(args)
+    obs = _obs_from(args)
     if args.slo_classes or args.shedding or args.autoscale:
         if args.sweep_policies or args.sweep_instances or args.curve_qps:
             raise ReproError(
@@ -692,13 +784,15 @@ def _serve(args, out) -> None:
         control_scenario = _control_scenario(args, trace)
         if checkpoint_path:
             report = run_control_checkpointed(
-                control_scenario, checkpoint_path, checkpoint_every
+                control_scenario, checkpoint_path, checkpoint_every,
+                obs=obs,
             )
         else:
-            report = simulate_controlled(control_scenario)
+            report = simulate_controlled(control_scenario, obs=obs)
         print(render_control_report(report), file=out)
+        _emit_obs(args, obs, out)
         if args.json_path:
-            _write_json(args.json_path, [report])
+            _write_json(args.json_path, [report], obs)
         return
     scenario = ServingScenario(
         mix=args.mix,
@@ -748,18 +842,19 @@ def _serve(args, out) -> None:
     elif checkpoint_path:
         reports = [
             run_serve_checkpointed(
-                scenario, checkpoint_path, checkpoint_every
+                scenario, checkpoint_path, checkpoint_every, obs=obs
             )
         ]
         print(render_serving_report(reports[0]), file=out)
     else:
-        reports = [simulate(scenario)]
+        reports = [simulate(scenario, obs=obs)]
         print(render_serving_report(reports[0]), file=out)
+    _emit_obs(args, obs, out)
     if args.json_path:
-        _write_json(args.json_path, reports)
+        _write_json(args.json_path, reports, obs)
 
 
-def _multi_fleet(args, base, cache, out) -> None:
+def _multi_fleet(args, base, cache, out, obs=None) -> None:
     if args.arrival != "poisson":
         raise ReproError(
             "--arrival has no effect with --multi-fleet-qps: member "
@@ -792,15 +887,23 @@ def _multi_fleet(args, base, cache, out) -> None:
         spillover_hop_ms=args.spillover_hop_ms,
         seed=args.seed,
     )
-    report = multi_fleet_sweep(
-        [scenario], jobs=args.jobs, cache=cache
-    )[0]
+    if obs is not None:
+        # Telemetry observes execution, so the run can't be served
+        # from (or stored into) the result cache — simulate directly.
+        report = simulate_multi_fleet(scenario, jobs=args.jobs, obs=obs)
+    else:
+        report = multi_fleet_sweep(
+            [scenario], jobs=args.jobs, cache=cache
+        )[0]
     print(render_multi_fleet_report(report), file=out)
+    _emit_obs(args, obs, out)
     if args.json_path:
-        _write_json_payload(
-            args.json_path,
-            {"multi_fleet": multi_fleet_to_dict(report)},
-        )
+        payload = {"multi_fleet": multi_fleet_to_dict(report)}
+        if obs is not None:
+            metrics = obs.metrics_payload()
+            if metrics is not None:
+                payload["metrics"] = metrics
+        _write_json_payload(args.json_path, payload)
 
 
 def _control(args, out) -> None:
@@ -821,19 +924,22 @@ def _control(args, out) -> None:
     base = _control_scenario(args, trace)
     cache = _cache_from(args)
     voltage_sweep = args.sweep_voltages or args.sweep_fleet_sizes
+    if args.sweep_governors or voltage_sweep:
+        _reject_obs_with(args, "governor/frontier sweeps")
     if args.sweep_governors and voltage_sweep:
         raise ReproError(
             "--sweep-governors cannot be combined with the static "
             "--sweep-voltages/--sweep-fleet-sizes frontier; run them "
             "separately"
         )
+    obs = _obs_from(args)
     if args.multi_fleet_qps:
         if args.sweep_governors or voltage_sweep:
             raise ReproError(
                 "--multi-fleet-qps cannot be combined with governor "
                 "or frontier sweeps; run them separately"
             )
-        _multi_fleet(args, base, cache, out)
+        _multi_fleet(args, base, cache, out, obs)
         return
     if args.sweep_governors:
         governors = [g for g in args.sweep_governors.split(",") if g]
@@ -859,13 +965,14 @@ def _control(args, out) -> None:
     else:
         if checkpoint_path:
             report = run_control_checkpointed(
-                base, checkpoint_path, checkpoint_every
+                base, checkpoint_path, checkpoint_every, obs=obs
             )
         else:
-            report = simulate_controlled(base)
+            report = simulate_controlled(base, obs=obs)
         print(render_control_report(report), file=out)
+        _emit_obs(args, obs, out)
         if args.json_path:
-            _write_json(args.json_path, [report])
+            _write_json(args.json_path, [report], obs)
         return
     frontier = pareto_frontier(reports)
     print(
@@ -909,6 +1016,18 @@ def main(argv: list[str] | None = None, out=None) -> int:
             _serve(args, out)
         elif args.command == "control":
             _control(args, out)
+        elif args.command == "trace":
+            if getattr(args, "trace_command", None) != "summary":
+                print(
+                    "usage: repro trace summary PATH", file=sys.stderr
+                )
+                return 2
+            print(
+                render_trace_summary(
+                    args.path, summarize_trace(args.path)
+                ),
+                file=out,
+            )
         elif args.command == "report":
             from .eval import render_report, reproduction_report
 

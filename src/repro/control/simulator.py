@@ -448,6 +448,9 @@ def prepare_controlled(
     times: np.ndarray,
     requests: list,
     dvfs_model: DVFSModel | None = None,
+    *,
+    obs=None,
+    obs_pid: int = 0,
 ) -> ControlExecution:
     """Wire the control plane over a prepared fleet and arm the engine.
 
@@ -455,7 +458,9 @@ def prepare_controlled(
     builds the governor/policy/shedder from the scenario (all
     deterministic, RNG-free), constructs the engine with the control
     hooks, and calls ``engine.begin(requests)`` so the caller can step
-    it with ``run_until``.
+    it with ``run_until``.  An active ``obs`` session wraps the control
+    hooks in telemetry observers (``obs_pid`` names the trace process,
+    the fleet index on multi-fleet runs).
     """
     dvfs_model = dvfs_model if dvfs_model is not None else DVFSModel()
     window_end = float(times[-1])
@@ -471,13 +476,24 @@ def prepare_controlled(
     policy.reset()
     shedder = make_shedder(scenario.shedding, scenario.queue_threshold)
 
+    hooks: EngineHooks = ControlHooks(shedder, governor)
+    engine_tick_s = tick_s if governor is not None else None
+    if obs is not None and obs.active:
+        hooks = obs.wrap(hooks, pid=obs_pid)
+        obs.register_fleet(
+            obs_pid, f"fleet {obs_pid} ({scenario.mix})", fleet
+        )
+        # Metrics sampling rides ticks; a governor-less run gets a
+        # metrics-cadence tick (inner on_tick contributes 0 actions,
+        # so the physics is unchanged).
+        engine_tick_s = obs.engine_tick_s(engine_tick_s)
     engine = Engine(
         fleet,
         policy,
         max_batch=scenario.max_batch,
         max_wait_s=scenario.max_wait_ms * 1e-3,
-        hooks=ControlHooks(shedder, governor),
-        tick_s=tick_s if governor is not None else None,
+        hooks=hooks,
+        tick_s=engine_tick_s,
         priority_queues=True,
     )
     engine.begin(requests)
@@ -508,8 +524,14 @@ def finalize_controlled(execution: ControlExecution) -> ServingReport:
     times = execution.times
     requests = execution.requests
     state = execution.engine.state
+    # Counters read from the engine *state*, not the last run_until
+    # slice, so a resumed run reports identical values to an
+    # uninterrupted one (the CLI's byte-equality pin).
     run = EngineRun(
-        events=state.events, tick_actions=state.tick_actions
+        events=state.events,
+        tick_actions=state.tick_actions,
+        peak_heap=state.peak_heap,
+        dispatch="general",
     )
     n = len(requests)
     window_end = float(times[-1])
@@ -608,6 +630,9 @@ def finalize_controlled(execution: ControlExecution) -> ServingReport:
             if end_time > 0
             else 0.0
         ),
+        engine_events=run.events,
+        engine_peak_heap=run.peak_heap,
+        engine_dispatch=run.dispatch,
     )
 
 
@@ -620,6 +645,9 @@ def execute_controlled(
     times: np.ndarray,
     requests: list,
     dvfs_model: DVFSModel | None = None,
+    *,
+    obs=None,
+    obs_pid: int = 0,
 ) -> ServingReport:
     """Drive one prepared fleet over an already-built request stream.
 
@@ -632,7 +660,7 @@ def execute_controlled(
     """
     execution = prepare_controlled(
         scenario, fleet, mix, capacity, qps, times, requests,
-        dvfs_model=dvfs_model,
+        dvfs_model=dvfs_model, obs=obs, obs_pid=obs_pid,
     )
     execution.engine.run_until(_INF)
     return finalize_controlled(execution)
@@ -640,6 +668,8 @@ def execute_controlled(
 
 def simulate_controlled_detailed(
     scenario: ControlScenario,
+    *,
+    obs=None,
 ) -> tuple[ServingReport, list]:
     """Like :func:`simulate_controlled`, also returning the drained
     request objects (windowed tail analyses, e.g. p99 over a diurnal
@@ -670,12 +700,14 @@ def simulate_controlled_detailed(
     )
     report = execute_controlled(
         scenario, fleet, mix, capacity, qps, times, requests,
-        dvfs_model=dvfs_model,
+        dvfs_model=dvfs_model, obs=obs,
     )
     return report, requests
 
 
-def simulate_controlled(scenario: ControlScenario) -> ServingReport:
+def simulate_controlled(
+    scenario: ControlScenario, *, obs=None
+) -> ServingReport:
     """Run one controlled scenario to completion.
 
     Deterministic for a given scenario; safe to cache and to fan out
@@ -685,5 +717,5 @@ def simulate_controlled(scenario: ControlScenario) -> ServingReport:
     in; ``requests`` is the *completed* count and ``offered_requests``
     the admitted + shed total.
     """
-    report, _ = simulate_controlled_detailed(scenario)
+    report, _ = simulate_controlled_detailed(scenario, obs=obs)
     return report

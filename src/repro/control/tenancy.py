@@ -308,6 +308,7 @@ def simulate_multi_fleet(
     *,
     epoch_s: float | None = None,
     jobs: int = 1,
+    obs=None,
 ) -> MultiFleetReport:
     """Run one correlated multi-fleet scenario to completion.
 
@@ -332,6 +333,13 @@ def simulate_multi_fleet(
             payload (scenario + materialized stream) and returns its
             report plus the mutated outcome columns, overlaid by
             stream position.
+        obs: Optional :class:`~repro.obs.Observability` session; an
+            active one records every member fleet into one shared
+            trace (fleet k is trace process k) plus a spillover
+            instant per forwarded request.  Telemetry needs the live
+            recorder in-process, so an active session runs the members
+            serially regardless of ``jobs`` — same report, shared
+            observers.
     """
     modulator = scenario.shared_modulator()
     path = modulator.build_path(
@@ -435,6 +443,7 @@ def simulate_multi_fleet(
         execution = prepare_controlled(
             member_scenario(k), fleet, mix, capacity, rates[k],
             stream_times, requests, dvfs_model=dvfs_model,
+            obs=obs, obs_pid=k,
         )
         arena = requests if isinstance(requests, RequestArena) else None
         shed_rows = _drain_epochs(execution.engine, arena, epoch_s)
@@ -467,6 +476,10 @@ def simulate_multi_fleet(
             spilled.append((clone, request))
             forwarded.add((k, request.index))
             spill_ins[target].append(clone)
+            if obs is not None:
+                obs.spill(
+                    k, target, request, scenario.spillover_hop_ms
+                )
 
     def payload(k: int) -> dict:
         return {
@@ -491,8 +504,14 @@ def simulate_multi_fleet(
             clone.finish = c_finish
         return arena.shed_indices()
 
+    # Subprocess workers cannot feed the in-process recorder/timelines,
+    # so an active telemetry session pins the members to the serial
+    # path (identical report either way — sharding is an execution
+    # detail).
+    observed = obs is not None and obs.active
     executor = (
-        ParallelExecutor(jobs=jobs) if jobs != 1 and n_fleets > 1
+        ParallelExecutor(jobs=jobs)
+        if jobs != 1 and n_fleets > 1 and not observed
         else None
     )
 

@@ -13,6 +13,7 @@ from typing import Sequence
 
 from ..errors import EvaluationError
 from ..serve.simulator import ServingReport
+from .obs import render_engine_counters
 from .report import render_table
 from .serving_format import mj as _mj
 from .serving_format import ms as _ms
@@ -55,6 +56,12 @@ def report_to_dict(report: ServingReport) -> dict:
         ]
     else:
         payload.pop("model_stats", None)
+    # Engine counters are execution telemetry (how the run was carried
+    # out), not simulation results: dropped unconditionally so cached
+    # and golden payloads stay byte-identical, surfaced separately via
+    # :func:`repro.eval.obs.engine_counters_dict`.
+    for key in ("engine_events", "engine_peak_heap", "engine_dispatch"):
+        payload.pop(key, None)
     payload["offered_load"] = report.offered_load
     payload["mean_utilization"] = report.mean_utilization
     payload["mean_utilization_busy"] = report.mean_utilization_busy
@@ -143,6 +150,9 @@ def render_control_report(report: ServingReport) -> str:
             report, "Per-instance utilization (of makespan)"
         )
     )
+    engine = render_engine_counters(report)
+    if engine:
+        sections.append(engine)
     return "\n\n".join(sections)
 
 

@@ -12,6 +12,7 @@ from typing import Sequence
 from ..errors import EvaluationError
 from ..serve.simulator import ServingReport
 from .charts import bar_chart
+from .obs import render_engine_counters
 from .report import render_table
 from .serving_format import ms as _ms
 from .serving_format import report_title, utilization_chart
@@ -58,7 +59,11 @@ def render_serving_report(report: ServingReport) -> str:
         ["Model", "Requests"],
         [[name, count] for name, count in report.per_model_counts],
     )
-    return "\n\n".join([headline, utilization, traffic])
+    sections = [headline, utilization, traffic]
+    engine = render_engine_counters(report)
+    if engine:
+        sections.append(engine)
+    return "\n\n".join(sections)
 
 
 def render_serving_sweep(reports: Sequence[ServingReport]) -> str:

@@ -1,0 +1,37 @@
+"""Engine telemetry: span tracing, rolling metrics, trace export.
+
+One observability layer under both planes: because every serve and
+control scenario funnels its events through the single
+:class:`~repro.serve.engine.Engine` kernel, instrumenting the engine's
+hook points observes all of them at once.  The pieces:
+
+* :class:`TraceRecorder` — per-request lifecycle spans (arrival ->
+  admit/shed -> batch launch -> complete) and instant events (governor
+  actions, DVFS transitions, spillover forwards) as Chrome trace-event
+  JSON, loadable in Perfetto / ``chrome://tracing``.
+* :class:`MetricsTimeline` — rolling windowed series (offered/admitted/
+  shed rate, queue depth, utilization, batch size, power, forecaster
+  level/trend) in bounded ring buffers, embedded in ``--json`` reports.
+* :class:`ObserverHooks` — the engine attachment, wrapping a plane's
+  own hooks; observation-only, checkpoint-aware.
+* :class:`Observability` — the per-run session that wires the above
+  and aggregates conservation counters.
+
+Telemetry is strictly opt-in: an inactive session touches nothing, and
+the columnar fast paths remain bit-for-bit untouched (tracing selects
+the general loop, which runs the same physics).
+"""
+
+from .hooks import ObserverHooks
+from .metrics import MetricsTimeline
+from .session import Observability
+from .trace import TraceRecorder, render_trace_summary, summarize_trace
+
+__all__ = [
+    "MetricsTimeline",
+    "Observability",
+    "ObserverHooks",
+    "TraceRecorder",
+    "render_trace_summary",
+    "summarize_trace",
+]

@@ -1,0 +1,234 @@
+"""Observer hooks: the telemetry layer's single engine attachment.
+
+:class:`ObserverHooks` wraps a plane's own :class:`EngineHooks` (or
+nothing, on the hook-free serve plane) and records spans, instants, and
+window samples from the engine's existing decision points — admission,
+batch launch, tick, completion.  It overrides every hook, so the engine
+binds them all and dispatches the run down the general loop; the fast
+paths stay untouched (tracing a run *is* opting into the general loop,
+which is bit-for-bit the same physics).
+
+The wrapper is purely observational: admission decisions, governor
+actions, and completion accounting are delegated verbatim to the inner
+hooks, and its own state (event list, counters, timeline buffers)
+rides ``state_dict``/``load_state_dict`` so checkpointed runs resume
+with their telemetry intact.
+"""
+
+from __future__ import annotations
+
+from ..serve.engine import EngineHooks
+from .metrics import MetricsTimeline
+from .trace import TraceRecorder
+
+__all__ = ["ObserverHooks"]
+
+_INF = float("inf")
+
+
+class ObserverHooks(EngineHooks):
+    """Telemetry wrapper around a plane's hooks.
+
+    Args:
+        inner: The wrapped hooks (e.g. ``ControlHooks``), or ``None``
+            on the hook-free serve plane.
+        recorder: Shared :class:`TraceRecorder`, or ``None`` when only
+            metrics are enabled.
+        timeline: This fleet's :class:`MetricsTimeline`, or ``None``
+            when only tracing is enabled.
+        pid: Trace process id (fleet index; 0 for single-fleet runs).
+    """
+
+    def __init__(
+        self,
+        inner: EngineHooks | None = None,
+        recorder: TraceRecorder | None = None,
+        timeline: MetricsTimeline | None = None,
+        pid: int = 0,
+    ) -> None:
+        self.inner = inner
+        self.recorder = recorder
+        self.timeline = timeline
+        self.pid = pid
+        self.governor = (
+            getattr(inner, "governor", None)
+            if inner is not None
+            else None
+        )
+        self.offered = 0
+        self.shed = 0
+        self.completed = 0
+        # Bind only the inner hooks that are actually overridden —
+        # mirrors the engine's own dispatch-avoidance contract.
+        cls = type(inner) if inner is not None else EngineHooks
+        self._inner_arrival = (
+            inner.on_arrival
+            if cls.on_arrival is not EngineHooks.on_arrival
+            else None
+        )
+        self._inner_tick = (
+            inner.on_tick
+            if cls.on_tick is not EngineHooks.on_tick
+            else None
+        )
+        self._inner_complete = (
+            inner.on_complete
+            if cls.on_complete is not EngineHooks.on_complete
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Engine decision points
+    # ------------------------------------------------------------------
+
+    def on_arrival(self, request, instance, now, engine) -> bool:
+        self.offered += 1
+        admitted = (
+            self._inner_arrival(request, instance, now, engine)
+            if self._inner_arrival is not None
+            else True
+        )
+        if not admitted:
+            self.shed += 1
+            if self.recorder is not None:
+                self.recorder.instant(
+                    "shed",
+                    cat="admission",
+                    ts_s=now,
+                    pid=self.pid,
+                    tid=instance.index,
+                    args={
+                        "model": request.model,
+                        "class": request.slo,
+                    },
+                )
+        return admitted
+
+    def on_launch(self, instance, requests, now, finish, engine):
+        self.completed += len(requests)
+        recorder = self.recorder
+        if recorder is None:
+            return
+        pid = self.pid
+        tid = instance.index
+        batch_id = recorder.next_batch_id()
+        recorder.complete(
+            name=f"batch:{requests[0].model}",
+            cat="batch",
+            ts_s=now,
+            dur_s=finish - now,
+            pid=pid,
+            tid=tid,
+            args={"batch": batch_id, "size": len(requests)},
+        )
+        for request in requests:
+            args = {
+                "batch": batch_id,
+                "class": request.slo,
+                "wait_ms": round(
+                    (request.start - request.arrival) * 1e3, 6
+                ),
+            }
+            deadline = request.deadline
+            if deadline != _INF:
+                args["slack_ms"] = round(
+                    (deadline - request.finish) * 1e3, 6
+                )
+            recorder.complete(
+                name=request.model,
+                cat="request",
+                ts_s=request.arrival,
+                dur_s=request.finish - request.arrival,
+                pid=pid,
+                tid=tid,
+                args=args,
+            )
+
+    def on_tick(self, now, engine) -> int:
+        recorder = self.recorder
+        governor = self.governor
+        before = None
+        if recorder is not None and governor is not None:
+            before = [
+                (instance.active, instance.latency_scale)
+                for instance in engine.fleet.instances
+            ]
+        actions = (
+            self._inner_tick(now, engine)
+            if self._inner_tick is not None
+            else 0
+        )
+        if before is not None:
+            for instance, (was_active, was_scale) in zip(
+                engine.fleet.instances, before
+            ):
+                if instance.active != was_active:
+                    recorder.instant(
+                        "power-up"
+                        if instance.active
+                        else "power-down",
+                        cat="governor",
+                        ts_s=now,
+                        pid=self.pid,
+                        tid=instance.index,
+                    )
+                if instance.latency_scale != was_scale:
+                    recorder.instant(
+                        "dvfs",
+                        cat="governor",
+                        ts_s=now,
+                        pid=self.pid,
+                        tid=instance.index,
+                        args={
+                            "from": was_scale,
+                            "to": instance.latency_scale,
+                        },
+                    )
+        timeline = self.timeline
+        if timeline is not None and timeline.due(now):
+            timeline.sample(now, self, engine.fleet, governor)
+        return actions
+
+    def on_complete(self, instance, now, engine):
+        if self._inner_complete is not None:
+            self._inner_complete(instance, now, engine)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "obs": {
+                "offered": self.offered,
+                "shed": self.shed,
+                "completed": self.completed,
+                "recorder": (
+                    self.recorder.state_dict()
+                    if self.recorder is not None
+                    else None
+                ),
+                "timeline": (
+                    self.timeline.state_dict()
+                    if self.timeline is not None
+                    else None
+                ),
+            },
+            "inner": (
+                self.inner.state_dict()
+                if self.inner is not None
+                else {}
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        obs = state["obs"]
+        self.offered = obs["offered"]
+        self.shed = obs["shed"]
+        self.completed = obs["completed"]
+        if self.recorder is not None and obs["recorder"] is not None:
+            self.recorder.load_state_dict(obs["recorder"])
+        if self.timeline is not None and obs["timeline"] is not None:
+            self.timeline.load_state_dict(obs["timeline"])
+        if self.inner is not None:
+            self.inner.load_state_dict(state["inner"])

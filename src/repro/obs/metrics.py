@@ -1,0 +1,167 @@
+"""Rolling windowed time-series metrics sampled on the tick cadence.
+
+:class:`MetricsTimeline` turns cumulative engine/fleet counters into
+per-window rates and gauges: offered/admitted/shed rate, per-instance
+queue depth and utilization, in-flight batch size, power draw, and the
+predictive governor's forecaster level/trend when one is running.
+Samples land in a bounded ring buffer (`collections.deque(maxlen=...)`),
+so a million-request run holds a fixed-size timeline; the buffer rides
+``state_dict``/``load_state_dict`` through checkpoints, so a resumed
+run reports the identical series.
+
+Every rate divides by the observed window and every mean by its count
+— all guarded, so zero-duration and zero-admitted windows report
+honest ``0.0`` rows instead of ``inf``/``nan``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import ConfigError
+
+__all__ = ["MetricsTimeline"]
+
+
+class MetricsTimeline:
+    """One fleet's metrics ring buffer, sampled every ``window_s``."""
+
+    def __init__(self, window_s: float, maxlen: int = 4096) -> None:
+        if window_s <= 0:
+            raise ConfigError(
+                f"metrics window must be positive ({window_s})"
+            )
+        self.window_s = window_s
+        self.maxlen = maxlen
+        self.samples: deque = deque(maxlen=maxlen)
+        self.next_sample_t = window_s
+        self.total_samples = 0
+        self._last: dict | None = None
+
+    def due(self, now: float) -> bool:
+        """Whether ``now`` has reached the next sample boundary (with a
+        tolerance for accumulated tick-time float drift)."""
+        return now >= self.next_sample_t - 1e-9
+
+    def sample(self, now: float, counters, fleet, governor) -> None:
+        """Append one window sample and advance the boundary.
+
+        Args:
+            counters: Object with cumulative ``offered``/``shed``
+                counts (the wrapping observer hooks).
+            fleet: The live fleet (read-only access to instances).
+            governor: The control governor, if any — sampled for a
+                ``forecaster`` with ``level``/``trend``.
+        """
+        instances = fleet.instances
+        busy = [instance.busy_seconds for instance in instances]
+        cumulative = {
+            "t": now,
+            "offered": counters.offered,
+            "shed": counters.shed,
+            "served": sum(
+                instance.served for instance in instances
+            ),
+            "batches": sum(
+                instance.batches for instance in instances
+            ),
+            "energy": sum(
+                instance.energy_joules for instance in instances
+            ),
+            "busy": busy,
+        }
+        last = self._last or {
+            "t": 0.0,
+            "offered": 0,
+            "shed": 0,
+            "served": 0,
+            "batches": 0,
+            "energy": 0.0,
+            "busy": [0.0] * len(instances),
+        }
+        elapsed = cumulative["t"] - last["t"]
+        d_offered = cumulative["offered"] - last["offered"]
+        d_shed = cumulative["shed"] - last["shed"]
+        d_admitted = d_offered - d_shed
+        d_served = cumulative["served"] - last["served"]
+        d_batches = cumulative["batches"] - last["batches"]
+        d_energy = cumulative["energy"] - last["energy"]
+
+        def rate(count: float) -> float:
+            return count / elapsed if elapsed > 0 else 0.0
+
+        last_busy = last["busy"]
+        utilization = []
+        for j, instance in enumerate(instances):
+            prev = last_busy[j] if j < len(last_busy) else 0.0
+            frac = rate(busy[j] - prev)
+            utilization.append(round(min(max(frac, 0.0), 1.0), 6))
+        sample = {
+            "t": now,
+            "offered": d_offered,
+            "admitted": d_admitted,
+            "shed": d_shed,
+            "offered_qps": round(rate(d_offered), 6),
+            "admitted_qps": round(rate(d_admitted), 6),
+            "shed_qps": round(rate(d_shed), 6),
+            "queue_depth": [
+                len(instance.queue) for instance in instances
+            ],
+            "utilization": utilization,
+            "active_instances": sum(
+                1 for instance in instances if instance.active
+            ),
+            "batches": d_batches,
+            "batch_size_mean": round(
+                d_served / d_batches if d_batches > 0 else 0.0, 6
+            ),
+            "power_w": round(rate(d_energy), 6),
+        }
+        forecaster = getattr(governor, "forecaster", None)
+        if forecaster is not None:
+            level = getattr(forecaster, "level", None)
+            trend = getattr(forecaster, "trend", None)
+            sample["forecast_level"] = (
+                round(float(level), 6) if level is not None else None
+            )
+            sample["forecast_trend"] = (
+                round(float(trend), 6) if trend is not None else None
+            )
+        self.samples.append(sample)
+        self.total_samples += 1
+        self._last = cumulative
+        boundary = self.next_sample_t
+        while boundary <= now + 1e-9:
+            boundary += self.window_s
+        self.next_sample_t = boundary
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "samples": list(self.samples),
+            "next_sample_t": self.next_sample_t,
+            "total_samples": self.total_samples,
+            "last": self._last,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.samples = deque(state["samples"], maxlen=self.maxlen)
+        self.next_sample_t = state["next_sample_t"]
+        self.total_samples = state["total_samples"]
+        self._last = state["last"]
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """JSON-ready timeline: window, retained samples, and how many
+        older samples the bounded buffer dropped (never silent)."""
+        return {
+            "window_s": self.window_s,
+            "samples": list(self.samples),
+            "dropped_samples": self.total_samples - len(self.samples),
+        }

@@ -1,0 +1,202 @@
+"""One observability session spanning a whole CLI run.
+
+:class:`Observability` is the object the simulators thread through
+their wiring: it owns the (shared) :class:`TraceRecorder`, hands each
+fleet its own :class:`MetricsTimeline`, wraps plane hooks in
+:class:`ObserverHooks`, and aggregates the conservation counters the
+trace writer embeds in ``otherData``.  An inactive session (no trace,
+no metrics) wraps nothing, so the hot paths never see it.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError, ReproError
+from ..serve.engine import EngineHooks
+from .hooks import ObserverHooks
+from .metrics import MetricsTimeline
+from .trace import TraceRecorder
+
+__all__ = ["Observability"]
+
+
+class Observability:
+    """Session-wide telemetry configuration and state.
+
+    Args:
+        trace: Record per-request spans and instant events.
+        metrics_every_s: Metrics sampling window in simulated seconds;
+            ``None`` disables the timeline.
+    """
+
+    def __init__(
+        self,
+        trace: bool = False,
+        metrics_every_s: float | None = None,
+    ) -> None:
+        if metrics_every_s is not None and metrics_every_s <= 0:
+            raise ConfigError(
+                "metrics interval must be positive "
+                f"({metrics_every_s})"
+            )
+        self.recorder = TraceRecorder() if trace else None
+        self.metrics_every_s = metrics_every_s
+        self._timelines: dict[int, MetricsTimeline] = {}
+        self._labels: dict[int, str] = {}
+        self._hooks: list[ObserverHooks] = []
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.recorder is not None
+            or self.metrics_every_s is not None
+        )
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def timeline(self, pid: int = 0) -> MetricsTimeline | None:
+        if self.metrics_every_s is None:
+            return None
+        found = self._timelines.get(pid)
+        if found is None:
+            found = MetricsTimeline(self.metrics_every_s)
+            self._timelines[pid] = found
+        return found
+
+    def wrap(
+        self, inner: EngineHooks | None = None, pid: int = 0
+    ) -> ObserverHooks:
+        """The hooks an engine should run with under this session."""
+        hooks = ObserverHooks(
+            inner=inner,
+            recorder=self.recorder,
+            timeline=self.timeline(pid),
+            pid=pid,
+        )
+        self._hooks.append(hooks)
+        return hooks
+
+    def register_fleet(self, pid: int, label: str, fleet) -> None:
+        """Name the trace process/threads for one fleet (idempotent —
+        rebuilt deterministically by a resume's re-wiring)."""
+        self._labels[pid] = label
+        if self.recorder is None:
+            return
+        self.recorder.set_process_name(pid, label)
+        for instance in fleet.instances:
+            self.recorder.set_thread_name(
+                pid, instance.index, f"instance {instance.index}"
+            )
+
+    def engine_tick_s(self, tick_s: float | None) -> float | None:
+        """The tick the engine needs: the plane's own cadence when it
+        has one, else the metrics window (sampling rides ticks), else
+        no ticks at all (tracing alone needs none)."""
+        if tick_s is not None:
+            return tick_s
+        return self.metrics_every_s
+
+    def spill(
+        self,
+        donor_pid: int,
+        target_pid: int,
+        request,
+        hop_ms: float,
+    ) -> None:
+        """Record one spillover forward (tenancy's exchange barrier)."""
+        if self.recorder is None:
+            return
+        self.recorder.instant(
+            "spill",
+            cat="spillover",
+            ts_s=request.arrival,
+            pid=donor_pid,
+            args={
+                "target": target_pid,
+                "model": request.model,
+                "hop_ms": hop_ms,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpoint compatibility
+    # ------------------------------------------------------------------
+
+    def spec(self) -> dict:
+        """The configuration a checkpoint stores so a resume can check
+        it re-ran with matching telemetry flags."""
+        return {
+            "trace": self.recorder is not None,
+            "metrics_every_s": self.metrics_every_s,
+        }
+
+    @staticmethod
+    def check_resume(spec: dict | None, obs) -> None:
+        """Validate a resume's telemetry flags against the checkpoint.
+
+        A traced checkpoint resumed without ``--trace`` (or vice versa)
+        would silently produce a partial trace; fail loudly instead.
+        """
+        want = spec or {"trace": False, "metrics_every_s": None}
+        have = (
+            obs.spec()
+            if obs is not None
+            else {"trace": False, "metrics_every_s": None}
+        )
+        if want != have:
+            def _flags(entry: dict) -> str:
+                parts = []
+                if entry["trace"]:
+                    parts.append("--trace")
+                if entry["metrics_every_s"] is not None:
+                    parts.append(
+                        f"--metrics-every {entry['metrics_every_s']}"
+                    )
+                return " ".join(parts) or "no telemetry flags"
+            raise ReproError(
+                "checkpoint was taken with "
+                f"{_flags(want)} but this resume passed "
+                f"{_flags(have)}: rerun the resume with the "
+                "checkpoint's telemetry flags"
+            )
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+
+    def counts(self) -> dict:
+        """Aggregate conservation counters across every wrapped engine
+        (one per fleet): spans + sheds must equal offered."""
+        offered = sum(hooks.offered for hooks in self._hooks)
+        shed = sum(hooks.shed for hooks in self._hooks)
+        completed = sum(hooks.completed for hooks in self._hooks)
+        return {
+            "offered": offered,
+            "completed": completed,
+            "shed": shed,
+        }
+
+    def write_trace(self, path) -> None:
+        if self.recorder is None:
+            raise ReproError(
+                "no trace was recorded (session started without trace)"
+            )
+        self.recorder.write(path, other_data=self.counts())
+
+    def metrics_payload(self) -> dict | None:
+        """The ``--json`` report's ``metrics`` section, or ``None``."""
+        if self.metrics_every_s is None:
+            return None
+        timelines = []
+        for pid in sorted(self._timelines):
+            entry = {"pid": pid}
+            label = self._labels.get(pid)
+            if label is not None:
+                entry["label"] = label
+            entry.update(self._timelines[pid].to_payload())
+            timelines.append(entry)
+        return {
+            "window_s": self.metrics_every_s,
+            "timelines": timelines,
+        }

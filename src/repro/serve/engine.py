@@ -145,6 +145,22 @@ class EngineHooks:
     ) -> None:
         """Accounting after ``instance``'s queue was re-examined."""
 
+    def on_launch(
+        self,
+        instance: Instance,
+        requests: tuple,
+        now: float,
+        finish: float,
+        engine: "Engine",
+    ) -> None:
+        """Observation point right after ``instance`` launched a batch.
+
+        ``requests`` are the batch members (their ``start``/``finish``
+        columns already written), ``finish`` the batch's completion
+        time.  Purely observational: implementations must not mutate
+        engine, fleet, or request state.
+        """
+
     def state_dict(self) -> dict:
         """Serializable hook state for checkpointing.
 
@@ -170,10 +186,17 @@ class EngineRun:
             logically equivalent arrivals + batch launches (they
             process the same work without materializing wake events).
         tick_actions: Sum of the ``on_tick`` hook's action counts.
+        peak_heap: Largest pending-event heap observed at an event
+            boundary (general loop only; the fast paths never build a
+            heap and report 0).
+        dispatch: Which execution path served the run — ``"general"``,
+            ``"rr"``, ``"ll"``, or ``"streaming"``.
     """
 
     events: int
     tick_actions: int
+    peak_heap: int = 0
+    dispatch: str = "general"
 
 
 @dataclass(slots=True)
@@ -203,6 +226,7 @@ class EngineState:
     cursor: int
     events: int
     tick_actions: int
+    peak_heap: int
     static_fleet: bool
     rng_states: dict
 
@@ -231,7 +255,9 @@ class Engine:
         "priority_queues",
         "_admit",
         "_on_complete",
+        "_on_launch",
         "state",
+        "last_run",
         "_requests",
     )
 
@@ -273,7 +299,13 @@ class Engine:
             if cls.on_complete is not EngineHooks.on_complete
             else None
         )
+        self._on_launch = (
+            self.hooks.on_launch
+            if cls.on_launch is not EngineHooks.on_launch
+            else None
+        )
         self.state: EngineState | None = None
+        self.last_run: EngineRun | None = None
         self._requests: Sequence[Request] | None = None
 
     # ------------------------------------------------------------------
@@ -293,6 +325,7 @@ class Engine:
             self.tick_s is not None
             or self._admit is not None
             or self._on_complete is not None
+            or self._on_launch is not None
             or self.priority_queues
         ):
             return None
@@ -386,7 +419,7 @@ class Engine:
             inst.queued_seconds = 0.0
             events += nb
         self.policy._next += n
-        return EngineRun(events=events, tick_actions=0)
+        return EngineRun(events=events, tick_actions=0, dispatch="rr")
 
     def _run_least_loaded(self, arena: RequestArena) -> EngineRun:
         """Event-driven exact kernel for least-loaded routing.
@@ -565,7 +598,7 @@ class Engine:
             inst.batches += nbatches[j]
             inst.setups += setups[j]
             inst.queued_seconds = 0.0
-        return EngineRun(events=events, tick_actions=0)
+        return EngineRun(events=events, tick_actions=0, dispatch="ll")
 
     # ------------------------------------------------------------------
     # General event loop
@@ -598,11 +631,21 @@ class Engine:
         state = self.state
         state.seq += 1
         if due:
+            # Peek the members before the destructive pop so the launch
+            # observer can attribute the batch (identical selection:
+            # launch_head is launch(next_batch(max_batch))).
+            members = (
+                instance.next_batch(max_batch).requests
+                if self._on_launch is not None
+                else None
+            )
             finish = instance.launch_head(max_batch, now)
             heappush(
                 state.heap,
                 (finish, state.seq, _COMPLETE, instance.index),
             )
+            if members is not None:
+                self._on_launch(instance, members, now, finish, self)
         else:
             heappush(
                 state.heap,
@@ -637,6 +680,7 @@ class Engine:
             tick_s is None
             and self._admit is None
             and self._on_complete is None
+            and self._on_launch is None
             and all(
                 instance.active for instance in self.fleet.instances
             )
@@ -649,6 +693,7 @@ class Engine:
             cursor=0,
             events=0,
             tick_actions=0,
+            peak_heap=0,
             static_fleet=static_fleet,
             rng_states={},
         )
@@ -691,9 +736,15 @@ class Engine:
         i = state.cursor
         events = state.events
         tick_actions = state.tick_actions
+        peak_heap = state.peak_heap
         now = state.clock
         next_arrival = requests[i].arrival if i < n else _INF
         while True:
+            # Peak sampled at event boundaries only, so it is invariant
+            # under run_until slicing (a boundary re-sample is a max
+            # no-op) — resumed runs report the identical peak.
+            if len(heap) > peak_heap:
+                peak_heap = len(heap)
             if i < n and (
                 not heap or next_arrival <= heap[0][0]
             ):
@@ -764,8 +815,16 @@ class Engine:
         state.cursor = i
         state.events = events
         state.tick_actions = tick_actions
+        state.peak_heap = peak_heap
         state.clock = now if t == _INF else t
-        return EngineRun(events=events, tick_actions=tick_actions)
+        run = EngineRun(
+            events=events,
+            tick_actions=tick_actions,
+            peak_heap=peak_heap,
+            dispatch="general",
+        )
+        self.last_run = run
+        return run
 
     def run(self, requests: Sequence[Request]) -> EngineRun:
         """Play ``requests`` (non-decreasing arrival order) to drain.
@@ -780,9 +839,11 @@ class Engine:
         if isinstance(requests, RequestArena) and len(requests):
             mode = self._fast_mode(requests)
             if mode == "rr":
-                return self._run_round_robin(requests)
+                self.last_run = self._run_round_robin(requests)
+                return self.last_run
             if mode == "ll":
-                return self._run_least_loaded(requests)
+                self.last_run = self._run_least_loaded(requests)
+                return self.last_run
         self.begin(requests)
         return self.run_until(_INF)
 
@@ -816,6 +877,7 @@ class Engine:
                 "cursor": state.cursor,
                 "events": state.events,
                 "tick_actions": state.tick_actions,
+                "peak_heap": state.peak_heap,
                 "static_fleet": state.static_fleet,
                 "rng_states": state.rng_states,
             },
@@ -845,6 +907,7 @@ class Engine:
             cursor=fields["cursor"],
             events=fields["events"],
             tick_actions=fields["tick_actions"],
+            peak_heap=fields.get("peak_heap", 0),
             static_fleet=fields["static_fleet"],
             rng_states=dict(fields["rng_states"]),
         )

@@ -17,7 +17,7 @@ content keys and reports reproducible across processes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -181,6 +181,15 @@ class ServingReport:
     #: binds SLO classes to models (kept empty otherwise so the JSON
     #: form of pre-existing reports is byte-stable).
     model_stats: tuple = ()
+    #: Engine execution counters — diagnostics about *how* the run
+    #: executed, not *what* it computed.  ``compare=False`` keeps
+    #: report equality (parity goldens, cache round-trips, the
+    #: epoch-vs-monolith check) about the physics, and
+    #: ``report_to_dict`` drops them so the JSON report payloads stay
+    #: byte-stable; the CLI surfaces them in a separate section.
+    engine_events: int = field(default=0, compare=False)
+    engine_peak_heap: int = field(default=0, compare=False)
+    engine_dispatch: str = field(default="", compare=False)
 
     def __setstate__(self, state: dict) -> None:
         # Reports unpickled from caches written before a field existed
@@ -220,6 +229,8 @@ class ServingReport:
 def simulate(
     scenario: ServingScenario,
     hooks: EngineHooks | None = None,
+    *,
+    obs=None,
 ) -> ServingReport:
     """Run one serving scenario to completion.
 
@@ -234,6 +245,10 @@ def simulate(
             count diverge from the offered one — all throughput and
             batch statistics are computed from requests that actually
             *entered* a batch, never from shed traffic.
+        obs: Optional :class:`~repro.obs.Observability` session; an
+            active one wraps the hooks in telemetry observers (which
+            routes the run down the general loop) without changing the
+            reported physics.
     """
     mix = build_mix(
         scenario.mix, scenario.config, scenario.weight_bandwidth
@@ -258,11 +273,14 @@ def simulate(
     if (
         scenario.stats == "sketch"
         and hooks is None
+        and (obs is None or not obs.active)
         and scenario.policy == "round-robin"
         and scenario.max_wait_ms > 0
     ):
         return _simulate_streaming(scenario, mix, arrivals, n, rng, qps, capacity)
-    execution = _prepare(scenario, hooks, mix, arrivals, n, rng, qps, capacity)
+    execution = _prepare(
+        scenario, hooks, mix, arrivals, n, rng, qps, capacity, obs=obs
+    )
     # engine.run (not begin/run_until) so the columnar fast paths keep
     # dispatching for hook-free arena configurations.
     execution.engine.run(execution.requests)
@@ -297,7 +315,7 @@ class ServingExecution:
 
 
 def _prepare(
-    scenario, hooks, mix, arrivals, n, rng, qps, capacity
+    scenario, hooks, mix, arrivals, n, rng, qps, capacity, obs=None
 ) -> ServingExecution:
     times = arrivals.times(n, rng)
     requests = build_requests(mix, times, rng)
@@ -310,12 +328,18 @@ def _prepare(
     policy = make_policy(scenario.policy)
     policy.reset()
 
+    tick_s = None
+    if obs is not None and obs.active:
+        hooks = obs.wrap(hooks, pid=0)
+        obs.register_fleet(0, f"fleet ({scenario.mix})", fleet)
+        tick_s = obs.engine_tick_s(None)
     engine = Engine(
         fleet,
         policy,
         max_batch=scenario.max_batch,
         max_wait_s=scenario.max_wait_ms * 1e-3,
         hooks=hooks,
+        tick_s=tick_s,
     )
     return ServingExecution(
         scenario=scenario,
@@ -333,6 +357,8 @@ def _prepare(
 def prepare_serving(
     scenario: ServingScenario,
     hooks: EngineHooks | None = None,
+    *,
+    obs=None,
 ) -> ServingExecution:
     """Build the non-streaming execution for ``scenario``.
 
@@ -361,7 +387,9 @@ def prepare_serving(
     if scenario.arrival == "trace":
         n = min(n, len(scenario.trace))
     rng = np.random.default_rng(scenario.seed)
-    return _prepare(scenario, hooks, mix, arrivals, n, rng, qps, capacity)
+    return _prepare(
+        scenario, hooks, mix, arrivals, n, rng, qps, capacity, obs=obs
+    )
 
 
 def finalize_serving(execution: ServingExecution) -> ServingReport:
@@ -431,6 +459,21 @@ def finalize_serving(execution: ServingExecution) -> ServingReport:
         ),
         offered_requests=n,
         shed_requests=n - completed,
+        engine_events=(
+            execution.engine.last_run.events
+            if execution.engine.last_run is not None
+            else 0
+        ),
+        engine_peak_heap=(
+            execution.engine.last_run.peak_heap
+            if execution.engine.last_run is not None
+            else 0
+        ),
+        engine_dispatch=(
+            execution.engine.last_run.dispatch
+            if execution.engine.last_run is not None
+            else ""
+        ),
     )
 
 
@@ -509,4 +552,6 @@ def _simulate_streaming(
         ),
         offered_requests=n,
         shed_requests=n - completed,
+        engine_events=stream.events,
+        engine_dispatch="streaming",
     )

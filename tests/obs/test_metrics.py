@@ -1,0 +1,148 @@
+"""MetricsTimeline and the Observability session wiring."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ReproError
+from repro.obs import MetricsTimeline, Observability
+from repro.serve.fleet import Fleet
+
+
+class _Counters:
+    def __init__(self, offered=0, shed=0):
+        self.offered = offered
+        self.shed = shed
+
+
+class TestTimeline:
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(ConfigError):
+            MetricsTimeline(0.0)
+        with pytest.raises(ConfigError):
+            MetricsTimeline(-1.0)
+
+    def test_due_respects_boundary(self):
+        timeline = MetricsTimeline(0.5)
+        assert not timeline.due(0.4)
+        assert timeline.due(0.5)
+        assert timeline.due(0.5 - 1e-12)  # float-drift tolerance
+
+    def test_boundary_skips_past_quiet_windows(self):
+        """A late sample (no ticks fired for a while) advances the
+        boundary past `now`, not just by one window."""
+        timeline = MetricsTimeline(0.5)
+        fleet = Fleet(1)
+        timeline.sample(3.2, _Counters(10, 0), fleet, None)
+        assert timeline.next_sample_t == pytest.approx(3.5)
+
+    def test_rates_are_window_deltas(self):
+        timeline = MetricsTimeline(1.0)
+        fleet = Fleet(2)
+        timeline.sample(1.0, _Counters(100, 10), fleet, None)
+        timeline.sample(2.0, _Counters(160, 30), fleet, None)
+        first, second = timeline.samples
+        assert first["offered_qps"] == pytest.approx(100.0)
+        assert first["shed_qps"] == pytest.approx(10.0)
+        assert first["admitted_qps"] == pytest.approx(90.0)
+        assert second["offered_qps"] == pytest.approx(60.0)
+        assert second["shed_qps"] == pytest.approx(20.0)
+
+    def test_zero_elapsed_window_is_finite(self):
+        """Two samples at the same instant (degenerate run) must report
+        0.0 rates, never inf/nan."""
+        timeline = MetricsTimeline(1.0)
+        fleet = Fleet(1)
+        timeline.sample(0.0, _Counters(0, 0), fleet, None)
+        timeline.sample(0.0, _Counters(5, 5), fleet, None)
+        for sample in timeline.samples:
+            for key, value in sample.items():
+                if isinstance(value, float):
+                    assert np.isfinite(value), (key, value)
+
+    def test_ring_buffer_bounds_memory_and_reports_drops(self):
+        timeline = MetricsTimeline(1.0, maxlen=3)
+        fleet = Fleet(1)
+        for i in range(1, 6):
+            timeline.sample(float(i), _Counters(i, 0), fleet, None)
+        payload = timeline.to_payload()
+        assert len(payload["samples"]) == 3
+        assert payload["dropped_samples"] == 2
+        assert payload["samples"][0]["t"] == 3.0
+
+    def test_state_dict_round_trip(self):
+        timeline = MetricsTimeline(0.5, maxlen=8)
+        fleet = Fleet(1)
+        timeline.sample(0.5, _Counters(10, 1), fleet, None)
+        timeline.sample(1.0, _Counters(25, 2), fleet, None)
+        restored = MetricsTimeline(0.5, maxlen=8)
+        restored.load_state_dict(timeline.state_dict())
+        assert restored.to_payload() == timeline.to_payload()
+        assert restored.next_sample_t == timeline.next_sample_t
+        # The restored timeline keeps sampling from the same baseline.
+        timeline.sample(1.5, _Counters(40, 3), fleet, None)
+        restored.sample(1.5, _Counters(40, 3), fleet, None)
+        assert restored.to_payload() == timeline.to_payload()
+
+
+class TestObservabilitySession:
+    def test_inactive_session(self):
+        obs = Observability()
+        assert not obs.active
+        assert obs.timeline() is None
+        assert obs.metrics_payload() is None
+        with pytest.raises(ReproError):
+            obs.write_trace("/tmp/never-written.json")
+
+    def test_rejects_bad_metrics_interval(self):
+        with pytest.raises(ConfigError):
+            Observability(metrics_every_s=0.0)
+
+    def test_engine_tick_prefers_plane_cadence(self):
+        obs = Observability(metrics_every_s=0.5)
+        assert obs.engine_tick_s(0.01) == 0.01
+        assert obs.engine_tick_s(None) == 0.5
+        assert Observability(trace=True).engine_tick_s(None) is None
+
+    def test_per_fleet_timelines(self):
+        obs = Observability(metrics_every_s=1.0)
+        a = obs.timeline(0)
+        b = obs.timeline(1)
+        assert a is not b
+        assert obs.timeline(0) is a
+        obs.register_fleet(0, "fleet 0 (mixed)", Fleet(1))
+        payload = obs.metrics_payload()
+        assert [t["pid"] for t in payload["timelines"]] == [0, 1]
+        assert payload["timelines"][0]["label"] == "fleet 0 (mixed)"
+
+    def test_counts_aggregate_across_wrapped_hooks(self):
+        obs = Observability(trace=True)
+        a = obs.wrap(None, pid=0)
+        b = obs.wrap(None, pid=1)
+        a.offered, a.shed, a.completed = 10, 2, 8
+        b.offered, b.shed, b.completed = 5, 0, 5
+        assert obs.counts() == {
+            "offered": 15, "completed": 13, "shed": 2
+        }
+
+
+class TestCheckResume:
+    def test_matching_specs_pass(self):
+        obs = Observability(trace=True, metrics_every_s=0.5)
+        Observability.check_resume(obs.spec(), obs)
+        Observability.check_resume(None, None)
+
+    def test_traced_checkpoint_needs_traced_resume(self):
+        spec = Observability(trace=True).spec()
+        with pytest.raises(ReproError, match="--trace"):
+            Observability.check_resume(spec, None)
+
+    def test_untraced_checkpoint_rejects_traced_resume(self):
+        with pytest.raises(ReproError, match="no telemetry flags"):
+            Observability.check_resume(None, Observability(trace=True))
+
+    def test_window_mismatch_rejected(self):
+        spec = Observability(metrics_every_s=0.5).spec()
+        with pytest.raises(ReproError, match="metrics-every"):
+            Observability.check_resume(
+                spec, Observability(metrics_every_s=0.25)
+            )

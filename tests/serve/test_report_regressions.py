@@ -131,6 +131,114 @@ class TestPreExtensionCacheEntries:
         assert legacy == cs
 
 
+class TestTelemetryOnDegenerateRuns:
+    """The PR-5 honest-zero contract extended to the telemetry
+    surfaces: metrics tables and timelines on all-shed / zero-admitted
+    runs carry finite zeros, never inf/nan or a div-by-zero crash."""
+
+    _ALL_SHED = ControlScenario(
+        mix="v1-224",
+        qps=5_000.0,
+        requests=300,
+        instances=1,
+        max_batch=1,
+        max_wait_ms=0.0,
+        slo_classes=(
+            SLOClass("only", deadline_ms=1e-6, target=0.9),
+        ),
+        shedding="deadline",
+        seed=5,
+    )
+
+    def test_all_shed_metrics_are_finite(self):
+        from repro.eval.obs import render_metrics_timeline
+        from repro.obs import Observability
+
+        obs = Observability(trace=True, metrics_every_s=0.005)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            report = simulate_controlled(self._ALL_SHED, obs=obs)
+        assert report.requests == 0
+        assert obs.counts() == {
+            "offered": 300, "completed": 0, "shed": 300
+        }
+        metrics = obs.metrics_payload()
+        assert metrics["timelines"], "no timeline was sampled"
+        for timeline in metrics["timelines"]:
+            for sample in timeline["samples"]:
+                for key, value in sample.items():
+                    values = (
+                        value if isinstance(value, list) else [value]
+                    )
+                    for entry in values:
+                        if isinstance(entry, float):
+                            assert np.isfinite(entry), (key, entry)
+        text = render_metrics_timeline(metrics)
+        assert "inf" not in text and "nan" not in text
+
+    def test_empty_timeline_renders(self):
+        from repro.eval.obs import render_metrics_timeline
+
+        payload = {
+            "window_s": 1.0,
+            "timelines": [
+                {
+                    "pid": 0,
+                    "window_s": 1.0,
+                    "samples": [],
+                    "dropped_samples": 0,
+                }
+            ],
+        }
+        assert "no samples" in render_metrics_timeline(payload)
+
+    def test_report_backfills_engine_counters(self):
+        """Engine counters mirror the model_stats treatment: a report
+        pickled before they existed unpickles to the defaults and
+        produces the identical JSON payload."""
+        from repro.serve.simulator import ServingReport
+
+        report = simulate(ServingScenario(requests=50, instances=1))
+        state = dict(report.__dict__)
+        for key in (
+            "engine_events", "engine_peak_heap", "engine_dispatch"
+        ):
+            del state[key]
+        legacy = ServingReport.__new__(ServingReport)
+        legacy.__setstate__(state)
+        assert legacy.engine_dispatch == ""
+        assert legacy.engine_events == 0
+        assert report_to_dict(legacy) == report_to_dict(report)
+
+    def test_engine_counters_stay_out_of_report_payload(self):
+        """report_to_dict drops the counters unconditionally — they
+        are execution telemetry, and leaking them would break the
+        unregenerated parity goldens."""
+        from repro.eval.obs import engine_counters_dict
+
+        report = simulate(ServingScenario(requests=50, instances=1))
+        payload = report_to_dict(report)
+        assert "engine_events" not in payload
+        assert "engine_peak_heap" not in payload
+        assert "engine_dispatch" not in payload
+        counters = engine_counters_dict(report)
+        assert counters == {
+            "events": report.engine_events,
+            "peak_heap": report.engine_peak_heap,
+            "dispatch": "ll",
+        }
+
+    def test_engine_counters_do_not_affect_equality(self):
+        """compare=False: two physically identical runs stay == even
+        if one took the fast path and one the general loop."""
+        import dataclasses as dc
+
+        scenario = ServingScenario(requests=100, instances=2, seed=4)
+        report = simulate(scenario)
+        relabeled = dc.replace(report, engine_dispatch="general")
+        assert relabeled == report
+
+
 class _ShedOddIndices(EngineHooks):
     """Deterministic 50% shedding: odd submission indices never admit."""
 

@@ -432,6 +432,100 @@ class TestAtomicJsonWrites:
             )
 
 
+class TestTelemetryCli:
+    def test_serve_trace_and_metrics(self, tmp_path):
+        import json
+
+        trace = tmp_path / "run.trace.json"
+        report = tmp_path / "report.json"
+        code, text = run_cli(
+            "serve", "--requests", "300", "--instances", "2",
+            "--trace", str(trace), "--metrics-every", "0.02",
+            "--json", str(report),
+        )
+        assert code == 0
+        assert "Engine execution" in text
+        assert "Metrics timeline" in text
+        payload = json.loads(trace.read_text())
+        assert payload["traceEvents"]
+        counters = payload["otherData"]
+        assert counters["offered"] == 300
+        assert (
+            counters["completed"] + counters["shed"]
+            == counters["offered"]
+        )
+        report_payload = json.loads(report.read_text())
+        (engine,) = report_payload["engine"]
+        assert engine["dispatch"] == "general"  # tracing -> general loop
+        assert report_payload["metrics"]["timelines"]
+        # The report dicts themselves stay telemetry-free.
+        assert "engine_events" not in report_payload["reports"][0]
+
+    def test_control_multi_fleet_trace(self, tmp_path):
+        import json
+
+        trace = tmp_path / "mf.trace.json"
+        code, text = run_cli(
+            "control", "--multi-fleet-qps", "2000,800",
+            "--requests", "300", "--spillover", "deadline",
+            "--shedding", "deadline", "--trace", str(trace),
+        )
+        assert code == 0
+        assert "Multi-fleet report" in text
+        payload = json.loads(trace.read_text())
+        pids = {
+            e["pid"]
+            for e in payload["traceEvents"]
+            if e["ph"] != "M"
+        }
+        assert pids == {0, 1}
+
+    def test_trace_summary_subcommand(self, tmp_path):
+        trace = tmp_path / "run.trace.json"
+        code, _ = run_cli(
+            "control", "--requests", "200", "--shedding", "deadline",
+            "--trace", str(trace),
+        )
+        assert code == 0
+        code, text = run_cli("trace", "summary", str(trace))
+        assert code == 0
+        assert "Trace summary" in text
+        assert "offered=200" in text
+
+    def test_trace_summary_missing_file_fails_cleanly(self, tmp_path):
+        code, _ = run_cli(
+            "trace", "summary", str(tmp_path / "nope.json")
+        )
+        assert code == 1
+
+    def test_telemetry_conflicts_with_sweeps(self, tmp_path):
+        code, _ = run_cli(
+            "serve", "--sweep-policies", "round-robin",
+            "--trace", str(tmp_path / "t.json"),
+        )
+        assert code == 1
+        code, _ = run_cli(
+            "control", "--sweep-governors", "utilization,dvfs",
+            "--metrics-every", "0.5",
+        )
+        assert code == 1
+
+    def test_bad_metrics_interval_fails_cleanly(self):
+        code, _ = run_cli(
+            "serve", "--requests", "50", "--metrics-every", "0"
+        )
+        assert code == 1
+
+    def test_untraced_output_is_unchanged_by_flags_absence(
+        self, tmp_path
+    ):
+        """No telemetry flags -> byte-identical CLI output to a run
+        with telemetry wired but inactive (the default path)."""
+        a = run_cli("serve", "--requests", "200", "--instances", "2")
+        b = run_cli("serve", "--requests", "200", "--instances", "2")
+        assert a == b
+
+
 class TestCheckpointCli:
     _SCENARIO = (
         "--mix", "mixed", "--qps", "1500", "--requests", "2000",

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Validate a trace written by ``repro serve/control --trace``.
+
+Stdlib-only (runs in CI without installing the package). Checks:
+
+* the file is well-formed Chrome trace-event JSON — a top-level object
+  with a ``traceEvents`` list (the format Perfetto and
+  ``chrome://tracing`` load);
+* every event is a known phase (``X`` complete span, ``i`` instant,
+  ``M`` metadata) with the fields that phase requires, and every
+  ``X`` span has a non-negative duration;
+* non-metadata timestamps are monotone non-decreasing in file order
+  (the recorder sorts on write; a violation means a torn or
+  hand-edited file);
+* the span-conservation invariant against the embedded counters:
+  request spans == completed, shed instants == shed, and
+  spans + shed == offered — every offered request ends in exactly one
+  terminal event.
+
+Exits 0 and prints a one-line summary when the trace passes; exits 1
+with the first violation otherwise.
+
+Usage::
+
+    python tools/check_trace.py out.trace.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+_PHASES = {"X", "i", "M"}
+
+
+def check_trace(path: str) -> str:
+    """Validate one trace file; returns the summary line.
+
+    Raises:
+        ValueError: On the first violation found.
+    """
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise ValueError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"{path}: top level must be an object, got "
+            f"{type(payload).__name__}"
+        )
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: no traceEvents list")
+
+    last_ts = None
+    request_spans = 0
+    shed_instants = 0
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"{path}: event {i} is not an object")
+        phase = event.get("ph")
+        if phase not in _PHASES:
+            raise ValueError(
+                f"{path}: event {i} has unknown phase {phase!r}"
+            )
+        if phase == "M":
+            continue
+        for key in ("name", "ts", "pid", "tid"):
+            if key not in event:
+                raise ValueError(
+                    f"{path}: event {i} ({event.get('name')!r}) "
+                    f"is missing {key!r}"
+                )
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)):
+            raise ValueError(
+                f"{path}: event {i} has non-numeric ts {ts!r}"
+            )
+        if last_ts is not None and ts < last_ts:
+            raise ValueError(
+                f"{path}: timestamps regress at event {i} "
+                f"({ts} after {last_ts}); events must be sorted"
+            )
+        last_ts = ts
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(
+                    f"{path}: span {i} ({event['name']!r}) has "
+                    f"invalid duration {dur!r}"
+                )
+            if event.get("cat") == "request":
+                request_spans += 1
+        elif event["name"] == "shed":
+            shed_instants += 1
+
+    counters = payload.get("otherData") or {}
+    for key in ("offered", "completed", "shed"):
+        if key not in counters:
+            raise ValueError(
+                f"{path}: otherData is missing the {key!r} counter"
+            )
+    offered = counters["offered"]
+    completed = counters["completed"]
+    shed = counters["shed"]
+    if request_spans != completed:
+        raise ValueError(
+            f"{path}: {request_spans} request spans but "
+            f"{completed} completed requests"
+        )
+    if shed_instants != shed:
+        raise ValueError(
+            f"{path}: {shed_instants} shed instants but "
+            f"{shed} shed requests"
+        )
+    if request_spans + shed_instants != offered:
+        raise ValueError(
+            f"{path}: spans ({request_spans}) + shed "
+            f"({shed_instants}) != offered ({offered}); a request "
+            "was dropped or double-counted"
+        )
+    return (
+        f"{path}: OK — {len(events)} events, {request_spans} request "
+        f"spans + {shed_instants} shed == {offered} offered"
+    )
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print("usage: check_trace.py TRACE.json", file=sys.stderr)
+        return 2
+    try:
+        print(check_trace(argv[0]))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
