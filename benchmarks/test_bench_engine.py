@@ -25,6 +25,7 @@ the same physics, not a relaxation of it.
 
 import time
 import tracemalloc
+from unittest import mock
 
 import numpy as np
 import pytest
@@ -35,6 +36,8 @@ from _pr4_kernel import (
     pr4_build_requests,
     pr4_summarize,
 )
+from repro.control import ControlScenario, simulate_controlled
+from repro.control.sweep import static_frontier_sweep
 from repro.serve import Fleet, ServingScenario, make_policy, simulate
 from repro.serve.engine import Engine, build_requests, summarize_requests
 from repro.serve.arrival import make_arrivals
@@ -50,6 +53,31 @@ RR_SPEEDUP_FLOOR = 10.0
 #: specialized event loop must still clearly beat PR-4.  Typically
 #: ~2x; the floor leaves headroom for timer noise on shared runners.
 LL_SPEEDUP_FLOOR = 1.8
+
+#: Control-plane bar: the fused-admission round-robin kernel
+#: (``"rr-ctl"``) must reach at least this multiple of the general
+#: loop's events/sec on the 50k-request deadline-shedding scenario.
+#: Typically ~7x end to end; the floor leaves headroom for noise.
+CTL_SPEEDUP_FLOOR = 5.0
+
+#: Heavy deadline shedding under ~1.5x overload: four instances of
+#: the mixed mix sustain ~8k QPS, so at 12k offered roughly half the
+#: stream sheds — the admission rule runs on every arrival.
+CTL_SCENARIO = ControlScenario(
+    requests=50_000,
+    qps=12_000.0,
+    instances=4,
+    policy="round-robin",
+    shedding="deadline",
+    seed=42,
+)
+
+
+def _force_general_loop():
+    """Disable fast-path dispatch, forcing the general event loop."""
+    return mock.patch.object(
+        Engine, "_fast_mode", lambda self, arena: None
+    )
 
 
 def _scenario_inputs():
@@ -389,4 +417,120 @@ def test_bench_epoch_stepped_multi_fleet_overhead(benchmark):
     benchmark.extra_info["overhead_ratio"] = round(ratio, 3)
     benchmark.pedantic(
         lambda: simulate_multi_fleet(TWO_FLEET), rounds=3
+    )
+
+
+@pytest.mark.benchmark(group="engine")
+def test_bench_control_fastpath_5x_general(benchmark):
+    """Control-plane bar: the fused-admission kernel holds >= 5x the
+    general loop's events/sec on heavy deadline shedding.
+
+    Identical physics first — same report (engine counters excluded
+    from equality by design), fast path actually taken — then an
+    interleaved min-of-N wall-clock comparison on the same event
+    population (the general loop's count), so the events/sec ratio is
+    a pure wall-clock speedup on identical work.
+    """
+    fast = simulate_controlled(CTL_SCENARIO)
+    with _force_general_loop():
+        general = simulate_controlled(CTL_SCENARIO)
+    assert fast.engine_dispatch == "rr-ctl"
+    assert general.engine_dispatch == "general"
+    assert fast == general
+    assert fast.shed_requests > 10_000, "scenario must shed heavily"
+
+    fast_s = float("inf")
+    gen_s = float("inf")
+    for _ in range(5):
+        fast_s = min(
+            fast_s,
+            _best_seconds(
+                lambda: simulate_controlled(CTL_SCENARIO), repeats=1
+            ),
+        )
+        with _force_general_loop():
+            gen_s = min(
+                gen_s,
+                _best_seconds(
+                    lambda: simulate_controlled(CTL_SCENARIO),
+                    repeats=1,
+                ),
+            )
+    gen_eps = general.engine_events / gen_s
+    fast_eps = general.engine_events / fast_s
+    ratio = fast_eps / gen_eps
+    assert ratio >= CTL_SPEEDUP_FLOOR, (
+        f"controlled kernel only {ratio:.1f}x the general loop "
+        f"({fast_eps:,.0f} vs {gen_eps:,.0f} events/sec)"
+    )
+    benchmark.extra_info["general_events"] = general.engine_events
+    benchmark.extra_info["general_events_per_sec"] = round(gen_eps)
+    benchmark.extra_info["ctl_events_per_sec"] = round(fast_eps)
+    benchmark.extra_info["speedup"] = round(ratio, 1)
+    benchmark.pedantic(
+        lambda: simulate_controlled(CTL_SCENARIO), rounds=3
+    )
+
+
+@pytest.mark.benchmark(group="engine")
+def test_bench_control_frontier_sweep_speedup(benchmark):
+    """Measured end-to-end speedup of a static frontier sweep on the
+    controlled kernel — every grid point is a governor-less
+    round-robin shedding run, exactly the shape ``"rr-ctl"`` serves.
+
+    The voltage-only grid specs leave per-instance profiles unset, so
+    DVFS latency scales and busy power stay kernel-eligible.  The bar
+    is deliberately loose (the sweep also pays request generation and
+    report aggregation); the measured ratio is the trajectory number.
+    """
+    base = ControlScenario(
+        requests=20_000,
+        qps=6_000.0,
+        instances=4,
+        policy="round-robin",
+        shedding="deadline",
+        seed=42,
+    )
+    voltages = (0.6, 0.7, 0.8)
+    fleet_sizes = (2, 4)
+
+    fast = static_frontier_sweep(base, voltages, fleet_sizes)
+    assert [r.engine_dispatch for r in fast] == ["rr-ctl"] * 6
+    with _force_general_loop():
+        general = static_frontier_sweep(base, voltages, fleet_sizes)
+    assert fast == general
+
+    fast_s = float("inf")
+    gen_s = float("inf")
+    for _ in range(3):
+        fast_s = min(
+            fast_s,
+            _best_seconds(
+                lambda: static_frontier_sweep(
+                    base, voltages, fleet_sizes
+                ),
+                repeats=1,
+            ),
+        )
+        with _force_general_loop():
+            gen_s = min(
+                gen_s,
+                _best_seconds(
+                    lambda: static_frontier_sweep(
+                        base, voltages, fleet_sizes
+                    ),
+                    repeats=1,
+                ),
+            )
+    ratio = gen_s / fast_s
+    assert ratio >= 1.5, (
+        f"frontier sweep only {ratio:.2f}x on the controlled kernel "
+        f"({fast_s:.3f}s vs {gen_s:.3f}s)"
+    )
+    benchmark.extra_info["sweep_general_s"] = round(gen_s, 4)
+    benchmark.extra_info["sweep_ctl_s"] = round(fast_s, 4)
+    benchmark.extra_info["sweep_speedup"] = round(ratio, 1)
+    benchmark.pedantic(
+        lambda: static_frontier_sweep(base, voltages, fleet_sizes),
+        rounds=3,
     )

@@ -56,6 +56,9 @@ from .hetero import InstanceSpec, configure_instance
 from .slo import (
     DEFAULT_SLO_CLASSES,
     ClassStats,
+    DeadlineShedding,
+    NoShedding,
+    QueueDepthShedding,
     SLOClass,
     make_shedder,
 )
@@ -73,6 +76,10 @@ __all__ = [
 ]
 
 _INF = float("inf")
+
+#: Same feasibility epsilon as the shedders in :mod:`repro.control.slo`
+#: — the batched admission hook must reproduce their floats bit-for-bit.
+_EPS = 1e-12
 
 #: Default offered load (fraction of full-fleet capacity), as in serve.
 _DEFAULT_LOAD = 0.7
@@ -212,6 +219,22 @@ class ControlHooks(EngineHooks):
         self._observe_arrival = getattr(
             governor, "observe_arrival", None
         )
+        # Which batched-admission kernel applies.  Exact type checks:
+        # PriorityShedding subclasses QueueDepthShedding but preempts
+        # queued victims, so it (and any other subclass) must keep the
+        # generic scalar path.
+        shedder_type = type(shedder)
+        if shedder_type is NoShedding:
+            self._batch_kind = "none"
+        elif shedder_type is DeadlineShedding:
+            self._batch_kind = "deadline"
+        elif shedder_type is QueueDepthShedding:
+            self._batch_kind = "queue-depth"
+        else:
+            self._batch_kind = "generic"
+        # Per-arena column tables for the deadline kernel, cached by
+        # arena identity (one .tolist() per run, not per request).
+        self._batch_cols = None
 
     def on_arrival(self, request, instance, now, engine) -> bool:
         if self._observe_arrival is not None:
@@ -220,6 +243,62 @@ class ControlHooks(EngineHooks):
         if victim is not None:
             victim.shed = True
         return admitted
+
+    def on_arrival_batch(
+        self, arena, index, request, instance, now, engine
+    ) -> bool:
+        """Columnar admission: same decisions (and floats) as
+        :meth:`on_arrival`, reading arena columns instead of view
+        properties.  Shedders outside the three vectorizable kinds —
+        and heterogeneous instances with their own profile tables —
+        delegate to the scalar shedder unchanged."""
+        if self._observe_arrival is not None:
+            self._observe_arrival(now)
+        kind = self._batch_kind
+        if kind == "none":
+            return True
+        if kind == "queue-depth":
+            return len(instance.queue) < self.shedder.threshold
+        if kind == "deadline" and instance.profiles is None:
+            cols = self._batch_cols
+            if cols is None or cols[0] is not arena:
+                cols = self._batch_cols = (
+                    arena,
+                    (arena.deadline + _EPS).tolist(),
+                    arena.per_image.tolist(),
+                    arena.model_idx.tolist(),
+                )
+            # Inlined Instance.estimated_completion/pending_seconds,
+            # same float order as DeadlineShedding.admit.
+            pending = instance.busy_until - now
+            if pending < 0.0:
+                pending = 0.0
+            queued = instance.queued_seconds
+            if queued > 0.0:
+                pending += queued * instance.latency_scale
+            est = (now + pending) + cols[2][
+                cols[3][index]
+            ] * instance.latency_scale
+            return est <= cols[1][index]
+        admitted, victim = self.shedder.admit(request, instance, now)
+        if victim is not None:
+            victim.shed = True
+        return admitted
+
+    def fast_admission(self):
+        """Declare the governor-less vectorizable configurations for
+        the engine's ``"rr-ctl"`` kernel (see
+        :meth:`repro.serve.engine.EngineHooks.fast_admission`): no
+        governor means ``on_tick`` never runs and no arrival observer
+        is bound, ``on_complete`` only acts on retired instances (and
+        the path requires an always-active fleet), and the three
+        declared shedding rules are exactly ``on_arrival``."""
+        if self.governor is not None:
+            return None
+        kind = self._batch_kind
+        if kind == "generic":
+            return None
+        return (kind, getattr(self.shedder, "threshold", 0))
 
     def on_tick(self, now, engine) -> int:
         if self.governor is None:
@@ -526,12 +605,17 @@ def finalize_controlled(execution: ControlExecution) -> ServingReport:
     state = execution.engine.state
     # Counters read from the engine *state*, not the last run_until
     # slice, so a resumed run reports identical values to an
-    # uninterrupted one (the CLI's byte-equality pin).
+    # uninterrupted one (the CLI's byte-equality pin).  The dispatch
+    # path (and any fallback reason) comes from the run itself: the
+    # rr-ctl kernel backfills the state's counters, so both sources
+    # agree whichever path drained the engine.
+    last = execution.engine.last_run
     run = EngineRun(
         events=state.events,
         tick_actions=state.tick_actions,
         peak_heap=state.peak_heap,
-        dispatch="general",
+        dispatch=last.dispatch if last is not None else "general",
+        fallback=last.fallback if last is not None else "",
     )
     n = len(requests)
     window_end = float(times[-1])
@@ -633,6 +717,7 @@ def finalize_controlled(execution: ControlExecution) -> ServingReport:
         engine_events=run.events,
         engine_peak_heap=run.peak_heap,
         engine_dispatch=run.dispatch,
+        engine_fallback=run.fallback,
     )
 
 

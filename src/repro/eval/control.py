@@ -60,7 +60,12 @@ def report_to_dict(report: ServingReport) -> dict:
     # out), not simulation results: dropped unconditionally so cached
     # and golden payloads stay byte-identical, surfaced separately via
     # :func:`repro.eval.obs.engine_counters_dict`.
-    for key in ("engine_events", "engine_peak_heap", "engine_dispatch"):
+    for key in (
+        "engine_events",
+        "engine_peak_heap",
+        "engine_dispatch",
+        "engine_fallback",
+    ):
         payload.pop(key, None)
     payload["offered_load"] = report.offered_load
     payload["mean_utilization"] = report.mean_utilization

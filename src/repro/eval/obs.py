@@ -26,11 +26,17 @@ def engine_counters_dict(report) -> dict | None:
     entry written before the counters existed)."""
     if not report.engine_dispatch:
         return None
-    return {
+    counters = {
         "events": report.engine_events,
         "peak_heap": report.engine_peak_heap,
         "dispatch": report.engine_dispatch,
     }
+    # Only general-loop runs carry a fallback diagnosis; the key is
+    # conditional so fast-path payloads keep their historical shape.
+    fallback = getattr(report, "engine_fallback", "")
+    if fallback and report.engine_dispatch == "general":
+        counters["fallback"] = fallback
+    return counters
 
 
 def render_engine_counters(report) -> str:
@@ -38,14 +44,17 @@ def render_engine_counters(report) -> str:
     counters = engine_counters_dict(report)
     if counters is None:
         return ""
+    rows = [
+        ["events processed", counters["events"]],
+        ["peak event-heap size", counters["peak_heap"]],
+        ["dispatch path", counters["dispatch"]],
+    ]
+    if "fallback" in counters:
+        rows.append(["fast-path fallback", counters["fallback"]])
     return render_table(
         "Engine execution",
         ["Metric", "Value"],
-        [
-            ["events processed", counters["events"]],
-            ["peak event-heap size", counters["peak_heap"]],
-            ["dispatch path", counters["dispatch"]],
-        ],
+        rows,
     )
 
 

@@ -100,6 +100,12 @@ def canonical(obj: Any) -> Any:
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         fields = {}
         for f in dataclasses.fields(obj):
+            # Non-comparing fields (the report's engine execution
+            # counters) are not part of the value: equal objects must
+            # derive equal keys, whichever execution path produced
+            # them.
+            if not f.compare:
+                continue
             value = getattr(obj, f.name)
             # Extension fields stay out of the key at their default so
             # pre-extension keys (and warm cache entries) survive.

@@ -18,8 +18,8 @@ Routing is a policy, not a hook: policies receive the *active* slice of
 the fleet as a plain indexed sequence and return a position in it, so
 the same policy objects serve both planes without adapter shims.
 
-Three execution paths share one physics
----------------------------------------
+Four execution paths share one physics
+--------------------------------------
 
 Requests live in a columnar :class:`~repro.serve.arena.RequestArena`
 (see that module) and the engine picks the fastest path that preserves
@@ -38,15 +38,24 @@ the event loop's observable behaviour *bit-for-bit*:
 3. **Least-loaded fast path** — routing feedback prevents
    vectorization, but the event loop is specialized to plain Python
    lists and a single event slot per instance (no heap, no objects).
+4. **Controlled round-robin fast path** (``"rr-ctl"``) — the control
+   plane's common configuration (shedding, priority queues, DVFS
+   scales, energy accounting — but *no* governor ticks) over
+   round-robin routing.  Striping again decouples the instances, so
+   admission (deadline-feasibility or queue-depth shedding) fuses
+   straight into a per-instance scalar fold; the hook set opts in
+   through :meth:`EngineHooks.fast_admission` rather than the engine
+   importing the control plane.
 
-Both fast paths are *exact*: they reproduce the general loop's floats
+The fast paths are *exact*: they reproduce the general loop's floats
 bit-for-bit (same operations in the same order), which
 ``tests/serve/test_engine_parity.py`` and the benchmark's equality
-assertions pin.  The fast paths assume no arrival timestamp coincides
-bit-exactly with a batching-timeout instant (``a_head + max_wait_s``)
-— guaranteed for continuous arrival processes, and degenerate cases
-(``max_wait_s == 0`` with tied trace timestamps, sub-nanosecond
-waits) fall back to the general path.
+assertions pin.  The vectorized round-robin path assumes no arrival
+timestamp coincides bit-exactly with a batching-timeout instant
+(``a_head + max_wait_s``) — guaranteed for continuous arrival
+processes, and degenerate cases (``max_wait_s == 0`` with tied trace
+timestamps, sub-nanosecond waits) fall back to the general path.  The
+event-driven ``"ll"``/``"rr-ctl"`` folds have no such restriction.
 
 Event ordering is bit-for-bit the legacy ``(time, seq)`` heap order:
 at equal timestamps arrivals precede every scheduled event (their
@@ -136,6 +145,48 @@ class EngineHooks:
         """
         return True
 
+    def on_arrival_batch(
+        self,
+        arena: "RequestArena",
+        index: int,
+        request: Request,
+        instance: Instance,
+        now: float,
+        engine: "Engine",
+    ) -> bool:
+        """Columnar admission decision over an arena request stream.
+
+        The engine probes this hook once at construction; when it is
+        overridden and the request stream is a
+        :class:`~repro.serve.arena.RequestArena`, the general loop
+        calls it *instead of* :meth:`on_arrival`, passing the arena
+        and the request's row ``index`` so the hook can amortize
+        per-event Python overhead against cached column tables (one
+        ``.tolist()`` per arena instead of per-request float boxing).
+        Implementations must decide — and side-effect — exactly as
+        their :meth:`on_arrival` would, bit-for-bit; list streams
+        (tenancy's merged home+spill views) keep dispatching the
+        scalar hook.  The base implementation just delegates.
+        """
+        return self.on_arrival(request, instance, now, engine)
+
+    def fast_admission(self) -> tuple[str, int] | None:
+        """Declare this hook set vectorizable for the ``"rr-ctl"`` path.
+
+        Return ``None`` (the default) to keep the general loop, or a
+        ``(shedding_kind, queue_threshold)`` pair with
+        ``shedding_kind`` in ``{"none", "deadline", "queue-depth"}``
+        to let :meth:`Engine._fast_mode` fuse admission into the
+        columnar controlled round-robin fold.  A hook set may only opt
+        in when, under a static always-active fleet, (a) its
+        ``on_arrival`` is exactly the declared shedding rule against
+        the chosen instance, (b) its ``on_complete`` is a no-op, and
+        (c) it observes nothing else per event (``on_tick`` never runs
+        because ``tick_s is None`` is a path precondition, and an
+        overridden ``on_launch`` disqualifies the path regardless).
+        """
+        return None
+
     def on_tick(self, now: float, engine: "Engine") -> int:
         """Periodic control-loop evaluation; returns actions taken."""
         return 0
@@ -190,13 +241,18 @@ class EngineRun:
             boundary (general loop only; the fast paths never build a
             heap and report 0).
         dispatch: Which execution path served the run — ``"general"``,
-            ``"rr"``, ``"ll"``, or ``"streaming"``.
+            ``"rr"``, ``"ll"``, ``"rr-ctl"``, or ``"streaming"``.
+        fallback: When ``dispatch == "general"``, the *first failing*
+            fast-path precondition (empty when a fast path ran, or
+            when nothing recorded a reason) — what makes a fallback
+            to the general loop diagnosable from ``--json``.
     """
 
     events: int
     tick_actions: int
     peak_heap: int = 0
     dispatch: str = "general"
+    fallback: str = ""
 
 
 @dataclass(slots=True)
@@ -254,8 +310,12 @@ class Engine:
         "tick_s",
         "priority_queues",
         "_admit",
+        "_admit_batch",
         "_on_complete",
         "_on_launch",
+        "_on_tick_overridden",
+        "_ctl_spec",
+        "_fast_reason",
         "state",
         "last_run",
         "_requests",
@@ -288,10 +348,17 @@ class Engine:
         self.priority_queues = priority_queues
         cls = type(self.hooks)
         # Bind overridden hooks only: the serve plane runs with all
-        # three at their base no-ops and pays zero dispatch for them.
+        # of them at their base no-ops and pays zero dispatch for
+        # them.  These bindings double as the hook-override probes,
+        # computed once here instead of per _fast_mode call.
         self._admit = (
             self.hooks.on_arrival
             if cls.on_arrival is not EngineHooks.on_arrival
+            else None
+        )
+        self._admit_batch = (
+            self.hooks.on_arrival_batch
+            if cls.on_arrival_batch is not EngineHooks.on_arrival_batch
             else None
         )
         self._on_complete = (
@@ -304,6 +371,21 @@ class Engine:
             if cls.on_launch is not EngineHooks.on_launch
             else None
         )
+        self._on_tick_overridden = (
+            cls.on_tick is not EngineHooks.on_tick
+        )
+        # A hook set that declares a vectorizable admission rule (see
+        # EngineHooks.fast_admission) unlocks the rr-ctl path; unknown
+        # kinds are ignored rather than trusted.
+        spec = self.hooks.fast_admission()
+        if spec is not None and spec[0] not in (
+            "none",
+            "deadline",
+            "queue-depth",
+        ):
+            spec = None
+        self._ctl_spec = spec
+        self._fast_reason = ""
         self.state: EngineState | None = None
         self.last_run: EngineRun | None = None
         self._requests: Sequence[Request] | None = None
@@ -312,38 +394,90 @@ class Engine:
     # Fast-path dispatch
     # ------------------------------------------------------------------
 
+    def _fall_back(self, reason: str) -> None:
+        """Record the first failing fast-path precondition; the
+        general loop surfaces it as :attr:`EngineRun.fallback`."""
+        self._fast_reason = reason
+        return None
+
     def _fast_mode(self, arena: RequestArena) -> str | None:
         """Which columnar fast path (if any) reproduces this run
-        bit-for-bit: ``"rr"``, ``"ll"``, or ``None`` (general loop).
+        bit-for-bit: ``"rr"``, ``"ll"``, ``"rr-ctl"``, or ``None``
+        (general loop).
 
-        Requires the hook-free serve-plane configuration over a
-        pristine fleet — any hook, tick, priority queue, DVFS scale,
-        per-instance profile, or pre-existing instance state falls
-        back to the general loop, which handles everything.
+        ``"rr"``/``"ll"`` require the hook-free serve-plane
+        configuration over a pristine fleet; ``"rr-ctl"`` relaxes
+        that for hook sets whose :meth:`EngineHooks.fast_admission`
+        declares a vectorizable shedding rule (the governor-less
+        control plane): priority queues, DVFS latency scales, and
+        busy-power accounting are folded into the kernel, but ticks,
+        launch observers, per-instance profiles, and any pre-existing
+        instance state still fall back to the general loop, which
+        handles everything.
+
+        As a side effect the *first failing precondition* is recorded
+        and surfaced as :attr:`EngineRun.fallback`, so a fallback to
+        the general loop is diagnosable from ``--json``.
         """
-        if (
-            self.tick_s is not None
-            or self._admit is not None
-            or self._on_complete is not None
-            or self._on_launch is not None
-            or self.priority_queues
-        ):
-            return None
-        if type(self.hooks).on_tick is not EngineHooks.on_tick:
-            return None
+        self._fast_reason = ""
+        if self.tick_s is not None:
+            return self._fall_back("periodic tick scheduled (tick_s)")
+        if self._on_launch is not None:
+            return self._fall_back("on_launch hook overridden")
+        ctl = self._ctl_spec
+        if ctl is None:
+            if self._admit is not None or self._admit_batch is not None:
+                return self._fall_back("on_arrival hook overridden")
+            if self._on_complete is not None:
+                return self._fall_back("on_complete hook overridden")
+            if self.priority_queues:
+                return self._fall_back("priority queues enabled")
+            if self._on_tick_overridden:
+                return self._fall_back("on_tick hook overridden")
         for inst in self.fleet.instances:
+            if not inst.active:
+                return self._fall_back(
+                    f"instance {inst.index} inactive"
+                )
             if (
-                not inst.active
-                or inst.latency_scale != 1.0
-                or inst.profiles is not None
-                or inst.busy_until != 0.0
+                inst.busy_until != 0.0
                 or inst.queue
                 or inst.loaded_model is not None
-                or inst.busy_power_w != 0.0
+                or inst.queued_seconds != 0.0
             ):
-                return None
+                return self._fall_back(
+                    f"instance {inst.index} carries pre-run state"
+                )
+            if inst.profiles is not None:
+                return self._fall_back(
+                    f"instance {inst.index} has per-instance profiles"
+                )
+            if ctl is None:
+                if inst.latency_scale != 1.0:
+                    return self._fall_back(
+                        f"instance {inst.index} has a DVFS "
+                        "latency scale"
+                    )
+                if inst.busy_power_w != 0.0:
+                    return self._fall_back(
+                        f"instance {inst.index} integrates busy power"
+                    )
+            elif (
+                inst.busy_seconds != 0.0
+                or inst.busy_seconds_window != 0.0
+                or inst.energy_joules != 0.0
+            ):
+                return self._fall_back(
+                    f"instance {inst.index} carries accumulated "
+                    "counters"
+                )
         policy = self.policy
         if type(policy) is RoundRobinPolicy and policy._next == 0:
+            if ctl is not None:
+                # The controlled fold is event-driven and scalar, so
+                # (unlike the vectorized "rr" kernel) it is exact for
+                # any max_wait, including zero-wait tied arrivals.
+                return "rr-ctl"
             mw = self.max_wait_s
             if mw == 0.0:
                 # Zero-wait batching launches at the arrival event
@@ -353,13 +487,21 @@ class Engine:
                 if len(arr) > 1 and not bool(
                     np.all(arr[1:] > arr[:-1])
                 ):
-                    return None
+                    return self._fall_back(
+                        "zero-wait batching with coincident arrivals"
+                    )
             elif mw <= 1e-9:
-                return None
+                return self._fall_back("sub-nanosecond max_wait")
             return "rr"
+        if ctl is not None:
+            return self._fall_back(
+                "controlled fast path requires round-robin routing"
+            )
         if type(policy) is LeastLoadedPolicy:
             return "ll"
-        return None
+        return self._fall_back(
+            f"policy {type(policy).__name__} has no columnar path"
+        )
 
     def _run_round_robin(self, arena: RequestArena) -> EngineRun:
         """Decoupled per-instance kernel: round-robin striping fixes
@@ -600,6 +742,223 @@ class Engine:
             inst.queued_seconds = 0.0
         return EngineRun(events=events, tick_actions=0, dispatch="ll")
 
+    def _run_round_robin_controlled(
+        self, arena: RequestArena
+    ) -> EngineRun:
+        """Controlled round-robin kernel: admission fused into a
+        per-instance scalar event fold.
+
+        Round-robin striping fixes instance ``j``'s candidate stream
+        to ``arena[j::K]`` *even under shedding* (the policy cursor
+        advances before admission), and the declared shedding rules
+        read only the chosen instance's state — so each instance's
+        timeline folds independently, with no heap and no cross-
+        instance event interleave.  The fold body is the ``"ll"``
+        kernel's (single event slot, inlined examine/launch) plus the
+        control plane's physics in the same float order as the
+        general loop: priority-ordered enqueue, deadline-feasibility
+        or queue-depth admission, DVFS-scaled service times, and
+        busy-energy accrual.  Shed rows are masked in the arena and
+        never enter a queue, exactly as when ``on_arrival`` declined
+        them.
+
+        Runs over a begun pristine :class:`EngineState` and backfills
+        it (cursor, events, clock), so ``finalize``-style consumers
+        that read counters from the state see a drained run.
+        """
+        kind, threshold = self._ctl_spec
+        instances = self.fleet.instances
+        K = len(instances)
+        mb = self.max_batch
+        mw = self.max_wait_s
+        prio_aware = self.priority_queues
+        n = len(arena)
+        a_l = arena.arrival.tolist()
+        m_l = arena.model_idx.tolist()
+        per_arr = arena.per_image
+        per_tab = per_arr.tolist()
+        setup_tab = arena.setup.tolist()
+        start_l = [-1.0] * n
+        fin_l = [-1.0] * n
+        # Wake deadlines and each request's unscaled queue-load
+        # contribution, pre-gathered exactly like the "ll" kernel.
+        dl_l = (arena.arrival + mw).tolist()
+        dle_l = (arena.arrival + mw - _EPS).tolist()
+        per_req = per_arr[arena.model_idx].tolist()
+        prio_l = arena.priority.tolist()
+        deadline_shed = kind == "deadline"
+        depth_shed = kind == "queue-depth"
+        # SLO deadlines are absolute; the vectorized + _EPS is
+        # bit-identical to the shedder's scalar `deadline + _EPS`.
+        dl_eps_l = (
+            (arena.deadline + _EPS).tolist() if deadline_shed else None
+        )
+        shed_ids: list[int] = []
+        events = n
+        clock = a_l[n - 1]
+        for j, inst in enumerate(instances):
+            scale = inst.latency_scale
+            # Scaled per-image table per instance: x * scale
+            # elementwise is the same IEEE product the general loop's
+            # per-launch `per_image_seconds * latency_scale` computes.
+            per_s = (
+                (per_arr * scale).tolist() if scale != 1.0 else per_tab
+            )
+            bpw = inst.busy_power_w
+            wend = inst.window_end
+            bu = 0.0
+            qs = 0.0
+            loaded = -1
+            q: deque = deque()
+            busy = 0.0
+            busyw = 0.0
+            energy = 0.0
+            served = 0
+            nbatches = 0
+            nsetups = 0
+            ev = _INF
+            pos = j
+            nexta = a_l[pos] if pos < n else _INF
+            while True:
+                if nexta <= ev:
+                    # Arrival first at ties, like the (time, seq)
+                    # heap (arrival sequence numbers were seeded
+                    # first).  Both infinite: instance drained.
+                    if pos >= n:
+                        break
+                    now = nexta
+                    rid = pos
+                    pos += K
+                    nexta = a_l[pos] if pos < n else _INF
+                    # -- fused admission --------------------------
+                    if deadline_shed:
+                        # Inlined DeadlineShedding.admit over
+                        # estimated_completion / pending_seconds.
+                        pending = bu - now
+                        if pending < 0.0:
+                            pending = 0.0
+                        if qs > 0.0:
+                            pending += qs * scale
+                        if (now + pending) + per_s[
+                            m_l[rid]
+                        ] > dl_eps_l[rid]:
+                            shed_ids.append(rid)
+                            continue
+                    elif depth_shed and len(q) >= threshold:
+                        shed_ids.append(rid)
+                        continue
+                    # -- priority-ordered enqueue -----------------
+                    # Instance.enqueue's tail scan on (priority,
+                    # index): stream indices strictly increase, so
+                    # the tuple compare reduces to priority <=.
+                    if prio_aware and q:
+                        p = prio_l[rid]
+                        if prio_l[q[-1]] <= p:
+                            q.append(rid)
+                        else:
+                            at = len(q)
+                            for qrid in reversed(q):
+                                if prio_l[qrid] <= p:
+                                    break
+                                at -= 1
+                            q.insert(at, rid)
+                    else:
+                        q.append(rid)
+                    qs += per_req[rid]
+                    if bu > now:
+                        continue
+                else:
+                    now = ev
+                    events += 1
+                # Inlined examine: launch if the head batch is due,
+                # else schedule the head's wake in the event slot.
+                if not q:
+                    ev = _INF
+                    continue
+                head = q[0]
+                if now < dle_l[head]:
+                    if len(q) >= mb:
+                        model = m_l[head]
+                        count = 0
+                        for rid2 in q:
+                            if m_l[rid2] != model:
+                                break
+                            count += 1
+                            if count == mb:
+                                break
+                        if count != mb:
+                            ev = dl_l[head]
+                            continue
+                    else:
+                        ev = dl_l[head]
+                        continue
+                # Inlined launch (Instance._serve float order):
+                # scaled per-image for timing, unscaled for the
+                # queued-seconds ledger, unscaled setup.
+                model = m_l[head]
+                if loaded != model:
+                    setup = setup_tab[model]
+                    nsetups += 1
+                else:
+                    setup = 0.0
+                per = per_s[model]
+                peru = per_tab[model]
+                base = now + setup
+                count = 0
+                popleft = q.popleft
+                while True:
+                    rid2 = popleft()
+                    count += 1
+                    start_l[rid2] = now
+                    fin_l[rid2] = base + count * per
+                    qs -= peru
+                    if count == mb or not q or m_l[q[0]] != model:
+                        break
+                if not q:
+                    qs = 0.0
+                service = setup + count * per
+                fin = now + service
+                bu = fin
+                busy += service
+                if wend is not None:
+                    s0 = now if now < wend else wend
+                    e0 = fin if fin < wend else wend
+                    d0 = e0 - s0
+                    if d0 > 0.0:
+                        busyw += d0
+                energy += bpw * service
+                served += count
+                nbatches += 1
+                loaded = model
+                ev = fin
+            if bu > clock:
+                clock = bu
+            inst.busy_until = bu
+            inst.loaded_model = (
+                arena.model_names[loaded] if loaded >= 0 else None
+            )
+            inst.busy_seconds += busy
+            inst.busy_seconds_window += busyw
+            inst.energy_joules += energy
+            inst.served += served
+            inst.batches += nbatches
+            inst.setups += nsetups
+            inst.queued_seconds = 0.0
+        arena.start[:] = start_l
+        arena.finish[:] = fin_l
+        if shed_ids:
+            arena.shed[shed_ids] = True
+        self.policy._next += n
+        # Backfill the begun state so finalizers and resumption
+        # checks (finished, counter reads) see a drained run.
+        state = self.state
+        state.cursor = n
+        state.events = events
+        state.clock = clock
+        return EngineRun(
+            events=events, tick_actions=0, dispatch="rr-ctl"
+        )
+
     # ------------------------------------------------------------------
     # General event loop
     # ------------------------------------------------------------------
@@ -720,12 +1079,65 @@ class Engine:
         popping a scheduled event and are no-ops at ``t = inf`` — so
         ``run_until(inf)`` is bit-for-bit the legacy ``run()``.
         Returns the *cumulative* counters of the run so far.
+
+        A *pristine* begun state (no arrivals consumed, no events
+        processed) draining to infinity over an arena may dispatch to
+        the controlled round-robin kernel instead — the fast path for
+        ``engine.begin(...)``-then-drain callers like the control
+        plane, exact by the same parity pins as :meth:`run`.  Bounded
+        horizons and resumed runs always step the general loop.
         """
         state = self.state
         requests = self._requests
+        is_arena = isinstance(requests, RequestArena)
+        pristine = (
+            state.cursor == 0
+            and state.events == 0
+            and state.clock == 0.0
+        )
+        if pristine and t == _INF and is_arena and len(requests):
+            mode = self._fast_mode(requests)
+            if mode == "rr-ctl":
+                self.last_run = self._run_round_robin_controlled(
+                    requests
+                )
+                return self.last_run
+            if mode is not None:
+                # The serve-plane kernels dispatch via run();
+                # a begun run steps the general loop unchanged.
+                self._fast_reason = (
+                    f'begun run ("{mode}" dispatches via run())'
+                )
+        elif not self._fast_reason:
+            # Diagnose at most once per engine (the reason is sticky
+            # until _fast_mode reassesses): lead with the config-level
+            # precondition when one fails, which is identical whether
+            # the run drains in one call, in bounded checkpoint
+            # slices, or in a resumed process — tick_s and hook
+            # checks precede fleet-state checks — so checkpointed
+            # reruns report byte-identical telemetry.  Run mechanics
+            # are the reason only when the config itself qualifies.
+            if not is_arena:
+                self._fast_reason = "request stream is not an arena"
+            elif len(requests) and self._fast_mode(requests) is not None:
+                self._fast_reason = (
+                    "bounded run_until horizon"
+                    if t != _INF
+                    else "run already in progress"
+                )
         instances = self.fleet.instances
         policy = self.policy
         admit = self._admit
+        # Batched hook dispatch: hooks that opted in (overrode
+        # on_arrival_batch) get the arena + row index instead of the
+        # scalar on_arrival, amortizing per-event view overhead.
+        # Only arena streams qualify — list streams keep the scalar
+        # hook, whose semantics the batch hook must match.
+        admit_batch = (
+            self._admit_batch
+            if isinstance(requests, RequestArena)
+            else None
+        )
         on_complete = self._on_complete
         hooks = self.hooks
         priority = self.priority_queues
@@ -767,7 +1179,14 @@ class Engine:
                     ]
                 )
                 instance = active[policy.choose(request, active, now)]
-                if admit is not None and not admit(
+                if admit_batch is not None:
+                    if not admit_batch(
+                        requests, request.i, request, instance, now,
+                        self,
+                    ):
+                        request.shed = True
+                        continue
+                elif admit is not None and not admit(
                     request, instance, now, self
                 ):
                     request.shed = True
@@ -822,6 +1241,7 @@ class Engine:
             tick_actions=tick_actions,
             peak_heap=peak_heap,
             dispatch="general",
+            fallback=self._fast_reason,
         )
         self.last_run = run
         return run

@@ -190,6 +190,10 @@ class ServingReport:
     engine_events: int = field(default=0, compare=False)
     engine_peak_heap: int = field(default=0, compare=False)
     engine_dispatch: str = field(default="", compare=False)
+    #: First failing fast-path precondition when the general loop ran
+    #: (empty when a fast path served the run) — makes a fallback to
+    #: the general loop diagnosable from ``--json``.
+    engine_fallback: str = field(default="", compare=False)
 
     def __setstate__(self, state: dict) -> None:
         # Reports unpickled from caches written before a field existed
@@ -471,6 +475,11 @@ def finalize_serving(execution: ServingExecution) -> ServingReport:
         ),
         engine_dispatch=(
             execution.engine.last_run.dispatch
+            if execution.engine.last_run is not None
+            else ""
+        ),
+        engine_fallback=(
+            execution.engine.last_run.fallback
             if execution.engine.last_run is not None
             else ""
         ),

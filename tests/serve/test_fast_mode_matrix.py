@@ -1,0 +1,213 @@
+"""Dispatch decision matrix for the engine's columnar fast paths.
+
+Each case starts from a configuration eligible for one of the kernels
+(``"rr"``, ``"ll"``, or the controlled ``"rr-ctl"``) and flips exactly
+one precondition: ``_fast_mode`` must land on the expected path and
+record the *first failing precondition* (surfaced to ``--json`` as
+``EngineRun.fallback``).  Unsupported control configurations —
+governors, priority-preemptive shedding, DVFS ladders, telemetry —
+must take the general loop and still produce reports identical to a
+forced-general run.
+"""
+
+from unittest import mock
+
+import numpy as np
+import pytest
+
+from repro.control import ControlScenario, simulate_controlled
+from repro.control.simulator import ControlHooks
+from repro.control.slo import (
+    DeadlineShedding,
+    NoShedding,
+    PriorityShedding,
+    QueueDepthShedding,
+)
+from repro.serve import Engine, EngineHooks, Fleet, make_policy
+from repro.serve.arrival import PoissonArrivals
+from repro.serve.engine import build_requests
+from repro.serve.profile import build_mix
+
+
+def _arena(n=256, qps=400.0, tied=False):
+    mix = build_mix("mixed")
+    if tied:
+        # Nondecreasing with exact duplicates: every timestamp shared
+        # by two arrivals, the shape zero-wait batching can't vectorize.
+        times = np.repeat(0.01 * np.arange(1, n), 2)[:n]
+    else:
+        times = PoissonArrivals(qps).times(n, np.random.default_rng(5))
+    return build_requests(mix, times, np.random.default_rng(9))
+
+
+def _engine(policy="round-robin", hooks=None, instances=3, **kwargs):
+    p = make_policy(policy)
+    p.reset()
+    defaults = dict(max_batch=8, max_wait_s=0.01)
+    defaults.update(kwargs)
+    return Engine(Fleet(instances), p, hooks=hooks, **defaults)
+
+
+def _ctl_engine(shedder=None, governor=None, **kwargs):
+    hooks = ControlHooks(
+        shedder if shedder is not None else DeadlineShedding(),
+        governor=governor,
+    )
+    kwargs.setdefault("priority_queues", True)
+    return _engine(hooks=hooks, **kwargs)
+
+
+class TestServePlaneMatrix:
+    """The hook-free serve-plane kernels and their disqualifiers."""
+
+    def test_baseline_round_robin(self):
+        assert _engine()._fast_mode(_arena()) == "rr"
+
+    def test_baseline_least_loaded(self):
+        assert _engine(policy="least-loaded")._fast_mode(_arena()) == "ll"
+
+    @pytest.mark.parametrize(
+        "kwargs, reason_fragment",
+        [
+            ({"tick_s": 0.5}, "tick"),
+            ({"priority_queues": True}, "priority queues"),
+            ({"max_wait_s": 1e-10}, "sub-nanosecond"),
+        ],
+    )
+    def test_config_flip_disqualifies(self, kwargs, reason_fragment):
+        engine = _engine(**kwargs)
+        assert engine._fast_mode(_arena()) is None
+        assert reason_fragment in engine._fast_reason
+
+    def test_overridden_hook_disqualifies(self):
+        class Admit(EngineHooks):
+            def on_arrival(self, request, instance, now, engine):
+                return True
+
+        engine = _engine(hooks=Admit())
+        assert engine._fast_mode(_arena()) is None
+        assert "on_arrival" in engine._fast_reason
+
+    def test_dirty_instance_disqualifies(self):
+        engine = _engine()
+        engine.fleet[0].busy_until = 1.0
+        assert engine._fast_mode(_arena()) is None
+        assert "pre-run state" in engine._fast_reason
+
+    def test_latency_scale_disqualifies_serve_plane(self):
+        engine = _engine()
+        engine.fleet[1].latency_scale = 1.2
+        assert engine._fast_mode(_arena()) is None
+        assert "latency scale" in engine._fast_reason
+
+    def test_zero_wait_coincident_arrivals(self):
+        """max_wait=0 vectorizes only for strictly increasing times."""
+        engine = _engine(max_wait_s=0.0)
+        assert engine._fast_mode(_arena()) == "rr"
+        engine = _engine(max_wait_s=0.0)
+        assert engine._fast_mode(_arena(tied=True)) is None
+        assert "coincident" in engine._fast_reason
+
+
+class TestControlPlaneMatrix:
+    """The ``"rr-ctl"`` kernel: what opts in, what falls back."""
+
+    @pytest.mark.parametrize(
+        "shedder",
+        [NoShedding(), DeadlineShedding(), QueueDepthShedding(16)],
+        ids=["none", "deadline", "queue-depth"],
+    )
+    def test_vectorizable_shedding_opts_in(self, shedder):
+        assert _ctl_engine(shedder)._fast_mode(_arena()) == "rr-ctl"
+
+    def test_dvfs_instance_state_stays_eligible(self):
+        """Latency scales and busy power fold into the kernel — only
+        per-instance *profiles* force the general loop."""
+        engine = _ctl_engine()
+        engine.fleet[0].latency_scale = 1.3
+        engine.fleet[0].busy_power_w = 2.0
+        assert engine._fast_mode(_arena()) == "rr-ctl"
+        engine = _ctl_engine()
+        engine.fleet[0].profiles = {}
+        assert engine._fast_mode(_arena()) is None
+        assert "profiles" in engine._fast_reason
+
+    def test_governor_disqualifies(self):
+        from repro.control.autoscale import make_governor
+
+        governor = make_governor("utilization", 0.01, 1, 3, 0.0)
+        engine = _ctl_engine(governor=governor)
+        assert engine.hooks.fast_admission() is None
+        assert engine._fast_mode(_arena()) is None
+        assert "on_arrival" in engine._fast_reason
+
+    def test_priority_shedding_keeps_generic_path(self):
+        """PriorityShedding subclasses QueueDepthShedding but preempts
+        queued victims: it must not inherit the vectorized kernel."""
+        engine = _ctl_engine(PriorityShedding(16))
+        assert engine.hooks.fast_admission() is None
+        assert engine._fast_mode(_arena()) is None
+
+    def test_non_round_robin_routing_disqualifies(self):
+        engine = _ctl_engine(policy="least-loaded")
+        assert engine._fast_mode(_arena()) is None
+        assert "round-robin" in engine._fast_reason
+
+    def test_tick_disqualifies(self):
+        engine = _ctl_engine(tick_s=0.01)
+        assert engine._fast_mode(_arena()) is None
+        assert "tick" in engine._fast_reason
+
+
+class TestUnsupportedConfigsMatchGeneral:
+    """Configs outside the kernel's envelope take the general loop and
+    must report identically to a run with dispatch disabled."""
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"autoscale": "utilization", "min_instances": 1},
+            {"shedding": "priority"},
+            {"autoscale": "dvfs", "min_instances": 1},
+        ],
+        ids=["governor", "priority-shedding", "dvfs-ladder"],
+    )
+    def test_general_loop_bit_for_bit(self, overrides):
+        scenario = ControlScenario(
+            requests=1_500,
+            qps=2_500.0,
+            instances=2,
+            policy="round-robin",
+            seed=7,
+            shedding=overrides.pop("shedding", "deadline"),
+            **overrides,
+        )
+        report = simulate_controlled(scenario)
+        assert report.engine_dispatch == "general"
+        assert report.engine_fallback
+        with mock.patch.object(
+            Engine, "_fast_mode", lambda self, arena: None
+        ):
+            forced = simulate_controlled(scenario)
+        assert forced.engine_dispatch == "general"
+        assert report == forced
+
+    def test_telemetry_routes_general_bit_for_bit(self):
+        from repro.obs import Observability
+
+        scenario = ControlScenario(
+            requests=1_500,
+            qps=2_500.0,
+            instances=2,
+            policy="round-robin",
+            shedding="deadline",
+            seed=7,
+        )
+        reference = simulate_controlled(scenario)
+        assert reference.engine_dispatch == "rr-ctl"
+        traced = simulate_controlled(
+            scenario, obs=Observability(trace=True)
+        )
+        assert traced.engine_dispatch == "general"
+        assert traced.engine_fallback
+        assert traced == reference
